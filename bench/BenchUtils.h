@@ -1,0 +1,112 @@
+//===- bench/BenchUtils.h - Shared experiment machinery ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment benches: sampled batch measurement
+/// (operation counts measured on a representative subset of a batch,
+/// modeled time evaluated at the full batch size -- documented in
+/// EXPERIMENTS.md), winner maps, and CSV output locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_BENCH_BENCHUTILS_H
+#define PSG_BENCH_BENCHUTILS_H
+
+#include "rbm/SyntheticGenerator.h"
+#include "sim/Simulator.h"
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+namespace psg {
+namespace bench {
+
+/// Where bench CSVs land (created on demand).
+inline std::string resultsDir() {
+  const char *Dir = "bench_results";
+  ::mkdir(Dir, 0755);
+  return Dir;
+}
+
+/// Saves \p Csv under bench_results/, reporting on stdout.
+inline void saveCsv(const CsvWriter &Csv, const std::string &Name) {
+  const std::string Path = resultsDir() + "/" + Name;
+  if (Status S = Csv.saveToFile(Path); !S)
+    std::printf("  (could not save %s: %s)\n", Path.c_str(),
+                S.message().c_str());
+  else
+    std::printf("  wrote %s (%zu rows)\n", Path.c_str(), Csv.numRows());
+}
+
+/// Modeled times of one simulator on one workload cell.
+struct CellTiming {
+  double SimulationSeconds = 0;
+  double IntegrationSeconds = 0;
+  size_t Failures = 0;
+};
+
+/// Measures one (model, batch) cell for one simulator personality.
+///
+/// Operation counts are measured by really integrating \p SampleCount
+/// representative perturbed parameterizations; the modeled time is then
+/// evaluated at the requested \p FullBatch. SampleCount == FullBatch
+/// reproduces the exhaustive measurement.
+inline CellTiming measureCell(Simulator &Sim, const CostModel &Model,
+                              const ReactionNetwork &Net, uint64_t FullBatch,
+                              uint64_t SampleCount, double EndTime,
+                              size_t OutputSamples, uint64_t Seed) {
+  BatchSpec Spec;
+  Spec.Model = &Net;
+  Spec.Batch = std::min<uint64_t>(SampleCount, FullBatch);
+  Spec.EndTime = EndTime;
+  Spec.OutputSamples = OutputSamples;
+  Spec.Options.MaxSteps = 200000;
+  Rng Generator(Seed);
+  for (uint64_t I = 0; I < Spec.Batch; ++I) {
+    std::vector<double> K;
+    K.reserve(Net.numReactions());
+    for (size_t R = 0; R < Net.numReactions(); ++R)
+      K.push_back(Net.reaction(R).RateConstant);
+    perturbRateConstants(K, Generator);
+    Spec.RateConstantSets.push_back(std::move(K));
+  }
+  BatchResult Result = Sim.run(Spec);
+
+  CellTiming Timing;
+  Timing.Failures = Result.Failures;
+  Timing.SimulationSeconds =
+      Model.simulationTime(Sim.backend(), Result.AverageWork, FullBatch)
+          .total();
+  Timing.IntegrationSeconds =
+      Model.integrationTime(Sim.backend(), Result.AverageWork, FullBatch)
+          .total();
+  return Timing;
+}
+
+/// Generates the evaluation's synthetic RBM of size N x M.
+inline ReactionNetwork syntheticModel(size_t N, size_t M, uint64_t Seed) {
+  SyntheticModelOptions Opts;
+  Opts.NumSpecies = N;
+  Opts.NumReactions = M;
+  Opts.Seed = Seed;
+  return generateSyntheticModel(Opts);
+}
+
+/// Picks the per-cell measurement sample: smaller models afford more
+/// real simulations.
+inline uint64_t sampleFor(size_t N, uint64_t Batch) {
+  const uint64_t Cap = N <= 64 ? 24 : (N <= 128 ? 12 : 4);
+  return std::min<uint64_t>(Cap, Batch);
+}
+
+} // namespace bench
+} // namespace psg
+
+#endif // PSG_BENCH_BENCHUTILS_H

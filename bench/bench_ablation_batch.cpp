@@ -1,0 +1,55 @@
+//===- bench/bench_ablation_batch.cpp - Ablation A2 -----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// A2: batch-size sweep of the fine+coarse engine. Reproduces the two
+// saturation findings of the paper line: per-simulation modeled time is
+// minimized around batches of 512 (the sub-batch the engine defaults
+// to), and throughput degrades beyond ~2048 concurrent simulations as
+// dynamic-parallelism launch queues saturate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main() {
+  CostModel Model = CostModel::paperSetup();
+  auto Engine = createSimulator("psg-engine", Model);
+
+  ReactionNetwork Net = syntheticModel(128, 128, /*Seed=*/321);
+  std::printf("== A2: batch-size sweep (model 128x128) ==\n\n");
+  std::printf("%10s %24s %24s\n", "batch", "modeled s / simulation",
+              "dp penalty factor");
+
+  CsvWriter Csv({"batch", "modeled_seconds_per_sim", "dp_penalty"});
+  double Best = 1e300;
+  uint64_t BestBatch = 0;
+  for (uint64_t Batch :
+       {1ull, 8ull, 32ull, 128ull, 512ull, 1024ull, 2048ull, 4096ull,
+        8192ull}) {
+    CellTiming T = measureCell(**Engine, Model, Net, Batch,
+                               sampleFor(128, Batch), 5.0, 20,
+                               /*Seed=*/5);
+    const double PerSim =
+        T.SimulationSeconds / static_cast<double>(Batch);
+    if (PerSim < Best) {
+      Best = PerSim;
+      BestBatch = Batch;
+    }
+    std::printf("%10llu %24.4g %24.3f\n", (unsigned long long)Batch,
+                PerSim, Model.dpPenalty(Batch));
+    Csv.addRow({formatString("%llu", (unsigned long long)Batch),
+                formatString("%.6g", PerSim),
+                formatString("%.4f", Model.dpPenalty(Batch))});
+  }
+  std::printf("\nthroughput-optimal batch: %llu (the engine's default "
+              "sub-batch is 512)\n\n",
+              (unsigned long long)BestBatch);
+  saveCsv(Csv, "a2_ablation_batch.csv");
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- bench/bench_ablation_dp.cpp - Ablation A3 --------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// A3: dynamic-parallelism cost ablation. The engine's fine-grained child
+// grids pay a per-step launch latency; this sweep evaluates the same
+// measured workloads under three child-launch costs (free, the Titan-X
+// calibration, and 4x) across model sizes, showing that DP overhead
+// dominates small models and washes out for large ones -- the paper
+// line's explanation for the engine's small-model weakness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main() {
+  std::printf("== A3: dynamic-parallelism launch-cost ablation ==\n\n");
+  std::printf("%10s %16s %16s %16s %18s\n", "N=M", "DP free",
+              "DP calibrated", "DP 4x", "overhead share");
+
+  CsvWriter Csv({"n", "dp_child_launch_us", "modeled_simulation_s"});
+  for (size_t N : {16, 64, 256, 512}) {
+    ReactionNetwork Net = syntheticModel(N, N, /*Seed=*/88 + N);
+    double Times[3] = {0, 0, 0};
+    int Slot = 0;
+    for (double ChildUs : {0.0, 1.6, 6.4}) {
+      DeviceSpec Gpu = DeviceSpec::titanX();
+      Gpu.ChildLaunchUs = ChildUs;
+      CostModel Model(Gpu, DeviceSpec::cpuCore());
+      auto Engine = createSimulator("psg-engine", Model);
+      CellTiming T = measureCell(**Engine, Model, Net, /*FullBatch=*/256,
+                                 sampleFor(N, 256), 5.0, 20,
+                                 /*Seed=*/N);
+      Times[Slot++] = T.SimulationSeconds;
+      Csv.addRow({formatString("%zu", N), formatString("%.1f", ChildUs),
+                  formatString("%.6g", T.SimulationSeconds)});
+    }
+    const double Share = (Times[1] - Times[0]) / Times[1];
+    std::printf("%10zu %15.4gs %15.4gs %15.4gs %17.1f%%\n", N, Times[0],
+                Times[1], Times[2], 100.0 * Share);
+  }
+  std::printf("\n(overhead share = fraction of calibrated time spent on "
+              "child-grid launches)\n\n");
+  saveCsv(Csv, "a3_ablation_dp.csv");
+
+  // Future-work variant (A3b): let the fine+coarse kernels keep small
+  // models in constant/shared memory, the improvement the paper line
+  // plans for its small-model weakness.
+  std::printf("== A3b: fast-memory fine+coarse variant (future work) ==\n\n");
+  std::printf("%10s %18s %18s %12s\n", "N=M", "global-only",
+              "fast-memory", "gain");
+  CsvWriter FmCsv({"n", "variant", "modeled_simulation_s"});
+  for (size_t N : {16, 64, 256}) {
+    ReactionNetwork Net = syntheticModel(N, N, /*Seed=*/88 + N);
+    double Times[2] = {0, 0};
+    int Slot = 0;
+    for (bool Fast : {false, true}) {
+      CostModel::Tunables Knobs;
+      Knobs.FineCoarseFastMemory = Fast;
+      CostModel Model(DeviceSpec::titanX(), DeviceSpec::cpuCore(), Knobs);
+      auto Engine = createSimulator("psg-engine", Model);
+      CellTiming T = measureCell(**Engine, Model, Net, /*FullBatch=*/256,
+                                 sampleFor(N, 256), 5.0, 20, /*Seed=*/N);
+      Times[Slot++] = T.SimulationSeconds;
+      FmCsv.addRow({formatString("%zu", N),
+                    Fast ? "fast-memory" : "global-only",
+                    formatString("%.6g", T.SimulationSeconds)});
+    }
+    std::printf("%10zu %17.4gs %17.4gs %11.2fx\n", N, Times[0], Times[1],
+                Times[0] / Times[1]);
+  }
+  std::printf("\n");
+  saveCsv(FmCsv, "a3b_fastmem_variant.csv");
+  return 0;
+}

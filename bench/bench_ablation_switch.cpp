@@ -1,0 +1,78 @@
+//===- bench/bench_ablation_switch.cpp - Ablation A1 ----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// A1: the engine's P2 routing heuristic (dominant-eigenvalue threshold
+// 500 choosing DOPRI5 vs Radau IIA) against forcing either method for
+// every simulation, on a mixed batch of stiff and non-stiff models.
+// The auto router should approach the cheaper method on each class and
+// avoid the failures/step-explosions of the mismatched choice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "rbm/CuratedModels.h"
+#include "sim/Simulators.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main() {
+  CostModel Model = CostModel::paperSetup();
+  std::printf("== A1: solver-routing ablation (auto vs forced) ==\n\n");
+
+  struct Case {
+    const char *Label;
+    ReactionNetwork Net;
+    double EndTime;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"non-stiff (lotka-volterra)",
+                   makeLotkaVolterraNetwork(), 10.0});
+  Cases.push_back({"stiff (robertson)", makeRobertsonNetwork(), 40.0});
+  Cases.push_back({"stiff chain (decay 6 decades)",
+                   makeDecayChainNetwork(12, 6.0), 5.0});
+
+  CsvWriter Csv({"workload", "mode", "modeled_integration_s", "failures",
+                 "steps", "switches"});
+  std::printf("%-30s %-8s %20s %9s %8s %9s\n", "workload", "mode",
+              "modeled int. time", "failures", "steps", "switches");
+  for (Case &C : Cases) {
+    for (const char *Mode : {"auto", "dopri5", "radau5"}) {
+      FineCoarseSimulator Sim(Model);
+      Sim.ForcedMethod = Mode;
+      BatchSpec Spec;
+      Spec.Model = &C.Net;
+      Spec.Batch = 16;
+      Spec.EndTime = C.EndTime;
+      Spec.Options.MaxSteps = 200000;
+      Rng Generator(7);
+      for (int I = 0; I < 16; ++I) {
+        std::vector<double> K;
+        for (size_t R = 0; R < C.Net.numReactions(); ++R)
+          K.push_back(C.Net.reaction(R).RateConstant);
+        perturbRateConstants(K, Generator);
+        Spec.RateConstantSets.push_back(std::move(K));
+      }
+      BatchResult Result = Sim.run(Spec);
+      std::printf("%-30s %-8s %18.4gs %9zu %8llu %9llu\n", C.Label, Mode,
+                  Result.IntegrationTime.total(), Result.Failures,
+                  (unsigned long long)Result.TotalStats.Steps,
+                  (unsigned long long)Result.TotalStats.SolverSwitches);
+      Csv.addRow({C.Label, Mode,
+                  formatString("%.6g", Result.IntegrationTime.total()),
+                  formatString("%zu", Result.Failures),
+                  formatString("%llu",
+                               (unsigned long long)Result.TotalStats.Steps),
+                  formatString(
+                      "%llu",
+                      (unsigned long long)Result.TotalStats.SolverSwitches)});
+    }
+    std::printf("\n");
+  }
+  saveCsv(Csv, "a1_ablation_switch.csv");
+  return 0;
+}

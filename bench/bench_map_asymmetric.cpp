@@ -1,0 +1,78 @@
+//===- bench/bench_map_asymmetric.cpp - Experiments F2 and F3 -------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// F2/F3: the comparison maps for asymmetric RBMs. F2 sweeps models with
+// more species than reactions (N > M, more fine-grained width per unit
+// of work); F3 sweeps models with more reactions than species (M > N,
+// longer ODEs per thread -- the regime where GPU benefits shrink and the
+// CPU solvers stay competitive longest, up to the paper-line 213x640
+// single-simulation case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+namespace {
+void runMap(const char *Title, const char *CsvName,
+            const std::vector<std::pair<size_t, size_t>> &Shapes,
+            const std::vector<uint64_t> &Batches) {
+  CostModel Model = CostModel::paperSetup();
+  auto Sims = createAllSimulators(Model);
+
+  std::printf("== %s ==\n", Title);
+  CsvWriter Csv({"n", "m", "batch", "simulator", "modeled_simulation_s",
+                 "modeled_integration_s", "failures"});
+  std::printf("%12s |", "N x M");
+  for (uint64_t B : Batches)
+    std::printf(" %16s",
+                formatString("batch %llu", (unsigned long long)B).c_str());
+  std::printf("\n");
+
+  for (auto [N, M] : Shapes) {
+    ReactionNetwork Net = syntheticModel(N, M, /*Seed=*/77 + N + M);
+    std::printf("%12s |", formatString("%zux%zu", N, M).c_str());
+    for (uint64_t Batch : Batches) {
+      std::string Winner;
+      double Best = 1e300;
+      for (auto &Sim : Sims) {
+        CellTiming T = measureCell(*Sim, Model, Net, Batch,
+                                   sampleFor(N, Batch), /*EndTime=*/5.0,
+                                   /*OutputSamples=*/20,
+                                   /*Seed=*/N * 17 + M * 3 + Batch);
+        Csv.addRow({formatString("%zu", N), formatString("%zu", M),
+                    formatString("%llu", (unsigned long long)Batch),
+                    Sim->name(), formatString("%.6g", T.SimulationSeconds),
+                    formatString("%.6g", T.IntegrationSeconds),
+                    formatString("%zu", T.Failures)});
+        if (T.SimulationSeconds < Best) {
+          Best = T.SimulationSeconds;
+          Winner = Sim->name();
+        }
+      }
+      std::printf(" %16s", Winner.c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  saveCsv(CsvWriter(Csv), CsvName);
+}
+} // namespace
+
+int main() {
+  // F2: more species than reactions.
+  runMap("F2: asymmetric RBMs, N > M", "f2_map_n_gt_m.csv",
+         {{32, 8}, {64, 16}, {128, 32}, {256, 64}, {512, 128}},
+         {1, 128, 1024});
+  // F3: more reactions than species (includes the 213x640-like shape).
+  runMap("F3: asymmetric RBMs, M > N", "f3_map_m_gt_n.csv",
+         {{8, 24}, {21, 64}, {71, 213}, {213, 640}, {256, 768}},
+         {1, 128, 1024});
+  return 0;
+}

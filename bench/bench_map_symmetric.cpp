@@ -1,0 +1,73 @@
+//===- bench/bench_map_symmetric.cpp - Experiment F1 ----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// F1: the comparison map for symmetric RBMs (N = M). For every model size
+// and batch size, all five simulator personalities run the workload and
+// the winner by modeled simulation time is reported -- the reproduction
+// of the paper-line "best simulator" map (CPU solvers winning single
+// small simulations, cupSODA-style coarse GPU winning small models at
+// moderate batches, the fine+coarse engine winning everything large).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main(int Argc, char **Argv) {
+  const bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  std::vector<size_t> Sizes = {16, 32, 64, 128, 256, 512};
+  std::vector<uint64_t> Batches = {1, 16, 128, 512, 2048};
+
+  CostModel Model = CostModel::paperSetup();
+  auto Sims = createAllSimulators(Model);
+
+  std::printf("== F1: comparison map, symmetric RBMs (N = M) ==\n");
+  std::printf("cells: %zu sizes x %zu batch sizes; winner by modeled "
+              "simulation time\n\n",
+              Sizes.size(), Batches.size());
+
+  CsvWriter Csv({"n", "m", "batch", "simulator", "modeled_simulation_s",
+                 "modeled_integration_s", "failures"});
+  std::printf("%8s |", "N=M");
+  for (uint64_t B : Batches)
+    std::printf(" %16s", formatString("batch %llu",
+                                      (unsigned long long)B)
+                             .c_str());
+  std::printf("\n");
+
+  for (size_t N : Sizes) {
+    ReactionNetwork Net = syntheticModel(N, N, /*Seed=*/10 + N);
+    std::printf("%8zu |", N);
+    for (uint64_t Batch : Batches) {
+      const uint64_t Sample =
+          Full ? Batch : sampleFor(N, Batch);
+      std::string Winner;
+      double Best = 1e300;
+      for (auto &Sim : Sims) {
+        CellTiming T = measureCell(*Sim, Model, Net, Batch, Sample,
+                                   /*EndTime=*/5.0, /*OutputSamples=*/20,
+                                   /*Seed=*/N * 131 + Batch);
+        Csv.addRow({formatString("%zu", N), formatString("%zu", N),
+                    formatString("%llu", (unsigned long long)Batch),
+                    Sim->name(), formatString("%.6g", T.SimulationSeconds),
+                    formatString("%.6g", T.IntegrationSeconds),
+                    formatString("%zu", T.Failures)});
+        if (T.SimulationSeconds < Best) {
+          Best = T.SimulationSeconds;
+          Winner = Sim->name();
+        }
+      }
+      std::printf(" %16s", Winner.c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  saveCsv(Csv, "f1_map_symmetric.csv");
+  return 0;
+}

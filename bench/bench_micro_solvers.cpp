@@ -1,0 +1,128 @@
+//===- bench/bench_micro_solvers.cpp - Experiment M1 ----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// M1: google-benchmark microbenchmarks of the numerical kernels that the
+// cost model prices: mass-action rhs evaluation, analytic Jacobian
+// assembly, LU factorization/solve, and whole integrations with the two
+// engine solvers, across model sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Lu.h"
+#include "ode/Dopri5.h"
+#include "ode/Radau5.h"
+#include "rbm/MassAction.h"
+#include "rbm/SyntheticGenerator.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psg;
+
+namespace {
+ReactionNetwork modelOfSize(size_t N) {
+  SyntheticModelOptions Opts;
+  Opts.NumSpecies = N;
+  Opts.NumReactions = N;
+  Opts.Seed = 42 + N;
+  return generateSyntheticModel(Opts);
+}
+
+void BM_MassActionRhs(benchmark::State &State) {
+  const size_t N = State.range(0);
+  ReactionNetwork Net = modelOfSize(N);
+  CompiledOdeSystem Sys(Net);
+  std::vector<double> Y = Net.initialState(), D(N);
+  for (auto _ : State) {
+    Sys.rhs(0.0, Y.data(), D.data());
+    benchmark::DoNotOptimize(D.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_MassActionRhs)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_AnalyticJacobian(benchmark::State &State) {
+  const size_t N = State.range(0);
+  ReactionNetwork Net = modelOfSize(N);
+  CompiledOdeSystem Sys(Net);
+  std::vector<double> Y = Net.initialState();
+  Matrix J;
+  for (auto _ : State) {
+    Sys.analyticJacobian(0.0, Y.data(), J);
+    benchmark::DoNotOptimize(J.rowData(0));
+  }
+}
+BENCHMARK(BM_AnalyticJacobian)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RealLuFactor(benchmark::State &State) {
+  const size_t N = State.range(0);
+  Rng R(7);
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J)
+      A(I, J) = R.uniform(-1, 1);
+    A(I, I) += static_cast<double>(N);
+  }
+  RealLu Lu;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Lu.factor(A));
+  }
+}
+BENCHMARK(BM_RealLuFactor)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_LuSolve(benchmark::State &State) {
+  const size_t N = State.range(0);
+  Rng R(7);
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J)
+      A(I, J) = R.uniform(-1, 1);
+    A(I, I) += static_cast<double>(N);
+  }
+  RealLu Lu;
+  Lu.factor(A);
+  std::vector<double> B(N, 1.0);
+  for (auto _ : State) {
+    std::vector<double> X = B;
+    Lu.solve(X.data());
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Dopri5Integration(benchmark::State &State) {
+  const size_t N = State.range(0);
+  ReactionNetwork Net = modelOfSize(N);
+  CompiledOdeSystem Sys(Net);
+  Dopri5Solver Solver;
+  SolverOptions Opts;
+  Opts.MaxSteps = 100000;
+  Opts.EnableStiffnessDetection = false;
+  for (auto _ : State) {
+    std::vector<double> Y = Net.initialState();
+    IntegrationResult R = Solver.integrate(Sys, 0.0, 2.0, Y, Opts);
+    benchmark::DoNotOptimize(R.Stats.RhsEvaluations);
+  }
+}
+BENCHMARK(BM_Dopri5Integration)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Radau5Integration(benchmark::State &State) {
+  const size_t N = State.range(0);
+  ReactionNetwork Net = modelOfSize(N);
+  CompiledOdeSystem Sys(Net);
+  Radau5Solver Solver;
+  SolverOptions Opts;
+  Opts.MaxSteps = 100000;
+  for (auto _ : State) {
+    std::vector<double> Y = Net.initialState();
+    IntegrationResult R = Solver.integrate(Sys, 0.0, 2.0, Y, Opts);
+    benchmark::DoNotOptimize(R.Stats.NewtonIterations);
+  }
+}
+BENCHMARK(BM_Radau5Integration)->Arg(8)->Arg(32)->Arg(64);
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+//===- bench/bench_param_estimation.cpp - Experiment T3 -------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// T3: parameter estimation of the metabolic surrogate's unknown kinetic
+// constants with FST-PSO, coupling the optimizer once with the engine
+// and once with the CPU LSODA baseline. Reports fit quality and the
+// modeled wall-time of the whole PE (paper-line shape: engine ~30x
+// faster than LSODA on the PE task).
+//
+// Default: 12 of the 78 unknown constants (--full estimates all 78).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "analysis/Fitness.h"
+#include "rbm/CuratedModels.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main(int Argc, char **Argv) {
+  const bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  MetabolicSurrogate Model = makeMetabolicSurrogate();
+  const size_t NumUnknowns = Full ? Model.UnknownParameters.size() : 12;
+
+  std::printf("== T3: PE of the metabolic surrogate with FST-PSO ==\n");
+  std::printf("estimating %zu of %zu flagged unknown constants%s\n\n",
+              NumUnknowns, Model.UnknownParameters.size(),
+              Full ? "" : " (--full for all 78)");
+
+  // Target dynamics with the true constants.
+  ParameterSpace Space(Model.Net);
+  std::vector<std::pair<double, double>> Bounds;
+  std::vector<double> Truth;
+  for (size_t I = 0; I < NumUnknowns; ++I) {
+    const size_t R = Model.UnknownParameters[I];
+    ParameterAxis Axis;
+    Axis.Name = formatString("k%zu", R);
+    Axis.Target = AxisTarget::RateConstant;
+    Axis.Reactions = {R};
+    const double True = Model.Net.reaction(R).RateConstant;
+    Axis.Lo = True * 0.1;
+    Axis.Hi = True * 10.0;
+    Axis.LogScale = true;
+    Space.addAxis(Axis);
+    Bounds.emplace_back(Axis.Lo, Axis.Hi);
+    Truth.push_back(True);
+  }
+
+  std::vector<size_t> Observed = {Model.ReporterR5P};
+  // Observe a handful of core metabolites, as a wet-lab target would.
+  for (size_t V = 0; V < 6; ++V)
+    Observed.push_back(V);
+
+  CsvWriter Csv({"coupling", "best_fitness", "evaluations",
+                 "modeled_pe_seconds"});
+  double EngineSeconds = 0;
+  for (const char *Name : {"psg-engine", "cpu-lsoda"}) {
+    EngineOptions Opts;
+    Opts.SimulatorName = Name;
+    Opts.EndTime = 10.0;
+    Opts.OutputSamples = 21;
+    BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+    Parameterization True;
+    True.InitialState = Model.Net.initialState();
+    for (size_t R = 0; R < Model.Net.numReactions(); ++R)
+      True.RateConstants.push_back(Model.Net.reaction(R).RateConstant);
+    EngineReport TargetRun =
+        Engine.runParameterizations(Model.Net, {True});
+
+    // Like makeTrajectoryFitObjective, but also accumulating the modeled
+    // time of every swarm
+    // evaluation (the PE cost is simulation-dominated).
+    double ModeledSeconds = 0;
+    BatchObjective Timed =
+        [&](const std::vector<std::vector<double>> &Positions) {
+          EngineReport Rep = Engine.run(Space, Positions);
+          std::vector<double> F(Positions.size(), 1e6);
+          for (size_t I = 0; I < Rep.Outcomes.size(); ++I)
+            if (Rep.Outcomes[I].Result.ok())
+              F[I] = relativeTrajectoryDistance(
+                  Rep.Outcomes[I].Dynamics,
+                  TargetRun.Outcomes[0].Dynamics, Observed);
+          ModeledSeconds += Rep.SimulationTime.total();
+          return F;
+        };
+
+    PsoOptions Pso;
+    Pso.SwarmSize = 16;
+    Pso.Iterations = Full ? 40 : 15;
+    Pso.FuzzySelfTuning = true;
+    PsoResult Fit = runPso(Bounds, Timed, Pso);
+
+    if (std::string(Name) == "psg-engine")
+      EngineSeconds = ModeledSeconds;
+    std::printf("%-12s best fitness %.4e after %zu evaluations, modeled "
+                "PE time %.2f s\n",
+                Name, Fit.BestFitness, Fit.Evaluations, ModeledSeconds);
+    Csv.addRow({Name, formatString("%.6e", Fit.BestFitness),
+                formatString("%zu", Fit.Evaluations),
+                formatString("%.4f", ModeledSeconds)});
+    if (std::string(Name) == "cpu-lsoda" && EngineSeconds > 0)
+      std::printf("\nengine speedup on the PE task: %.0fx "
+                  "(paper-line ~30x)\n",
+                  ModeledSeconds / EngineSeconds);
+  }
+  std::printf("\n");
+  saveCsv(Csv, "t3_param_estimation.csv");
+  return 0;
+}

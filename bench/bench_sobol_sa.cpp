@@ -1,0 +1,108 @@
+//===- bench/bench_sobol_sa.cpp - Experiment T2 ---------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// T2: the Sobol sensitivity analysis of the metabolic surrogate -- the
+// 11 hexokinase-isoform states against the R5P reporter, printing the
+// Table-1-style table of first-/total-order indices with 95% confidence
+// intervals, plus the running-time comparison of the engine against the
+// CPU LSODA baseline on the same design (paper-line shape: ~8 minutes vs
+// 103-of-12288 simulations, i.e. ~119x).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "analysis/Sobol.h"
+#include "io/ResultsIo.h"
+#include "rbm/CuratedModels.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main(int Argc, char **Argv) {
+  const bool Full = Argc > 1 && std::string(Argv[1]) == "--full";
+  MetabolicSurrogate Model = makeMetabolicSurrogate();
+  std::printf("== T2: Sobol SA of the metabolic surrogate ==\n");
+  std::printf("model: %zu species, %zu reactions; 11 isoform factors -> "
+              "R5P deviation at 10 h\n\n",
+              Model.Net.numSpecies(), Model.Net.numReactions());
+
+  ParameterSpace Space(Model.Net);
+  for (unsigned SpeciesIdx : Model.IsoformSpecies) {
+    ParameterAxis Axis;
+    Axis.Name = Model.Net.species(SpeciesIdx).Name;
+    Axis.Target = AxisTarget::InitialConcentration;
+    Axis.SpeciesIndex = SpeciesIdx;
+    Axis.Lo = 0.0;
+    Axis.Hi = 1e-2;
+    Space.addAxis(Axis);
+  }
+
+  EngineOptions Opts;
+  Opts.SimulatorName = "psg-engine";
+  Opts.EndTime = 10.0;
+  Opts.OutputSamples = 2;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  // Reference run for the deviation output.
+  Parameterization Base;
+  Base.InitialState = Model.Net.initialState();
+  for (size_t R = 0; R < Model.Net.numReactions(); ++R)
+    Base.RateConstants.push_back(Model.Net.reaction(R).RateConstant);
+  EngineReport BaseRun = Engine.runParameterizations(Model.Net, {Base});
+  const double Reference =
+      finalValueReducer(Model.ReporterR5P)(BaseRun.Outcomes[0]);
+  TrajectoryReducer Deviation =
+      [Reporter = Model.ReporterR5P, Reference](const SimulationOutcome &O) {
+        return finalValueReducer(Reporter)(O) - Reference;
+      };
+
+  SobolOptions SaOpts;
+  SaOpts.BaseSamples = Full ? 512 : 128;
+  SaOpts.BootstrapRounds = 100;
+  SobolResult Sa = runSobolSa(Engine, Space, Deviation, SaOpts);
+
+  std::printf("design: %zu base points x (11 + 2) blocks = %zu "
+              "simulations%s\n",
+              SaOpts.BaseSamples, Sa.TotalSimulations,
+              Full ? " (paper-scale base)" : " (reduced; --full for 512)");
+  std::printf("failures: %zu; output variance %.4e\n\n",
+              Sa.Report.Failures, Sa.OutputVariance);
+
+  std::printf("%-16s %8s %8s %8s %8s\n", "species", "S1", "S1conf", "ST",
+              "STconf");
+  for (const SobolIndex &Index : Sa.Indices)
+    std::printf("%-16s %8.3f %8.3f %8.3f %8.3f\n", Index.Factor.c_str(),
+                Index.S1, Index.S1Conf, Index.ST, Index.STConf);
+
+  // Timing comparison on a profiling slice of the same design.
+  std::printf("\nmodeled analysis time:\n");
+  CsvWriter Timing({"simulator", "modeled_seconds_full_design"});
+  double EngineSeconds = 0;
+  for (const char *Name : {"psg-engine", "cpu-lsoda"}) {
+    EngineOptions ProfOpts = Opts;
+    ProfOpts.SimulatorName = Name;
+    BatchEngine Prof(CostModel::paperSetup(), ProfOpts);
+    Rng SampleRng(3);
+    EngineReport Slice = Prof.run(Space, Space.randomSample(64, SampleRng));
+    const double PerSim = Slice.SimulationTime.total() / 64.0;
+    const double FullDesign =
+        PerSim * static_cast<double>(Sa.TotalSimulations);
+    if (std::string(Name) == "psg-engine")
+      EngineSeconds = FullDesign;
+    std::printf("  %-12s %10.2f s (%.3g s/sim)\n", Name, FullDesign,
+                PerSim);
+    Timing.addRow({Name, formatString("%.4f", FullDesign)});
+    if (std::string(Name) == "cpu-lsoda" && EngineSeconds > 0)
+      std::printf("  engine speedup on the SA task: %.0fx (paper-line "
+                  "~119x)\n",
+                  FullDesign / EngineSeconds);
+  }
+  std::printf("\n");
+  saveCsv(sobolToCsv(Sa), "t2_sobol_indices.csv");
+  saveCsv(Timing, "t2_sobol_timing.csv");
+  return 0;
+}

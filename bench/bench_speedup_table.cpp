@@ -1,0 +1,73 @@
+//===- bench/bench_speedup_table.cpp - Experiment T1 ----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// T1: headline speedups of the fine+coarse engine over every comparator,
+// for simulation time (with I/O) and integration time only -- the
+// reproduction of the paper-line table reporting up to ~855x vs VODE,
+// ~366x/~79x vs LSODA, ~298x/760x vs the fine-grained comparator and
+// ~7x/17x vs the coarse-grained one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace psg;
+using namespace psg::bench;
+
+int main() {
+  CostModel Model = CostModel::paperSetup();
+  auto Sims = createAllSimulators(Model);
+  Simulator *Engine = Sims.back().get(); // psg-engine.
+
+  struct Workload {
+    size_t N, M;
+    uint64_t Batch;
+  };
+  const Workload Workloads[] = {
+      {64, 64, 512}, {128, 128, 512}, {256, 256, 512},
+      {256, 256, 2048}, {512, 512, 512}};
+
+  std::printf("== T1: engine speedup over the comparators ==\n");
+  std::printf("(speedup = comparator modeled time / engine modeled time; "
+              "sim = with I/O, int = integration only)\n\n");
+  std::printf("%16s |", "workload");
+  for (size_t I = 0; I + 1 < Sims.size(); ++I)
+    std::printf(" %22s", Sims[I]->name().c_str());
+  std::printf("\n");
+
+  CsvWriter Csv({"n", "m", "batch", "comparator", "speedup_simulation",
+                 "speedup_integration"});
+  for (const Workload &W : Workloads) {
+    ReactionNetwork Net = syntheticModel(W.N, W.M, /*Seed=*/5 + W.N);
+    CellTiming EngineTime =
+        measureCell(*Engine, Model, Net, W.Batch, sampleFor(W.N, W.Batch),
+                    5.0, 20, /*Seed=*/W.N + W.Batch);
+    std::printf("%16s |",
+                formatString("%zux%zu b=%llu", W.N, W.M,
+                             (unsigned long long)W.Batch)
+                    .c_str());
+    for (size_t I = 0; I + 1 < Sims.size(); ++I) {
+      CellTiming T =
+          measureCell(*Sims[I], Model, Net, W.Batch,
+                      sampleFor(W.N, W.Batch), 5.0, 20,
+                      /*Seed=*/W.N + W.Batch);
+      const double SpeedSim =
+          T.SimulationSeconds / EngineTime.SimulationSeconds;
+      const double SpeedInt =
+          T.IntegrationSeconds / EngineTime.IntegrationSeconds;
+      std::printf(" %10.1fx /%8.1fx", SpeedSim, SpeedInt);
+      Csv.addRow({formatString("%zu", W.N), formatString("%zu", W.M),
+                  formatString("%llu", (unsigned long long)W.Batch),
+                  Sims[I]->name(), formatString("%.3f", SpeedSim),
+                  formatString("%.3f", SpeedInt)});
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  saveCsv(Csv, "t1_speedup_table.csv");
+  return 0;
+}

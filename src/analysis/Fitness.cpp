@@ -1,0 +1,53 @@
+//===- analysis/Fitness.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Fitness.h"
+
+#include <cmath>
+
+using namespace psg;
+
+double psg::relativeTrajectoryDistance(const Trajectory &Simulated,
+                                       const Trajectory &Target,
+                                       const std::vector<size_t> &Species) {
+  assert(Simulated.numSamples() == Target.numSamples() &&
+         "trajectories must share the sampling grid");
+  assert(!Species.empty() && "no species to compare");
+  double Sum = 0.0;
+  size_t Terms = 0;
+  for (size_t S = 1; S < Target.numSamples(); ++S)
+    for (size_t Var : Species) {
+      const double Ref = Target.value(S, Var);
+      const double Got = Simulated.value(S, Var);
+      Sum += std::abs(Got - Ref) / (1e-12 + std::abs(Ref));
+      ++Terms;
+    }
+  return Terms > 0 ? Sum / static_cast<double>(Terms) : 0.0;
+}
+
+BatchObjective psg::makeTrajectoryFitObjective(BatchEngine &Engine,
+                                               const ParameterSpace &Space,
+                                               Trajectory Target,
+                                               std::vector<size_t> Species,
+                                               double FailurePenalty) {
+  assert(Engine.options().OutputSamples == Target.numSamples() &&
+         "engine output grid must match the target trajectory");
+  return [&Engine, &Space, Target = std::move(Target),
+          Species = std::move(Species),
+          FailurePenalty](const std::vector<std::vector<double>> &Positions)
+             -> std::vector<double> {
+    EngineReport Report = Engine.run(Space, Positions);
+    std::vector<double> Fitness(Positions.size(), FailurePenalty);
+    for (size_t I = 0; I < Report.Outcomes.size(); ++I) {
+      const SimulationOutcome &O = Report.Outcomes[I];
+      if (!O.Result.ok() ||
+          O.Dynamics.numSamples() != Target.numSamples())
+        continue;
+      Fitness[I] = relativeTrajectoryDistance(O.Dynamics, Target, Species);
+    }
+    return Fitness;
+  };
+}

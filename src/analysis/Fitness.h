@@ -1,0 +1,43 @@
+//===- analysis/Fitness.h - Parameter-estimation fitness --------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fitness functions for parameter estimation: the relative distance
+/// between a simulated and a target dynamics over selected species (the
+/// standard PE objective of this research line), plus an engine-backed
+/// batch objective factory for PSO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ANALYSIS_FITNESS_H
+#define PSG_ANALYSIS_FITNESS_H
+
+#include "analysis/Pso.h"
+#include "core/BatchEngine.h"
+
+namespace psg {
+
+/// Mean relative L1 distance between \p Simulated and \p Target over
+/// \p Species, skipping the shared initial sample. Both trajectories
+/// must share the sampling grid. A failed/short simulation should be
+/// scored by the caller with a penalty instead.
+double relativeTrajectoryDistance(const Trajectory &Simulated,
+                                  const Trajectory &Target,
+                                  const std::vector<size_t> &Species);
+
+/// Builds a PSO batch objective that (1) maps each candidate position to
+/// the parameter space, (2) runs the whole swarm through \p Engine as one
+/// batch, and (3) scores each simulation against \p Target. Failed
+/// simulations receive \p FailurePenalty.
+BatchObjective makeTrajectoryFitObjective(BatchEngine &Engine,
+                                          const ParameterSpace &Space,
+                                          Trajectory Target,
+                                          std::vector<size_t> Species,
+                                          double FailurePenalty = 1e6);
+
+} // namespace psg
+
+#endif // PSG_ANALYSIS_FITNESS_H

@@ -1,0 +1,58 @@
+//===- analysis/Oscillation.cpp -------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Oscillation.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace psg;
+
+OscillationMetrics
+psg::analyzeOscillation(const std::vector<double> &Times,
+                        const std::vector<double> &Values,
+                        double TransientFraction, double RelativeThreshold) {
+  assert(Times.size() == Values.size() && "ragged series");
+  OscillationMetrics M;
+  if (Times.size() < 8)
+    return M;
+  const size_t Begin =
+      static_cast<size_t>(TransientFraction * static_cast<double>(Times.size()));
+  if (Times.size() - Begin < 6)
+    return M;
+
+  double Sum = 0.0;
+  double Lo = Values[Begin], Hi = Values[Begin];
+  for (size_t I = Begin; I < Values.size(); ++I) {
+    Sum += Values[I];
+    Lo = std::min(Lo, Values[I]);
+    Hi = std::max(Hi, Values[I]);
+  }
+  M.Mean = Sum / static_cast<double>(Values.size() - Begin);
+
+  // Interior peaks of the post-transient window.
+  std::vector<double> PeakTimes;
+  for (size_t I = Begin + 1; I + 1 < Values.size(); ++I)
+    if (Values[I] > Values[I - 1] && Values[I] >= Values[I + 1])
+      PeakTimes.push_back(Times[I]);
+
+  const double Range = Hi - Lo;
+  const double Floor = 1e-9 + RelativeThreshold * std::abs(M.Mean);
+  if (PeakTimes.size() >= 2 && Range > Floor) {
+    M.Oscillating = true;
+    M.Amplitude = 0.5 * Range;
+    M.Period = (PeakTimes.back() - PeakTimes.front()) /
+               static_cast<double>(PeakTimes.size() - 1);
+  }
+  return M;
+}
+
+OscillationMetrics psg::analyzeOscillation(const Trajectory &Traj, size_t Var,
+                                           double TransientFraction,
+                                           double RelativeThreshold) {
+  return analyzeOscillation(Traj.times(), Traj.series(Var),
+                            TransientFraction, RelativeThreshold);
+}

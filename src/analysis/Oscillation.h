@@ -1,0 +1,46 @@
+//===- analysis/Oscillation.h - Oscillation metrics -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Amplitude/period extraction from sampled trajectories, used by the
+/// PSA-2D experiment to color the oscillation maps (zero amplitude means
+/// a non-oscillating regime, as in the paper's black map regions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ANALYSIS_OSCILLATION_H
+#define PSG_ANALYSIS_OSCILLATION_H
+
+#include "ode/Trajectory.h"
+
+namespace psg {
+
+/// Summary of a (possibly) oscillating series.
+struct OscillationMetrics {
+  bool Oscillating = false;
+  double Amplitude = 0.0; ///< Mean peak-to-trough half-range, post-transient.
+  double Period = 0.0;    ///< Mean peak-to-peak distance (0 if unknown).
+  double Mean = 0.0;      ///< Post-transient mean level.
+};
+
+/// Analyzes one variable of \p Traj, discarding the first
+/// \p TransientFraction of the samples. A series counts as oscillating
+/// when at least two interior peaks exist and the peak-to-trough range
+/// exceeds \p RelativeThreshold times the mean level (plus an absolute
+/// floor to reject numerical noise).
+OscillationMetrics analyzeOscillation(const Trajectory &Traj, size_t Var,
+                                      double TransientFraction = 0.5,
+                                      double RelativeThreshold = 0.05);
+
+/// Same on a raw (time, value) series.
+OscillationMetrics analyzeOscillation(const std::vector<double> &Times,
+                                      const std::vector<double> &Values,
+                                      double TransientFraction = 0.5,
+                                      double RelativeThreshold = 0.05);
+
+} // namespace psg
+
+#endif // PSG_ANALYSIS_OSCILLATION_H

@@ -1,0 +1,64 @@
+//===- analysis/Psa.cpp ---------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Psa.h"
+
+#include "analysis/Oscillation.h"
+
+using namespace psg;
+
+TrajectoryReducer psg::finalValueReducer(size_t Species) {
+  return [Species](const SimulationOutcome &Outcome) {
+    if (Outcome.Dynamics.empty())
+      return 0.0;
+    return Outcome.Dynamics.value(Outcome.Dynamics.numSamples() - 1, Species);
+  };
+}
+
+TrajectoryReducer psg::oscillationAmplitudeReducer(size_t Species) {
+  return [Species](const SimulationOutcome &Outcome) {
+    if (!Outcome.Result.ok() || Outcome.Dynamics.empty())
+      return 0.0;
+    return analyzeOscillation(Outcome.Dynamics, Species).Amplitude;
+  };
+}
+
+Psa1dResult psg::runPsa1d(BatchEngine &Engine, const ParameterSpace &Space,
+                          size_t Resolution,
+                          const TrajectoryReducer &Reduce) {
+  assert(Space.numAxes() == 1 && "PSA-1D needs exactly one axis");
+  Psa1dResult Result;
+  std::vector<std::vector<double>> Points = Space.gridSample({Resolution});
+  Result.AxisValues.reserve(Resolution);
+  for (const auto &Point : Points)
+    Result.AxisValues.push_back(Point[0]);
+  Result.Report = Engine.run(Space, Points);
+  Result.Metric.reserve(Points.size());
+  for (const SimulationOutcome &O : Result.Report.Outcomes)
+    Result.Metric.push_back(Reduce(O));
+  return Result;
+}
+
+Psa2dResult psg::runPsa2d(BatchEngine &Engine, const ParameterSpace &Space,
+                          size_t Res0, size_t Res1,
+                          const TrajectoryReducer &Reduce) {
+  assert(Space.numAxes() == 2 && "PSA-2D needs exactly two axes");
+  Psa2dResult Result;
+  // gridSample produces the cartesian product with axis1 fastest, which
+  // matches the row-major layout of Psa2dResult.
+  std::vector<std::vector<double>> Points = Space.gridSample({Res0, Res1});
+  Result.Axis0Values.reserve(Res0);
+  Result.Axis1Values.reserve(Res1);
+  for (size_t I = 0; I < Res0; ++I)
+    Result.Axis0Values.push_back(Points[I * Res1][0]);
+  for (size_t J = 0; J < Res1; ++J)
+    Result.Axis1Values.push_back(Points[J][1]);
+  Result.Report = Engine.run(Space, Points);
+  Result.Metric.reserve(Points.size());
+  for (const SimulationOutcome &O : Result.Report.Outcomes)
+    Result.Metric.push_back(Reduce(O));
+  return Result;
+}

@@ -1,0 +1,65 @@
+//===- analysis/Psa.h - Parameter sweep analysis ----------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One- and two-dimensional parameter sweep analysis (PSA-1D / PSA-2D):
+/// sweep one or two axes, simulate every point through the engine, and
+/// reduce each trajectory to a scalar (final value, or oscillation
+/// amplitude of a reporter species, as in the autophagy case study).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ANALYSIS_PSA_H
+#define PSG_ANALYSIS_PSA_H
+
+#include "core/BatchEngine.h"
+
+#include <functional>
+
+namespace psg {
+
+/// Reduces one finished simulation to the swept scalar.
+using TrajectoryReducer =
+    std::function<double(const SimulationOutcome &Outcome)>;
+
+/// Reducer: final concentration of \p Species.
+TrajectoryReducer finalValueReducer(size_t Species);
+
+/// Reducer: post-transient oscillation amplitude of \p Species (0 when
+/// the dynamics do not oscillate).
+TrajectoryReducer oscillationAmplitudeReducer(size_t Species);
+
+/// Result of a 1D sweep.
+struct Psa1dResult {
+  std::vector<double> AxisValues;
+  std::vector<double> Metric; ///< One reduced value per axis value.
+  EngineReport Report;
+};
+
+/// Result of a 2D sweep (row-major over axis0 x axis1).
+struct Psa2dResult {
+  std::vector<double> Axis0Values;
+  std::vector<double> Axis1Values;
+  std::vector<double> Metric; ///< Axis0Values.size() * Axis1Values.size().
+  EngineReport Report;
+
+  double at(size_t I0, size_t I1) const {
+    return Metric[I0 * Axis1Values.size() + I1];
+  }
+};
+
+/// Sweeps the single axis of \p Space at \p Resolution points.
+Psa1dResult runPsa1d(BatchEngine &Engine, const ParameterSpace &Space,
+                     size_t Resolution, const TrajectoryReducer &Reduce);
+
+/// Sweeps the two axes of \p Space on a Res0 x Res1 grid.
+Psa2dResult runPsa2d(BatchEngine &Engine, const ParameterSpace &Space,
+                     size_t Res0, size_t Res1,
+                     const TrajectoryReducer &Reduce);
+
+} // namespace psg
+
+#endif // PSG_ANALYSIS_PSA_H

@@ -1,0 +1,176 @@
+//===- analysis/Pso.cpp ---------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// The fuzzy self-tuning rules are a compact rendition of Nobile et al.,
+// "Fuzzy Self-Tuning PSO" (2018): triangular memberships over the
+// particle's distance-from-best and recent improvement drive a Sugeno-
+// style weighted blend of exploration and exploitation coefficient sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pso.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+/// Triangular membership with center \p C and half-width \p W.
+double triangle(double X, double C, double W) {
+  return std::max(0.0, 1.0 - std::abs(X - C) / W);
+}
+} // namespace
+
+fstpso::Coefficients psg::fstpso::tuneCoefficients(double NormDistance,
+                                                   double Improvement) {
+  NormDistance = std::clamp(NormDistance, 0.0, 1.0);
+  Improvement = std::clamp(Improvement, -1.0, 1.0);
+
+  // Memberships: distance {near, mid, far}, improvement {worse, same,
+  // better}.
+  const double Near = triangle(NormDistance, 0.0, 0.4);
+  const double Mid = triangle(NormDistance, 0.4, 0.4);
+  const double Far = triangle(NormDistance, 1.0, 0.6);
+  const double Worse = triangle(Improvement, -1.0, 1.0);
+  const double Same = triangle(Improvement, 0.0, 0.5);
+  const double Better = triangle(Improvement, 1.0, 1.0);
+
+  // Rule consequents (inertia, cognitive, social):
+  //   far or worsening  -> explore: high inertia, high cognitive;
+  //   near and improving-> exploit: low inertia, high social;
+  //   otherwise         -> balanced classic coefficients.
+  struct Rule {
+    double Weight;
+    double W, C, S;
+  };
+  const Rule Rules[] = {
+      {Far, 1.1, 2.4, 0.8},    {Worse, 0.9, 2.0, 1.0},
+      {Near, 0.4, 0.8, 2.4},   {Better, 0.5, 1.0, 2.2},
+      {Mid, 0.729, 1.494, 1.494}, {Same, 0.729, 1.494, 1.494},
+  };
+  double WSum = 0, W = 0, C = 0, S = 0;
+  for (const Rule &R : Rules) {
+    WSum += R.Weight;
+    W += R.Weight * R.W;
+    C += R.Weight * R.C;
+    S += R.Weight * R.S;
+  }
+  if (WSum <= 0)
+    return {0.729, 1.494, 1.494};
+  return {W / WSum, C / WSum, S / WSum};
+}
+
+PsoResult psg::runPso(const std::vector<std::pair<double, double>> &Bounds,
+                      const BatchObjective &Objective,
+                      const PsoOptions &Opts) {
+  const size_t Dims = Bounds.size();
+  assert(Dims > 0 && Opts.SwarmSize > 1 && "degenerate swarm setup");
+  Rng Generator(Opts.Seed);
+
+  double Diagonal = 0.0;
+  for (const auto &[Lo, Hi] : Bounds) {
+    assert(Lo < Hi && "empty bound");
+    Diagonal += (Hi - Lo) * (Hi - Lo);
+  }
+  Diagonal = std::sqrt(Diagonal);
+
+  // Swarm state.
+  std::vector<std::vector<double>> Position(Opts.SwarmSize,
+                                            std::vector<double>(Dims));
+  std::vector<std::vector<double>> Velocity(Opts.SwarmSize,
+                                            std::vector<double>(Dims, 0.0));
+  std::vector<std::vector<double>> BestSeen(Opts.SwarmSize);
+  std::vector<double> BestSeenFitness(Opts.SwarmSize);
+  std::vector<double> PreviousFitness(Opts.SwarmSize);
+
+  for (size_t P = 0; P < Opts.SwarmSize; ++P)
+    for (size_t D = 0; D < Dims; ++D) {
+      Position[P][D] =
+          Generator.uniform(Bounds[D].first, Bounds[D].second);
+      const double Span = Bounds[D].second - Bounds[D].first;
+      Velocity[P][D] = Generator.uniform(-Span, Span) * 0.1;
+    }
+
+  PsoResult Result;
+  std::vector<double> Fitness = Objective(Position);
+  assert(Fitness.size() == Opts.SwarmSize && "objective size mismatch");
+  Result.Evaluations = Opts.SwarmSize;
+
+  size_t GlobalBest = 0;
+  for (size_t P = 0; P < Opts.SwarmSize; ++P) {
+    BestSeen[P] = Position[P];
+    BestSeenFitness[P] = Fitness[P];
+    PreviousFitness[P] = Fitness[P];
+    if (Fitness[P] < Fitness[GlobalBest])
+      GlobalBest = P;
+  }
+  Result.BestPosition = BestSeen[GlobalBest];
+  Result.BestFitness = BestSeenFitness[GlobalBest];
+  Result.ConvergenceHistory.push_back(Result.BestFitness);
+
+  for (size_t Iter = 0; Iter < Opts.Iterations; ++Iter) {
+    for (size_t P = 0; P < Opts.SwarmSize; ++P) {
+      double W = Opts.Inertia, C = Opts.Cognitive, S = Opts.Social;
+      if (Opts.FuzzySelfTuning) {
+        double Dist = 0.0;
+        for (size_t D = 0; D < Dims; ++D) {
+          const double Delta = Position[P][D] - Result.BestPosition[D];
+          Dist += Delta * Delta;
+        }
+        const double Scale =
+            std::max(std::abs(PreviousFitness[P]), 1e-12);
+        const double Improvement =
+            (PreviousFitness[P] - Fitness[P]) / Scale;
+        const fstpso::Coefficients Coef = fstpso::tuneCoefficients(
+            std::sqrt(Dist) / std::max(Diagonal, 1e-12), Improvement);
+        W = Coef.Inertia;
+        C = Coef.Cognitive;
+        S = Coef.Social;
+      }
+      PreviousFitness[P] = Fitness[P];
+      for (size_t D = 0; D < Dims; ++D) {
+        const double R1 = Generator.uniform();
+        const double R2 = Generator.uniform();
+        Velocity[P][D] =
+            W * Velocity[P][D] +
+            C * R1 * (BestSeen[P][D] - Position[P][D]) +
+            S * R2 * (Result.BestPosition[D] - Position[P][D]);
+        // Velocity clamp to the box span keeps particles searchable.
+        const double Span = Bounds[D].second - Bounds[D].first;
+        Velocity[P][D] = std::clamp(Velocity[P][D], -Span, Span);
+        Position[P][D] += Velocity[P][D];
+        // Reflective bounds.
+        if (Position[P][D] < Bounds[D].first) {
+          Position[P][D] =
+              std::min(2.0 * Bounds[D].first - Position[P][D],
+                       Bounds[D].second);
+          Velocity[P][D] = -0.5 * Velocity[P][D];
+        } else if (Position[P][D] > Bounds[D].second) {
+          Position[P][D] =
+              std::max(2.0 * Bounds[D].second - Position[P][D],
+                       Bounds[D].first);
+          Velocity[P][D] = -0.5 * Velocity[P][D];
+        }
+      }
+    }
+
+    Fitness = Objective(Position);
+    assert(Fitness.size() == Opts.SwarmSize && "objective size mismatch");
+    Result.Evaluations += Opts.SwarmSize;
+    for (size_t P = 0; P < Opts.SwarmSize; ++P) {
+      if (Fitness[P] < BestSeenFitness[P]) {
+        BestSeenFitness[P] = Fitness[P];
+        BestSeen[P] = Position[P];
+      }
+      if (Fitness[P] < Result.BestFitness) {
+        Result.BestFitness = Fitness[P];
+        Result.BestPosition = Position[P];
+      }
+    }
+    Result.ConvergenceHistory.push_back(Result.BestFitness);
+  }
+  return Result;
+}

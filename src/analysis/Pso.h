@@ -1,0 +1,75 @@
+//===- analysis/Pso.h - Particle swarm optimization -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Particle Swarm Optimization for parameter estimation, in two flavors:
+/// classic PSO with fixed coefficients, and a Fuzzy Self-Tuning variant
+/// (FST-PSO-style) where each particle adapts its inertia and cognitive/
+/// social factors from fuzzy rules over its normalized distance to the
+/// global best and its recent fitness improvement. The objective is
+/// batched: the whole swarm is evaluated in one call, so the engine can
+/// run all candidate parameterizations as one GPU batch per iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ANALYSIS_PSO_H
+#define PSG_ANALYSIS_PSO_H
+
+#include "support/Random.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace psg {
+
+/// Evaluates a set of candidate positions; returns one fitness each
+/// (lower is better).
+using BatchObjective = std::function<std::vector<double>(
+    const std::vector<std::vector<double>> &Positions)>;
+
+/// Swarm configuration.
+struct PsoOptions {
+  size_t SwarmSize = 32;
+  size_t Iterations = 50;
+  uint64_t Seed = 1;
+  bool FuzzySelfTuning = true; ///< false = classic fixed coefficients.
+  double Inertia = 0.729;      ///< Classic-mode coefficients.
+  double Cognitive = 1.49445;
+  double Social = 1.49445;
+};
+
+/// Optimization outcome.
+struct PsoResult {
+  std::vector<double> BestPosition;
+  double BestFitness = 0.0;
+  std::vector<double> ConvergenceHistory; ///< Best fitness per iteration.
+  size_t Evaluations = 0;
+};
+
+/// Minimizes \p Objective over the box \p Bounds (one (lo, hi) pair per
+/// dimension).
+PsoResult runPso(const std::vector<std::pair<double, double>> &Bounds,
+                 const BatchObjective &Objective, const PsoOptions &Opts);
+
+namespace fstpso {
+/// Fuzzy-rule outputs for one particle (exposed for unit tests).
+struct Coefficients {
+  double Inertia;
+  double Cognitive;
+  double Social;
+};
+
+/// Evaluates the fuzzy self-tuning rules. \p NormDistance is the
+/// particle's distance to the global best normalized by the search-box
+/// diagonal; \p Improvement is the normalized fitness gain of its last
+/// move in [-1, 1] (positive = improved).
+Coefficients tuneCoefficients(double NormDistance, double Improvement);
+} // namespace fstpso
+
+} // namespace psg
+
+#endif // PSG_ANALYSIS_PSO_H

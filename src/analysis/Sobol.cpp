@@ -1,0 +1,199 @@
+//===- analysis/Sobol.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// Estimators follow Saltelli et al., "Variance based sensitivity analysis
+// of model output" (2010): Jansen's formulas for S1 and ST.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Sobol.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace psg;
+
+std::vector<double> psg::haltonPoint(uint64_t Index, size_t Dims) {
+  static const unsigned Primes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                    31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                                    73, 79, 83, 89, 97, 101};
+  assert(Index >= 1 && "Halton indices start at 1");
+  assert(Dims <= sizeof(Primes) / sizeof(Primes[0]) &&
+         "too many dimensions for the prime table");
+  std::vector<double> Point(Dims);
+  for (size_t D = 0; D < Dims; ++D) {
+    const double Base = Primes[D];
+    double Fraction = 1.0, Value = 0.0;
+    uint64_t I = Index;
+    while (I > 0) {
+      Fraction /= Base;
+      Value += Fraction * static_cast<double>(I % Primes[D]);
+      I /= Primes[D];
+    }
+    Point[D] = Value;
+  }
+  return Point;
+}
+
+SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
+                            const TrajectoryReducer &Output,
+                            const SobolOptions &Opts) {
+  const size_t K = Space.numAxes();
+  const size_t N = Opts.BaseSamples;
+  assert(K >= 1 && N >= 8 && "degenerate Saltelli design");
+
+  // Saltelli design: one 2K-dimensional low-discrepancy stream split into
+  // the independent unit-cube matrices A (first K coordinates) and B
+  // (last K), Cranley-Patterson rotated, plus the K radial matrices AB_i.
+  Rng Generator(Opts.Seed);
+  std::vector<double> Shift(2 * K);
+  for (double &S : Shift)
+    S = Generator.uniform();
+
+  std::vector<std::vector<double>> CubeA(N), CubeB(N);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Row = haltonPoint(I + 1, 2 * K);
+    for (size_t D = 0; D < 2 * K; ++D) {
+      Row[D] += Shift[D];
+      if (Row[D] >= 1.0)
+        Row[D] -= 1.0;
+    }
+    CubeA[I].assign(Row.begin(), Row.begin() + K);
+    CubeB[I].assign(Row.begin() + K, Row.end());
+  }
+
+  // Assemble all points: A rows, B rows, the AB_i blocks, and (for
+  // second-order indices) the BA_i blocks of the full Saltelli design.
+  std::vector<std::vector<double>> Points;
+  Points.reserve(N * (Opts.ComputeSecondOrder ? 2 * K + 2 : K + 2));
+  for (size_t I = 0; I < N; ++I)
+    Points.push_back(Space.fromUnitCube(CubeA[I]));
+  for (size_t I = 0; I < N; ++I)
+    Points.push_back(Space.fromUnitCube(CubeB[I]));
+  for (size_t D = 0; D < K; ++D)
+    for (size_t I = 0; I < N; ++I) {
+      std::vector<double> Row = CubeA[I];
+      Row[D] = CubeB[I][D];
+      Points.push_back(Space.fromUnitCube(Row));
+    }
+  if (Opts.ComputeSecondOrder)
+    for (size_t D = 0; D < K; ++D)
+      for (size_t I = 0; I < N; ++I) {
+        std::vector<double> Row = CubeB[I];
+        Row[D] = CubeA[I][D];
+        Points.push_back(Space.fromUnitCube(Row));
+      }
+
+  SobolResult Result;
+  Result.TotalSimulations = Points.size();
+  Result.Report = Engine.run(Space, Points);
+
+  std::vector<double> FA(N), FB(N);
+  std::vector<std::vector<double>> FAB(K, std::vector<double>(N));
+  for (size_t I = 0; I < N; ++I) {
+    FA[I] = Output(Result.Report.Outcomes[I]);
+    FB[I] = Output(Result.Report.Outcomes[N + I]);
+  }
+  for (size_t D = 0; D < K; ++D)
+    for (size_t I = 0; I < N; ++I)
+      FAB[D][I] = Output(Result.Report.Outcomes[2 * N + D * N + I]);
+
+  // Variance over the A and B samples.
+  auto computeIndices = [&](const std::vector<size_t> &Rows, size_t D,
+                            double &S1, double &ST) {
+    double Mean = 0.0;
+    for (size_t I : Rows)
+      Mean += FA[I] + FB[I];
+    Mean /= static_cast<double>(2 * Rows.size());
+    double Var = 0.0;
+    for (size_t I : Rows) {
+      Var += (FA[I] - Mean) * (FA[I] - Mean);
+      Var += (FB[I] - Mean) * (FB[I] - Mean);
+    }
+    Var /= static_cast<double>(2 * Rows.size() - 1);
+    if (Var <= 0.0) {
+      S1 = 0.0;
+      ST = 0.0;
+      return;
+    }
+    double NumS1 = 0.0, NumST = 0.0;
+    for (size_t I : Rows) {
+      NumS1 += FB[I] * (FAB[D][I] - FA[I]);
+      NumST += (FA[I] - FAB[D][I]) * (FA[I] - FAB[D][I]);
+    }
+    S1 = NumS1 / static_cast<double>(Rows.size()) / Var;
+    ST = 0.5 * NumST / static_cast<double>(Rows.size()) / Var;
+  };
+
+  std::vector<size_t> AllRows(N);
+  for (size_t I = 0; I < N; ++I)
+    AllRows[I] = I;
+  {
+    double Mean = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Mean += FA[I] + FB[I];
+    Mean /= static_cast<double>(2 * N);
+    double Var = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Var += (FA[I] - Mean) * (FA[I] - Mean) +
+             (FB[I] - Mean) * (FB[I] - Mean);
+    Result.OutputVariance = Var / static_cast<double>(2 * N - 1);
+  }
+
+  Result.Indices.resize(K);
+  std::vector<size_t> Boot(N);
+  for (size_t D = 0; D < K; ++D) {
+    SobolIndex &Index = Result.Indices[D];
+    Index.Factor = Space.axis(D).Name;
+    computeIndices(AllRows, D, Index.S1, Index.ST);
+
+    // Bootstrap confidence half-widths.
+    double SumS1 = 0, SumS1Sq = 0, SumST = 0, SumSTSq = 0;
+    for (size_t Round = 0; Round < Opts.BootstrapRounds; ++Round) {
+      for (size_t I = 0; I < N; ++I)
+        Boot[I] = Generator.uniformInt(N);
+      double S1 = 0, ST = 0;
+      computeIndices(Boot, D, S1, ST);
+      SumS1 += S1;
+      SumS1Sq += S1 * S1;
+      SumST += ST;
+      SumSTSq += ST * ST;
+    }
+    const double Rounds = static_cast<double>(Opts.BootstrapRounds);
+    const double S1Var = SumS1Sq / Rounds - (SumS1 / Rounds) * (SumS1 / Rounds);
+    const double STVar = SumSTSq / Rounds - (SumST / Rounds) * (SumST / Rounds);
+    Index.S1Conf = Opts.ConfidenceZ * std::sqrt(std::max(S1Var, 0.0));
+    Index.STConf = Opts.ConfidenceZ * std::sqrt(std::max(STVar, 0.0));
+  }
+
+  // Second-order interactions (Saltelli 2002): the closed pair variance
+  // V_ij^c = (1/n) sum f(BA_i) f(AB_j) - f0^2, from which the pure
+  // interaction is S_ij = V_ij^c / V - S1_i - S1_j.
+  if (Opts.ComputeSecondOrder && Result.OutputVariance > 0.0) {
+    std::vector<std::vector<double>> FBA(K, std::vector<double>(N));
+    for (size_t D = 0; D < K; ++D)
+      for (size_t I = 0; I < N; ++I)
+        FBA[D][I] =
+            Output(Result.Report.Outcomes[(2 + K + D) * N + I]);
+    double F0 = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      F0 += FA[I] + FB[I];
+    F0 /= static_cast<double>(2 * N);
+    for (size_t DA = 0; DA < K; ++DA)
+      for (size_t DB = DA + 1; DB < K; ++DB) {
+        double Closed = 0.0;
+        for (size_t I = 0; I < N; ++I)
+          Closed += FBA[DA][I] * FAB[DB][I];
+        Closed = Closed / static_cast<double>(N) - F0 * F0;
+        SobolPairIndex Pair;
+        Pair.FactorA = DA;
+        Pair.FactorB = DB;
+        Pair.S2 = Closed / Result.OutputVariance -
+                  Result.Indices[DA].S1 - Result.Indices[DB].S1;
+        Result.PairIndices.push_back(Pair);
+      }
+  }
+  return Result;
+}

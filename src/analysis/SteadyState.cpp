@@ -1,0 +1,87 @@
+//===- analysis/SteadyState.cpp -------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SteadyState.h"
+
+#include "linalg/VectorOps.h"
+#include "ode/Radau5.h"
+#include "rbm/MassAction.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace psg;
+
+SteadyStateResult psg::findSteadyState(const OdeSystem &Sys,
+                                       const std::vector<double> &Y0,
+                                       OdeSolver &Solver,
+                                       const SteadyStateOptions &Opts) {
+  const size_t N = Sys.dimension();
+  assert(Y0.size() == N && "state size mismatch");
+  SteadyStateResult Result;
+  Result.State = Y0;
+
+  std::vector<double> F(N);
+  double T = 0.0;
+  double Window = Opts.InitialWindow;
+  auto residual = [&]() {
+    Sys.rhs(T, Result.State.data(), F.data());
+    ++Result.Stats.RhsEvaluations;
+    for (double &V : F)
+      V *= Opts.TimeScale;
+    return weightedRmsNorm(F.data(), Result.State.data(), N,
+                           Opts.Solver.AbsTol, Opts.Solver.RelTol);
+  };
+
+  Result.ResidualNorm = residual();
+  while (T < Opts.MaxTime) {
+    if (Result.ResidualNorm < 1.0) {
+      Result.Reached = true;
+      Result.Time = T;
+      return Result;
+    }
+    const double TEnd = std::min(T + Window, Opts.MaxTime);
+    IntegrationResult R =
+        Solver.integrate(Sys, T, TEnd, Result.State, Opts.Solver);
+    Result.Stats.merge(R.Stats);
+    Result.Time = R.FinalTime;
+    if (!R.ok()) {
+      Result.ResidualNorm = residual();
+      return Result; // Solver failure: report where we stopped.
+    }
+    T = TEnd;
+    Window *= 2.0;
+    Result.ResidualNorm = residual();
+  }
+  Result.Reached = Result.ResidualNorm < 1.0;
+  Result.Time = T;
+  return Result;
+}
+
+DoseResponse psg::computeDoseResponse(const ParameterSpace &Space,
+                                      size_t Resolution, size_t Reporter,
+                                      const SteadyStateOptions &Opts) {
+  assert(Space.numAxes() == 1 && "dose-response needs exactly one axis");
+  DoseResponse Curve;
+  Radau5Solver Solver;
+  const std::vector<std::vector<double>> Points =
+      Space.gridSample({Resolution});
+  for (const std::vector<double> &Point : Points) {
+    Parameterization P = Space.applyPoint(Point);
+    CompiledOdeSystem Sys(Space.network());
+    Sys.setRateConstants(P.RateConstants);
+    SteadyStateResult R =
+        findSteadyState(Sys, P.InitialState, Solver, Opts);
+    Curve.Dose.push_back(Point[0]);
+    if (R.Reached) {
+      Curve.Response.push_back(R.State[Reporter]);
+    } else {
+      Curve.Response.push_back(std::numeric_limits<double>::quiet_NaN());
+      ++Curve.Unconverged;
+    }
+  }
+  return Curve;
+}

@@ -1,0 +1,66 @@
+//===- analysis/SteadyState.h - Steady-state search -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-state search by integration: advance the system in doubling
+/// time windows until the tolerance-scaled norm of dy/dt drops below a
+/// threshold (or a time/step budget runs out). Dose-response analyses
+/// build on this (sweep a parameter, record the steady level of a
+/// reporter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ANALYSIS_STEADYSTATE_H
+#define PSG_ANALYSIS_STEADYSTATE_H
+
+#include "core/BatchEngine.h"
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// Steady-state search configuration.
+struct SteadyStateOptions {
+  double InitialWindow = 1.0; ///< First integration window length.
+  double MaxTime = 1e6;       ///< Give up beyond this time.
+  /// Steady when the tolerance-weighted RMS norm of dy/dt times
+  /// TimeScale drops below 1 (i.e. the state would drift by less than
+  /// one tolerance unit over TimeScale time units).
+  double TimeScale = 100.0;
+  SolverOptions Solver;
+};
+
+/// Outcome of a steady-state search.
+struct SteadyStateResult {
+  bool Reached = false;
+  double Time = 0.0;          ///< Where the search stopped.
+  std::vector<double> State;  ///< y at that time.
+  double ResidualNorm = 0.0;  ///< Final scaled ||f|| (< 1 when Reached).
+  IntegrationStats Stats;
+};
+
+/// Searches for a steady state of \p Sys from \p Y0 using \p Solver (an
+/// implicit solver is recommended; steady approaches are stiff).
+SteadyStateResult findSteadyState(const OdeSystem &Sys,
+                                  const std::vector<double> &Y0,
+                                  OdeSolver &Solver,
+                                  const SteadyStateOptions &Opts);
+
+/// Dose-response curve: for each value of the (single) axis of
+/// \p Space, the steady level of \p Reporter. Points that do not reach
+/// steady state get NaN.
+struct DoseResponse {
+  std::vector<double> Dose;
+  std::vector<double> Response;
+  size_t Unconverged = 0;
+};
+
+DoseResponse computeDoseResponse(const ParameterSpace &Space,
+                                 size_t Resolution, size_t Reporter,
+                                 const SteadyStateOptions &Opts);
+
+} // namespace psg
+
+#endif // PSG_ANALYSIS_STEADYSTATE_H

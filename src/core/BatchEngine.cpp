@@ -1,0 +1,85 @@
+//===- core/BatchEngine.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+
+#include "support/Error.h"
+#include "support/Logging.h"
+
+using namespace psg;
+
+BatchEngine::BatchEngine(const CostModel &Model, EngineOptions Options)
+    : Opts(std::move(Options)) {
+  auto SimOrErr = createSimulator(Opts.SimulatorName, Model);
+  if (!SimOrErr)
+    fatalError(SimOrErr.message());
+  Sim = std::move(*SimOrErr);
+}
+
+EngineReport
+BatchEngine::run(const ParameterSpace &Space,
+                 const std::vector<std::vector<double>> &Points) {
+  std::vector<Parameterization> Params;
+  Params.reserve(Points.size());
+  for (const std::vector<double> &Point : Points)
+    Params.push_back(Space.applyPoint(Point));
+  return runParameterizations(Space.network(), std::move(Params));
+}
+
+EngineReport
+BatchEngine::runParameterizations(const ReactionNetwork &Net,
+                                  std::vector<Parameterization> Params) {
+  assert(!Params.empty() && "engine run without parameterizations");
+  EngineReport Report;
+  Report.Outcomes.reserve(Params.size());
+
+  const uint64_t SubBatch = Opts.SubBatchSize ? Opts.SubBatchSize : 512;
+  for (size_t Offset = 0; Offset < Params.size(); Offset += SubBatch) {
+    const uint64_t Count =
+        std::min<uint64_t>(SubBatch, Params.size() - Offset);
+    BatchSpec Spec;
+    Spec.Model = &Net;
+    Spec.Batch = Count;
+    Spec.StartTime = Opts.StartTime;
+    Spec.EndTime = Opts.EndTime;
+    Spec.OutputSamples = Opts.OutputSamples;
+    Spec.Options = Opts.Solver;
+    Spec.RateConstantSets.reserve(Count);
+    Spec.InitialStates.reserve(Count);
+    for (uint64_t I = 0; I < Count; ++I) {
+      Spec.RateConstantSets.push_back(
+          std::move(Params[Offset + I].RateConstants));
+      Spec.InitialStates.push_back(
+          std::move(Params[Offset + I].InitialState));
+    }
+
+    BatchResult Result = Sim->run(Spec);
+    logMessage(LogLevel::Info,
+               "engine sub-batch %llu/%zu: %llu sims, %zu failures, "
+               "modeled %.3gs",
+               (unsigned long long)(Report.SubBatches + 1),
+               (Params.size() + SubBatch - 1) / SubBatch,
+               (unsigned long long)Count, Result.Failures,
+               Result.SimulationTime.total());
+
+    for (SimulationOutcome &O : Result.Outcomes)
+      Report.Outcomes.push_back(std::move(O));
+    Report.TotalStats.merge(Result.TotalStats);
+    Report.Failures += Result.Failures;
+    Report.HostWallSeconds += Result.HostWallSeconds;
+    ++Report.SubBatches;
+
+    auto accumulate = [](ModeledTime &Into, const ModeledTime &From) {
+      Into.ComputeSeconds += From.ComputeSeconds;
+      Into.MemorySeconds += From.MemorySeconds;
+      Into.LaunchSeconds += From.LaunchSeconds;
+      Into.HostSeconds += From.HostSeconds;
+    };
+    accumulate(Report.IntegrationTime, Result.IntegrationTime);
+    accumulate(Report.SimulationTime, Result.SimulationTime);
+  }
+  return Report;
+}

@@ -1,0 +1,58 @@
+//===- linalg/Eigen.cpp ---------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Eigen.h"
+
+#include "linalg/VectorOps.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace psg;
+
+double psg::gershgorinSpectralBound(const Matrix &A) {
+  assert(A.isSquare() && "Gershgorin bound of a non-square matrix");
+  double Bound = 0.0;
+  for (size_t R = 0; R < A.rows(); ++R) {
+    double RowSum = 0.0;
+    const double *Row = A.rowData(R);
+    for (size_t C = 0; C < A.cols(); ++C)
+      RowSum += std::abs(Row[C]);
+    Bound = std::max(Bound, RowSum);
+  }
+  return Bound;
+}
+
+double psg::powerIterationSpectralRadius(const Matrix &A, unsigned MaxIters,
+                                         double Tolerance) {
+  assert(A.isSquare() && "power iteration on a non-square matrix");
+  const size_t N = A.rows();
+  if (N == 0)
+    return 0.0;
+
+  // Deterministic, non-degenerate start vector.
+  std::vector<double> V(N), W(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = 1.0 + 0.001 * static_cast<double>(I % 17);
+  double Norm = norm2(V.data(), N);
+  for (double &X : V)
+    X /= Norm;
+
+  double Estimate = 0.0;
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    A.multiply(V.data(), W.data());
+    double WNorm = norm2(W.data(), N);
+    if (WNorm == 0.0 || !std::isfinite(WNorm))
+      return WNorm == 0.0 ? 0.0 : Estimate;
+    double Next = WNorm;
+    for (size_t I = 0; I < N; ++I)
+      V[I] = W[I] / WNorm;
+    if (Iter > 0 && std::abs(Next - Estimate) <= Tolerance * Next)
+      return Next;
+    Estimate = Next;
+  }
+  return Estimate;
+}

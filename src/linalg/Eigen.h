@@ -1,0 +1,32 @@
+//===- linalg/Eigen.h - Spectral estimates ----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap spectral-radius estimates for the engine's stiffness heuristic
+/// (phase P2): a simulation whose Jacobian has a large dominant eigenvalue
+/// magnitude is routed to the implicit Radau IIA solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_LINALG_EIGEN_H
+#define PSG_LINALG_EIGEN_H
+
+#include "linalg/Matrix.h"
+
+namespace psg {
+
+/// Upper bound on the spectral radius from Gershgorin discs
+/// (max over rows of sum_j |a_ij|); exact enough for routing decisions.
+double gershgorinSpectralBound(const Matrix &A);
+
+/// Power-iteration estimate of |lambda_max|. \p MaxIters bounds the work;
+/// returns the best estimate reached (0 for the zero matrix).
+double powerIterationSpectralRadius(const Matrix &A, unsigned MaxIters = 50,
+                                    double Tolerance = 1e-3);
+
+} // namespace psg
+
+#endif // PSG_LINALG_EIGEN_H

@@ -1,0 +1,32 @@
+//===- linalg/Jacobian.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Jacobian.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace psg;
+
+size_t psg::numericJacobian(const RhsFunction &Rhs, double T, const double *Y,
+                            const double *F0, size_t N, Matrix &J) {
+  J.resize(N, N);
+  std::vector<double> YPerturbed(Y, Y + N);
+  std::vector<double> FPerturbed(N);
+
+  const double SqrtEps = std::sqrt(2.220446049250313e-16);
+  for (size_t Col = 0; Col < N; ++Col) {
+    // Step scaled to the state magnitude; floor keeps it nonzero at Y=0.
+    double H = SqrtEps * std::max(std::abs(Y[Col]), 1e-5);
+    YPerturbed[Col] = Y[Col] + H;
+    H = YPerturbed[Col] - Y[Col]; // Exactly representable step.
+    Rhs(T, YPerturbed.data(), FPerturbed.data());
+    for (size_t Row = 0; Row < N; ++Row)
+      J(Row, Col) = (FPerturbed[Row] - F0[Row]) / H;
+    YPerturbed[Col] = Y[Col];
+  }
+  return N;
+}

@@ -1,0 +1,35 @@
+//===- linalg/Jacobian.h - Finite-difference Jacobian -----------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward-difference Jacobian approximation for a generic right-hand side
+/// callback. Used as the fallback when a model cannot provide its analytic
+/// Jacobian (mass-action models can, and do).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_LINALG_JACOBIAN_H
+#define PSG_LINALG_JACOBIAN_H
+
+#include "linalg/Matrix.h"
+
+#include <functional>
+
+namespace psg {
+
+/// Right-hand side callback: F(T, Y, DyDt) with N-element arrays.
+using RhsFunction =
+    std::function<void(double T, const double *Y, double *DyDt)>;
+
+/// Fills \p J (resized to NxN) with the forward-difference Jacobian of
+/// \p Rhs at (T, Y). \p F0 is the already-computed Rhs(T, Y); passing it
+/// saves one evaluation. Returns the number of Rhs evaluations performed.
+size_t numericJacobian(const RhsFunction &Rhs, double T, const double *Y,
+                       const double *F0, size_t N, Matrix &J);
+
+} // namespace psg
+
+#endif // PSG_LINALG_JACOBIAN_H

@@ -1,0 +1,104 @@
+//===- linalg/Lu.cpp ------------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Lu.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+/// Pivot magnitude for real and complex elements.
+double magnitude(double V) { return std::abs(V); }
+double magnitude(const std::complex<double> &V) { return std::abs(V); }
+} // namespace
+
+template <typename T> bool LuDecomposition<T>::factor(const DenseMatrix<T> &A) {
+  assert(A.isSquare() && "LU of a non-square matrix");
+  Lu = A;
+  const size_t N = Lu.rows();
+  Pivot.resize(N);
+  PivotSign = 1;
+  Valid = false;
+
+  for (size_t K = 0; K < N; ++K) {
+    // Partial pivoting: pick the largest magnitude in column K.
+    size_t Best = K;
+    double BestMag = magnitude(Lu(K, K));
+    for (size_t R = K + 1; R < N; ++R) {
+      double Mag = magnitude(Lu(R, K));
+      if (Mag > BestMag) {
+        BestMag = Mag;
+        Best = R;
+      }
+    }
+    Pivot[K] = Best;
+    if (Best != K) {
+      PivotSign = -PivotSign;
+      T *RowK = Lu.rowData(K);
+      T *RowB = Lu.rowData(Best);
+      for (size_t C = 0; C < N; ++C)
+        std::swap(RowK[C], RowB[C]);
+    }
+    if (BestMag == 0.0)
+      return false;
+
+    const T PivotValue = Lu(K, K);
+    for (size_t R = K + 1; R < N; ++R) {
+      T Factor = Lu(R, K) / PivotValue;
+      Lu(R, K) = Factor;
+      if (Factor == T{})
+        continue;
+      T *RowR = Lu.rowData(R);
+      const T *RowK = Lu.rowData(K);
+      for (size_t C = K + 1; C < N; ++C)
+        RowR[C] -= Factor * RowK[C];
+    }
+  }
+  Valid = true;
+  return true;
+}
+
+template <typename T> void LuDecomposition<T>::solve(T *B) const {
+  assert(Valid && "solve() on an invalid factorization");
+  const size_t N = Lu.rows();
+
+  // Apply row permutation.
+  for (size_t K = 0; K < N; ++K)
+    if (Pivot[K] != K)
+      std::swap(B[K], B[Pivot[K]]);
+
+  // Forward substitution with unit lower-triangular L.
+  for (size_t R = 1; R < N; ++R) {
+    T Sum = B[R];
+    const T *Row = Lu.rowData(R);
+    for (size_t C = 0; C < R; ++C)
+      Sum -= Row[C] * B[C];
+    B[R] = Sum;
+  }
+
+  // Back substitution with U.
+  for (size_t RI = N; RI-- > 0;) {
+    T Sum = B[RI];
+    const T *Row = Lu.rowData(RI);
+    for (size_t C = RI + 1; C < N; ++C)
+      Sum -= Row[C] * B[C];
+    B[RI] = Sum / Row[RI];
+  }
+}
+
+template <typename T> T LuDecomposition<T>::determinant() const {
+  assert(Valid && "determinant() on an invalid factorization");
+  T Det = static_cast<T>(PivotSign);
+  for (size_t K = 0; K < Lu.rows(); ++K)
+    Det *= Lu(K, K);
+  return Det;
+}
+
+namespace psg {
+template class LuDecomposition<double>;
+template class LuDecomposition<std::complex<double>>;
+} // namespace psg

@@ -1,0 +1,117 @@
+//===- linalg/Matrix.h - Dense matrices -------------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Row-major dense matrices over double or complex<double>. Sized for the
+/// Jacobians of reaction networks (tens to a few thousand rows); no attempt
+/// is made at blocking or SIMD beyond what the compiler autovectorizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_LINALG_MATRIX_H
+#define PSG_LINALG_MATRIX_H
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace psg {
+
+/// Row-major dense matrix of element type \p T.
+template <typename T> class DenseMatrix {
+public:
+  DenseMatrix() = default;
+
+  /// Creates a RowsxCols matrix of zeros.
+  DenseMatrix(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, T{}) {}
+
+  /// Returns the identity matrix of order \p N.
+  static DenseMatrix identity(size_t N) {
+    DenseMatrix M(N, N);
+    for (size_t I = 0; I < N; ++I)
+      M(I, I) = T{1};
+    return M;
+  }
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool isSquare() const { return NumRows == NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  /// Element access (row-major). Asserted bounds.
+  T &operator()(size_t Row, size_t Col) {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
+    return Data[Row * NumCols + Col];
+  }
+  const T &operator()(size_t Row, size_t Col) const {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
+    return Data[Row * NumCols + Col];
+  }
+
+  /// Raw pointer to row \p Row.
+  T *rowData(size_t Row) {
+    assert(Row < NumRows && "row out of range");
+    return Data.data() + Row * NumCols;
+  }
+  const T *rowData(size_t Row) const {
+    assert(Row < NumRows && "row out of range");
+    return Data.data() + Row * NumCols;
+  }
+
+  /// Resizes and zero-fills the matrix.
+  void resize(size_t Rows, size_t Cols) {
+    NumRows = Rows;
+    NumCols = Cols;
+    Data.assign(Rows * Cols, T{});
+  }
+
+  /// Sets every element to zero.
+  void setZero() { Data.assign(Data.size(), T{}); }
+
+  /// In-place scaled add: *this += Alpha * Other (same shape).
+  void addScaled(const DenseMatrix &Other, T Alpha) {
+    assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+           "shape mismatch in addScaled");
+    for (size_t I = 0; I < Data.size(); ++I)
+      Data[I] += Alpha * Other.Data[I];
+  }
+
+  /// Matrix-vector product: Out = (*this) * X. Out must not alias X.
+  void multiply(const T *X, T *Out) const {
+    for (size_t R = 0; R < NumRows; ++R) {
+      T Sum{};
+      const T *Row = rowData(R);
+      for (size_t C = 0; C < NumCols; ++C)
+        Sum += Row[C] * X[C];
+      Out[R] = Sum;
+    }
+  }
+
+  bool operator==(const DenseMatrix &Other) const {
+    return NumRows == Other.NumRows && NumCols == Other.NumCols &&
+           Data == Other.Data;
+  }
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<T> Data;
+};
+
+using Matrix = DenseMatrix<double>;
+using ComplexMatrix = DenseMatrix<std::complex<double>>;
+
+/// Returns the max-row-sum (infinity) norm of \p M.
+double infinityNorm(const Matrix &M);
+
+/// Returns the Frobenius norm of \p M.
+double frobeniusNorm(const Matrix &M);
+
+} // namespace psg
+
+#endif // PSG_LINALG_MATRIX_H

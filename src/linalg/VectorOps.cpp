@@ -1,0 +1,75 @@
+//===- linalg/VectorOps.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/VectorOps.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace psg;
+
+double psg::weightedRmsNorm(const double *V, const double *Scale, size_t N,
+                            double AbsTol, double RelTol) {
+  assert(N > 0 && "norm of empty vector");
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double W = AbsTol + RelTol * std::abs(Scale[I]);
+    double E = V[I] / W;
+    Sum += E * E;
+  }
+  return std::sqrt(Sum / static_cast<double>(N));
+}
+
+double psg::weightedRmsNorm2(const double *V, const double *ScaleA,
+                             const double *ScaleB, size_t N, double AbsTol,
+                             double RelTol) {
+  assert(N > 0 && "norm of empty vector");
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double S = std::max(std::abs(ScaleA[I]), std::abs(ScaleB[I]));
+    double W = AbsTol + RelTol * S;
+    double E = V[I] / W;
+    Sum += E * E;
+  }
+  return std::sqrt(Sum / static_cast<double>(N));
+}
+
+void psg::axpy(double Alpha, const double *X, double *Y, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += Alpha * X[I];
+}
+
+double psg::norm2(const double *V, size_t N) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += V[I] * V[I];
+  return std::sqrt(Sum);
+}
+
+double psg::normInf(const double *V, size_t N) {
+  double Max = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Max = std::max(Max, std::abs(V[I]));
+  return Max;
+}
+
+double psg::dot(const double *A, const double *B, size_t N) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+bool psg::allFinite(const double *V, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    if (!std::isfinite(V[I]))
+      return false;
+  return true;
+}
+
+bool psg::allFinite(const std::vector<double> &V) {
+  return allFinite(V.data(), V.size());
+}

@@ -1,0 +1,49 @@
+//===- linalg/VectorOps.h - Vector helpers ----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector kernels shared by the ODE solvers: the tolerance-weighted RMS norm
+/// used for step-error control, plus basic BLAS-1 style operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_LINALG_VECTOROPS_H
+#define PSG_LINALG_VECTOROPS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace psg {
+
+/// Weighted RMS norm: sqrt(mean((V[i] / (AbsTol + RelTol*|Scale[i]|))^2)).
+/// This is the classic error norm of Hairer & Wanner / ODEPACK.
+double weightedRmsNorm(const double *V, const double *Scale, size_t N,
+                       double AbsTol, double RelTol);
+
+/// Same with two scale vectors, weighting by max(|A[i]|, |B[i]|).
+double weightedRmsNorm2(const double *V, const double *ScaleA,
+                        const double *ScaleB, size_t N, double AbsTol,
+                        double RelTol);
+
+/// Y += Alpha * X.
+void axpy(double Alpha, const double *X, double *Y, size_t N);
+
+/// Euclidean norm.
+double norm2(const double *V, size_t N);
+
+/// Max-abs norm.
+double normInf(const double *V, size_t N);
+
+/// Dot product.
+double dot(const double *A, const double *B, size_t N);
+
+/// Returns true if every element is finite.
+bool allFinite(const double *V, size_t N);
+bool allFinite(const std::vector<double> &V);
+
+} // namespace psg
+
+#endif // PSG_LINALG_VECTOROPS_H

@@ -1,0 +1,38 @@
+//===- ode/Dopri5.h - Dormand-Prince 5(4) -----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Dormand-Prince 5(4) embedded pair with FSAL, native 4th-order dense
+/// output, a PI step controller, and Hairer's stiffness detection. This is
+/// the engine's non-stiff workhorse (phase P3); when stiffness is detected
+/// the engine re-dispatches the simulation to Radau IIA (phase P4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_DOPRI5_H
+#define PSG_ODE_DOPRI5_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// Adaptive DOPRI5. If Opts.EnableStiffnessDetection is set, persistent
+/// stiffness aborts the run with IntegrationStatus::StiffnessDetected and
+/// the state at the abort time, letting callers re-route to an implicit
+/// method.
+class Dopri5Solver : public OdeSolver {
+public:
+  std::string name() const override { return "dopri5"; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_DOPRI5_H

@@ -1,0 +1,27 @@
+//===- ode/IntegrationResult.cpp ------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/IntegrationResult.h"
+
+const char *psg::integrationStatusName(IntegrationStatus Status) {
+  switch (Status) {
+  case IntegrationStatus::Success:
+    return "success";
+  case IntegrationStatus::MaxStepsExceeded:
+    return "max-steps-exceeded";
+  case IntegrationStatus::StepSizeTooSmall:
+    return "step-size-too-small";
+  case IntegrationStatus::NewtonFailure:
+    return "newton-failure";
+  case IntegrationStatus::SingularMatrix:
+    return "singular-matrix";
+  case IntegrationStatus::NonFiniteState:
+    return "non-finite-state";
+  case IntegrationStatus::StiffnessDetected:
+    return "stiffness-detected";
+  }
+  return "unknown";
+}

@@ -1,0 +1,28 @@
+//===- ode/Interpolant.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Interpolant.h"
+
+#include <cassert>
+
+using namespace psg;
+
+StepInterpolant::~StepInterpolant() = default;
+StepObserver::~StepObserver() = default;
+
+void HermiteInterpolant::evaluate(double T, double *YOut) const {
+  const double H = T1 - T0;
+  assert(H != 0.0 && "degenerate Hermite interval");
+  const double S = (T - T0) / H;
+  // Hermite basis in terms of s and (1 - s).
+  const double S2 = S * S;
+  const double H00 = (1.0 + 2.0 * S) * (1.0 - S) * (1.0 - S);
+  const double H10 = S * (1.0 - S) * (1.0 - S);
+  const double H01 = S2 * (3.0 - 2.0 * S);
+  const double H11 = S2 * (S - 1.0);
+  for (size_t I = 0; I < N; ++I)
+    YOut[I] = H00 * Y0[I] + H * H10 * F0[I] + H01 * Y1[I] + H * H11 * F1[I];
+}

@@ -1,0 +1,70 @@
+//===- ode/Lsoda.cpp ------------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Lsoda.h"
+
+#include "ode/Multistep.h"
+
+using namespace psg;
+
+IntegrationResult LsodaSolver::integrate(const OdeSystem &Sys, double T0,
+                                         double TEnd, std::vector<double> &Y,
+                                         const SolverOptions &Opts,
+                                         StepObserver *Observer) {
+  const size_t N = Sys.dimension();
+  assert(Y.size() == N && "state size mismatch");
+  (void)N;
+  IntegrationResult Result;
+  Result.FinalTime = T0;
+  if (T0 == TEnd)
+    return Result;
+
+  MultistepDriver Driver(Sys, Opts, MultistepMethod::Adams);
+  Driver.begin(T0, Y.data(), TEnd);
+
+  uint64_t LastProbeStep = 0;
+  uint64_t LastProbeRejects = 0;
+  while (!Driver.done()) {
+    IntegrationStatus St = Driver.advance();
+    if (St != IntegrationStatus::Success) {
+      Result.Status = St;
+      break;
+    }
+    if (Observer)
+      Observer->onStep(Driver.lastStepInterpolant());
+
+    // Periodic stiffness probe.
+    if (Driver.acceptedSteps() - LastProbeStep >= ProbeInterval) {
+      const uint64_t RecentRejects =
+          Driver.stats().RejectedSteps - LastProbeRejects;
+      const double RejectFraction =
+          static_cast<double>(RecentRejects) /
+          static_cast<double>(ProbeInterval + RecentRejects);
+      LastProbeStep = Driver.acceptedSteps();
+      LastProbeRejects = Driver.stats().RejectedSteps;
+      const double Rho = Driver.estimateSpectralRadius();
+      const double HRho = Driver.currentStep() * Rho;
+      if (Driver.method() == MultistepMethod::Adams) {
+        // The Adams PECE stability region is O(1). Switch only when the
+        // step really is stability-limited: h*rho pinned at the boundary
+        // *and* the controller is fighting rejections -- or h*rho is far
+        // beyond any accuracy-chosen step.
+        if (HRho > 1.0 && RejectFraction > 0.15)
+          Driver.switchMethod(MultistepMethod::Bdf);
+      } else {
+        // BDF is unconditionally stable; if the accuracy-chosen step would
+        // also be stable for Adams, switch back (cheaper steps).
+        if (HRho < 0.5)
+          Driver.switchMethod(MultistepMethod::Adams);
+      }
+    }
+  }
+  Y = Driver.state();
+  Result.FinalTime = Driver.time();
+  Result.LastStepSize = Driver.currentStep();
+  Result.Stats = Driver.stats();
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- ode/Lsoda.h - Adams/BDF auto-switching solver ------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LSODA-style solver: starts with Adams PECE and switches to/from BDF
+/// as the problem enters and leaves stiff regimes. The switching heuristic
+/// is simplified with respect to ODEPACK (see DESIGN.md): the dominant
+/// eigenvalue of the Jacobian is probed periodically, and the method is
+/// switched when the current step is stability- rather than accuracy-
+/// limited (Adams -> BDF) or when the explicit method would no longer be
+/// limited (BDF -> Adams).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_LSODA_H
+#define PSG_ODE_LSODA_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// LSODA-style auto-switching multistep solver ("lsoda").
+class LsodaSolver : public OdeSolver {
+public:
+  std::string name() const override { return "lsoda"; }
+  bool isImplicit() const override { return true; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+
+  /// Steps between stiffness probes (tunable for tests/ablations).
+  unsigned ProbeInterval = 20;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_LSODA_H

@@ -1,0 +1,11 @@
+//===- ode/OdeSolver.cpp --------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/OdeSolver.h"
+
+using namespace psg;
+
+OdeSolver::~OdeSolver() = default;

@@ -1,0 +1,49 @@
+//===- ode/OdeSolver.h - Solver interface -----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface. Solvers are stateless between integrate() calls;
+/// all working storage is local to the call, so one solver object can be
+/// reused across a batch of simulations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_ODESOLVER_H
+#define PSG_ODE_ODESOLVER_H
+
+#include "ode/IntegrationResult.h"
+#include "ode/Interpolant.h"
+#include "ode/OdeSystem.h"
+#include "ode/SolverOptions.h"
+
+#include <string>
+#include <vector>
+
+namespace psg {
+
+/// Abstract time integrator for OdeSystem instances.
+class OdeSolver {
+public:
+  virtual ~OdeSolver();
+
+  /// Stable identifier used in registries and reports (e.g. "dopri5").
+  virtual std::string name() const = 0;
+
+  /// Returns true if the method handles stiff systems efficiently.
+  virtual bool isImplicit() const { return false; }
+
+  /// Integrates \p Sys from \p T0 to \p TEnd, advancing \p Y in place.
+  /// \p Observer (may be null) receives dense output per accepted step.
+  /// On non-Success statuses, Y holds the state at Result.FinalTime.
+  virtual IntegrationResult integrate(const OdeSystem &Sys, double T0,
+                                      double TEnd, std::vector<double> &Y,
+                                      const SolverOptions &Opts,
+                                      StepObserver *Observer = nullptr) = 0;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_ODESOLVER_H

@@ -1,0 +1,28 @@
+//===- ode/OdeSystem.cpp --------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/OdeSystem.h"
+
+#include "support/Error.h"
+
+using namespace psg;
+
+OdeSystem::~OdeSystem() = default;
+
+void OdeSystem::analyticJacobian(double, const double *, Matrix &) const {
+  fatalError("analyticJacobian() called on a system without one");
+}
+
+size_t OdeSystem::jacobian(double T, const double *Y, const double *F0,
+                           Matrix &J) const {
+  if (hasAnalyticJacobian()) {
+    analyticJacobian(T, Y, J);
+    return 0;
+  }
+  RhsFunction Callback = [this](double Time, const double *State,
+                                double *DyDt) { rhs(Time, State, DyDt); };
+  return numericJacobian(Callback, T, Y, F0, dimension(), J);
+}

@@ -1,0 +1,55 @@
+//===- ode/Radau5.h - Radau IIA order 5 -------------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 3-stage Radau IIA method of order 5 (RADAU5) with simplified Newton
+/// iteration. The implementation follows Hairer & Wanner, "Solving Ordinary
+/// Differential Equations II", chapter IV.8: the stage system is transformed
+/// so each Newton iteration solves one real and one complex N x N system
+/// instead of a 3N x 3N one. This is the engine's stiff solver (phase P4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_RADAU5_H
+#define PSG_ODE_RADAU5_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// Radau IIA(5): A-stable, stiffly accurate; native cubic collocation
+/// dense output through the three stage values.
+class Radau5Solver : public OdeSolver {
+public:
+  std::string name() const override { return "radau5"; }
+  bool isImplicit() const override { return true; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+};
+
+namespace radau5detail {
+/// Radau IIA Butcher matrix (exact, for validation tests).
+Matrix butcherMatrix();
+/// Collocation nodes c1, c2 (c3 = 1).
+double nodeC1();
+double nodeC2();
+/// Eigen-structure constants of A^{-1}: the real eigenvalue and the
+/// complex pair alpha +/- i*beta (after RADAU5's normalization).
+double gammaReal();
+double alphaComplex();
+double betaComplex();
+/// The 3x3 transformation matrices T and T^{-1} used by the solver
+/// (row-major, T32 = 1 and T33 = 0 folded in).
+Matrix transformT();
+Matrix transformTInverse();
+} // namespace radau5detail
+
+} // namespace psg
+
+#endif // PSG_ODE_RADAU5_H

@@ -1,0 +1,154 @@
+//===- ode/Rkf45.cpp ------------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Rkf45.h"
+
+#include "linalg/VectorOps.h"
+#include "ode/StepControl.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+// Fehlberg 4(5) tableau.
+constexpr double C2 = 1.0 / 4, C3 = 3.0 / 8, C4 = 12.0 / 13, C6 = 1.0 / 2;
+constexpr double A21 = 1.0 / 4;
+constexpr double A31 = 3.0 / 32, A32 = 9.0 / 32;
+constexpr double A41 = 1932.0 / 2197, A42 = -7200.0 / 2197,
+                 A43 = 7296.0 / 2197;
+constexpr double A51 = 439.0 / 216, A52 = -8.0, A53 = 3680.0 / 513,
+                 A54 = -845.0 / 4104;
+constexpr double A61 = -8.0 / 27, A62 = 2.0, A63 = -3544.0 / 2565,
+                 A64 = 1859.0 / 4104, A65 = -11.0 / 40;
+// 5th-order weights.
+constexpr double B1 = 16.0 / 135, B3 = 6656.0 / 12825, B4 = 28561.0 / 56430,
+                 B5 = -9.0 / 50, B6 = 2.0 / 55;
+// Error weights (5th minus 4th order).
+constexpr double E1 = B1 - 25.0 / 216, E3 = B3 - 1408.0 / 2565,
+                 E4 = B4 - 2197.0 / 4104, E5 = B5 + 1.0 / 5, E6 = B6;
+} // namespace
+
+IntegrationResult Rkf45Solver::integrate(const OdeSystem &Sys, double T0,
+                                         double TEnd, std::vector<double> &Y,
+                                         const SolverOptions &Opts,
+                                         StepObserver *Observer) {
+  const size_t N = Sys.dimension();
+  assert(Y.size() == N && "state size mismatch");
+  IntegrationResult Result;
+  Result.FinalTime = T0;
+  if (T0 == TEnd)
+    return Result;
+  const double Direction = TEnd > T0 ? 1.0 : -1.0;
+
+  std::vector<double> K1(N), K2(N), K3(N), K4(N), K5(N), K6(N);
+  std::vector<double> YStage(N), YNew(N), ErrVec(N), FNew(N);
+
+  Sys.rhs(T0, Y.data(), K1.data());
+  ++Result.Stats.RhsEvaluations;
+  double H = selectInitialStep(Sys, T0, Y.data(), K1.data(), TEnd, Opts,
+                               /*Order=*/4, Result.Stats.RhsEvaluations);
+  const double MaxStep =
+      Opts.MaxStep > 0 ? Opts.MaxStep : std::abs(TEnd - T0);
+  PiController Controller(/*Order=*/5, Opts.Safety, Opts.MinScale,
+                          Opts.MaxScale);
+
+  double T = T0;
+  bool FreshK1 = true;
+  while ((TEnd - T) * Direction > 0) {
+    if (Result.Stats.Steps >= Opts.MaxSteps) {
+      Result.Status = IntegrationStatus::MaxStepsExceeded;
+      Result.FinalTime = T;
+      Result.LastStepSize = H;
+      return Result;
+    }
+    H = std::min(H, MaxStep);
+    double Step = Direction * H;
+    if ((T + Step - TEnd) * Direction > 0)
+      Step = TEnd - T;
+    const double MinMagnitude = 1e-14 * std::max(1.0, std::abs(T));
+    if (std::abs(Step) < MinMagnitude) {
+      Result.Status = IntegrationStatus::StepSizeTooSmall;
+      Result.FinalTime = T;
+      return Result;
+    }
+
+    if (!FreshK1) {
+      Sys.rhs(T, Y.data(), K1.data());
+      ++Result.Stats.RhsEvaluations;
+      FreshK1 = true;
+    }
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * A21 * K1[I];
+    Sys.rhs(T + C2 * Step, YStage.data(), K2.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * (A31 * K1[I] + A32 * K2[I]);
+    Sys.rhs(T + C3 * Step, YStage.data(), K3.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * (A41 * K1[I] + A42 * K2[I] + A43 * K3[I]);
+    Sys.rhs(T + C4 * Step, YStage.data(), K4.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * (A51 * K1[I] + A52 * K2[I] + A53 * K3[I] +
+                                 A54 * K4[I]);
+    Sys.rhs(T + Step, YStage.data(), K5.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * (A61 * K1[I] + A62 * K2[I] + A63 * K3[I] +
+                                 A64 * K4[I] + A65 * K5[I]);
+    Sys.rhs(T + C6 * Step, YStage.data(), K6.data());
+    Result.Stats.RhsEvaluations += 5;
+    ++Result.Stats.Steps;
+
+    for (size_t I = 0; I < N; ++I) {
+      YNew[I] = Y[I] + Step * (B1 * K1[I] + B3 * K3[I] + B4 * K4[I] +
+                               B5 * K5[I] + B6 * K6[I]);
+      ErrVec[I] = Step * (E1 * K1[I] + E3 * K3[I] + E4 * K4[I] + E5 * K5[I] +
+                          E6 * K6[I]);
+    }
+    if (!allFinite(YNew)) {
+      // Treat as a failed step: shrink hard and retry.
+      ++Result.Stats.RejectedSteps;
+      Controller.notifyRejected();
+      H *= 0.1;
+      if (H < MinMagnitude) {
+        Result.Status = IntegrationStatus::NonFiniteState;
+        Result.FinalTime = T;
+        return Result;
+      }
+      FreshK1 = true;
+      continue;
+    }
+
+    const double Err = weightedRmsNorm2(ErrVec.data(), Y.data(), YNew.data(),
+                                        N, Opts.AbsTol, Opts.RelTol);
+    const double Scale = Controller.scaleFactor(Err);
+    if (Err > 1.0) {
+      ++Result.Stats.RejectedSteps;
+      Controller.notifyRejected();
+      H = std::abs(Step) * Scale;
+      continue;
+    }
+
+    const double TNew = T + Step;
+    if (Observer) {
+      Sys.rhs(TNew, YNew.data(), FNew.data());
+      ++Result.Stats.RhsEvaluations;
+      HermiteInterpolant Interp(T, Y.data(), K1.data(), TNew, YNew.data(),
+                                FNew.data(), N);
+      Observer->onStep(Interp);
+      K1 = FNew; // Reuse the evaluation as the next step's first stage.
+      FreshK1 = true;
+    } else {
+      FreshK1 = false;
+    }
+    Y = YNew;
+    T = TNew;
+    ++Result.Stats.AcceptedSteps;
+    Result.LastStepSize = std::abs(Step);
+    H = std::abs(Step) * Scale;
+  }
+  Result.FinalTime = TEnd;
+  return Result;
+}

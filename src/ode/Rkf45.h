@@ -1,0 +1,34 @@
+//===- ode/Rkf45.h - Runge-Kutta-Fehlberg 4(5) ------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedded Runge-Kutta-Fehlberg 4(5) pair. This is the non-stiff
+/// method of the fine-grained comparator (LASSIE pairs RKF45 with BDF1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_RKF45_H
+#define PSG_ODE_RKF45_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// Adaptive RKF45 with the tolerance-weighted RMS error norm and a PI
+/// controller. Dense output is cubic Hermite.
+class Rkf45Solver : public OdeSolver {
+public:
+  std::string name() const override { return "rkf45"; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_RKF45_H

@@ -1,0 +1,82 @@
+//===- ode/RungeKutta4.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/RungeKutta4.h"
+
+#include "linalg/VectorOps.h"
+
+#include <cmath>
+
+using namespace psg;
+
+IntegrationResult RungeKutta4Solver::integrate(const OdeSystem &Sys, double T0,
+                                               double TEnd,
+                                               std::vector<double> &Y,
+                                               const SolverOptions &Opts,
+                                               StepObserver *Observer) {
+  const size_t N = Sys.dimension();
+  assert(Y.size() == N && "state size mismatch");
+  IntegrationResult Result;
+  Result.FinalTime = T0;
+  if (T0 == TEnd)
+    return Result;
+
+  const double Direction = TEnd > T0 ? 1.0 : -1.0;
+  double H = Opts.InitialStep > 0
+                 ? Opts.InitialStep
+                 : std::abs(TEnd - T0) / static_cast<double>(Opts.MaxSteps);
+  H *= Direction;
+
+  std::vector<double> K1(N), K2(N), K3(N), K4(N), YStage(N), YPrev(N);
+  double T = T0;
+  while ((TEnd - T) * Direction > 0) {
+    // The automatic step divides the span into exactly MaxSteps pieces, so
+    // allow one extra attempt for the final (rounding-truncated) segment.
+    if (Result.Stats.Steps > Opts.MaxSteps) {
+      Result.Status = IntegrationStatus::MaxStepsExceeded;
+      Result.FinalTime = T;
+      return Result;
+    }
+    double Step = H;
+    if ((T + Step - TEnd) * Direction > 0)
+      Step = TEnd - T;
+
+    YPrev = Y;
+    Sys.rhs(T, Y.data(), K1.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + 0.5 * Step * K1[I];
+    Sys.rhs(T + 0.5 * Step, YStage.data(), K2.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + 0.5 * Step * K2[I];
+    Sys.rhs(T + 0.5 * Step, YStage.data(), K3.data());
+    for (size_t I = 0; I < N; ++I)
+      YStage[I] = Y[I] + Step * K3[I];
+    Sys.rhs(T + Step, YStage.data(), K4.data());
+    for (size_t I = 0; I < N; ++I)
+      Y[I] += Step / 6.0 * (K1[I] + 2.0 * K2[I] + 2.0 * K3[I] + K4[I]);
+    Result.Stats.RhsEvaluations += 4;
+    ++Result.Stats.Steps;
+    ++Result.Stats.AcceptedSteps;
+
+    const double TNew = T + Step;
+    if (!allFinite(Y)) {
+      Result.Status = IntegrationStatus::NonFiniteState;
+      Result.FinalTime = T;
+      Y = YPrev;
+      return Result;
+    }
+    if (Observer) {
+      // K4 approximates f at the step end closely enough for sampling.
+      HermiteInterpolant Interp(T, YPrev.data(), K1.data(), TNew, Y.data(),
+                                K4.data(), N);
+      Observer->onStep(Interp);
+    }
+    T = TNew;
+    Result.LastStepSize = Step;
+  }
+  Result.FinalTime = TEnd;
+  return Result;
+}

@@ -1,0 +1,35 @@
+//===- ode/RungeKutta4.h - Classic fixed-step RK4 ---------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic fourth-order Runge-Kutta with a fixed step. Present as the
+/// simplest comparator (libRoadRunner ships the same method) and as a
+/// reference for convergence-order tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_RUNGEKUTTA4_H
+#define PSG_ODE_RUNGEKUTTA4_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// Fixed-step classical RK4. The step comes from Opts.InitialStep; when 0,
+/// the interval is divided into Opts.MaxSteps equal steps.
+class RungeKutta4Solver : public OdeSolver {
+public:
+  std::string name() const override { return "rk4"; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_RUNGEKUTTA4_H

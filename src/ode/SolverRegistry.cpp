@@ -1,0 +1,47 @@
+//===- ode/SolverRegistry.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/SolverRegistry.h"
+
+#include "ode/Dopri5.h"
+#include "ode/Lsoda.h"
+#include "ode/Multistep.h"
+#include "ode/Radau5.h"
+#include "ode/Rkf45.h"
+#include "ode/RungeKutta4.h"
+#include "ode/Vode.h"
+
+using namespace psg;
+
+ErrorOr<std::unique_ptr<OdeSolver>>
+psg::createSolver(const std::string &Name) {
+  std::unique_ptr<OdeSolver> Solver;
+  if (Name == "rk4")
+    Solver = std::make_unique<RungeKutta4Solver>();
+  else if (Name == "rkf45")
+    Solver = std::make_unique<Rkf45Solver>();
+  else if (Name == "dopri5")
+    Solver = std::make_unique<Dopri5Solver>();
+  else if (Name == "radau5")
+    Solver = std::make_unique<Radau5Solver>();
+  else if (Name == "adams")
+    Solver = std::make_unique<AdamsSolver>();
+  else if (Name == "bdf")
+    Solver = std::make_unique<BdfSolver>();
+  else if (Name == "lsoda")
+    Solver = std::make_unique<LsodaSolver>();
+  else if (Name == "vode")
+    Solver = std::make_unique<VodeSolver>();
+  else
+    return ErrorOr<std::unique_ptr<OdeSolver>>::failure(
+        "unknown solver '" + Name + "'");
+  return Solver;
+}
+
+std::vector<std::string> psg::solverNames() {
+  return {"rk4",    "rkf45", "dopri5", "radau5",
+          "adams",  "bdf",   "lsoda",  "vode"};
+}

@@ -1,0 +1,34 @@
+//===- ode/SolverRegistry.h - Solver factory --------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based solver construction for tools, tests, and parameterized
+/// benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_SOLVERREGISTRY_H
+#define PSG_ODE_SOLVERREGISTRY_H
+
+#include "ode/OdeSolver.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psg {
+
+/// Creates the solver registered under \p Name; fails on unknown names.
+/// Known names: rk4, rkf45, dopri5, radau5, adams, bdf, lsoda, vode.
+ErrorOr<std::unique_ptr<OdeSolver>> createSolver(const std::string &Name);
+
+/// All registered solver names, in a stable order.
+std::vector<std::string> solverNames();
+
+} // namespace psg
+
+#endif // PSG_ODE_SOLVERREGISTRY_H

@@ -1,0 +1,76 @@
+//===- ode/StepControl.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/StepControl.h"
+
+#include "linalg/VectorOps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace psg;
+
+double psg::selectInitialStep(const OdeSystem &Sys, double T0,
+                              const double *Y0, const double *F0, double TEnd,
+                              const SolverOptions &Opts, unsigned Order,
+                              uint64_t &RhsEvals) {
+  const size_t N = Sys.dimension();
+  const double Span = std::abs(TEnd - T0);
+  const double Direction = TEnd >= T0 ? 1.0 : -1.0;
+  if (Opts.InitialStep > 0)
+    return std::min(Opts.InitialStep, Span);
+
+  // d0 = ||y0||, d1 = ||f0|| in the tolerance-weighted norm.
+  const double D0 = weightedRmsNorm(Y0, Y0, N, Opts.AbsTol, Opts.RelTol);
+  const double D1 = weightedRmsNorm(F0, Y0, N, Opts.AbsTol, Opts.RelTol);
+  double H0 = (D0 < 1e-5 || D1 < 1e-5) ? 1e-6 : 0.01 * (D0 / D1);
+  H0 = std::min(H0, Span);
+
+  // One explicit Euler step to probe the second derivative.
+  std::vector<double> Y1(N), F1(N);
+  for (size_t I = 0; I < N; ++I)
+    Y1[I] = Y0[I] + Direction * H0 * F0[I];
+  Sys.rhs(T0 + Direction * H0, Y1.data(), F1.data());
+  ++RhsEvals;
+
+  std::vector<double> Diff(N);
+  for (size_t I = 0; I < N; ++I)
+    Diff[I] = F1[I] - F0[I];
+  const double D2 =
+      weightedRmsNorm(Diff.data(), Y0, N, Opts.AbsTol, Opts.RelTol) / H0;
+
+  const double DMax = std::max(D1, D2);
+  double H1 = DMax <= 1e-15
+                  ? std::max(1e-6, H0 * 1e-3)
+                  : std::pow(0.01 / DMax, 1.0 / (Order + 1.0));
+  double H = std::min({100.0 * H0, H1, Span});
+  if (Opts.MaxStep > 0)
+    H = std::min(H, Opts.MaxStep);
+  return H;
+}
+
+PiController::PiController(unsigned Order, double SafetyFactor,
+                           double MinScaleFactor, double MaxScaleFactor,
+                           double BetaGain)
+    : Exponent(1.0 / static_cast<double>(Order)), Safety(SafetyFactor),
+      MinScale(MinScaleFactor), MaxScale(MaxScaleFactor), Beta(BetaGain) {}
+
+double PiController::scaleFactor(double Err) {
+  const double Floor = 1e-10;
+  Err = std::max(Err, Floor);
+  double Scale = Safety * std::pow(Err, -(Exponent - 0.75 * Beta)) *
+                 std::pow(PreviousError, Beta);
+  Scale = std::clamp(Scale, MinScale, MaxScale);
+  if (Err <= 1.0) {
+    // Accepted: remember the error; cap growth after a rejection.
+    if (PreviousRejected)
+      Scale = std::min(Scale, 1.0);
+    PreviousRejected = false;
+    PreviousError = Err;
+  }
+  return Scale;
+}

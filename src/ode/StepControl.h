@@ -1,0 +1,58 @@
+//===- ode/StepControl.h - Step-size selection ------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared step-size machinery: Hairer's automatic initial-step selection
+/// and a PI (proportional-integral) error controller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_STEPCONTROL_H
+#define PSG_ODE_STEPCONTROL_H
+
+#include "ode/OdeSystem.h"
+#include "ode/SolverOptions.h"
+
+namespace psg {
+
+/// Selects an initial step for a method of order \p Order using the
+/// algorithm of Hairer, Norsett & Wanner (II.4). Performs one extra rhs
+/// evaluation; \p F0 must hold f(T0, Y0). \p RhsEvals is incremented by
+/// the evaluations performed. The result is positive and at most
+/// |TEnd - T0|.
+double selectInitialStep(const OdeSystem &Sys, double T0, const double *Y0,
+                         const double *F0, double TEnd,
+                         const SolverOptions &Opts, unsigned Order,
+                         uint64_t &RhsEvals);
+
+/// PI step-size controller for embedded Runge-Kutta pairs.
+class PiController {
+public:
+  /// \p Order is the order of the error estimator plus one (i.e. the
+  /// exponent denominator); Beta is the integral gain (0 = plain I).
+  PiController(unsigned Order, double Safety, double MinScale,
+               double MaxScale, double Beta = 0.04);
+
+  /// Returns the factor to scale h by, given the weighted error norm of
+  /// the last attempted step (accepted iff Err <= 1).
+  double scaleFactor(double Err);
+
+  /// Records a rejection (caps the next growth at 1).
+  void notifyRejected() { PreviousRejected = true; }
+
+private:
+  double Exponent;
+  double Safety;
+  double MinScale;
+  double MaxScale;
+  double Beta;
+  double PreviousError = 1e-4;
+  bool PreviousRejected = false;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_STEPCONTROL_H

@@ -1,0 +1,237 @@
+//===- ode/TestProblems.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/TestProblems.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+/// OdeSystem from rhs + optional analytic Jacobian callbacks.
+class CallbackSystem : public OdeSystem {
+public:
+  using JacFunction =
+      std::function<void(double, const double *, Matrix &)>;
+
+  CallbackSystem(size_t Dim, std::string Name, RhsFunction Rhs,
+                 JacFunction Jac = nullptr)
+      : Dim(Dim), SystemName(std::move(Name)), Callback(std::move(Rhs)),
+        JacCallback(std::move(Jac)) {}
+
+  size_t dimension() const override { return Dim; }
+  void rhs(double T, const double *Y, double *DyDt) const override {
+    Callback(T, Y, DyDt);
+  }
+  bool hasAnalyticJacobian() const override { return JacCallback != nullptr; }
+  void analyticJacobian(double T, const double *Y, Matrix &J) const override {
+    J.resize(Dim, Dim);
+    JacCallback(T, Y, J);
+  }
+  std::string name() const override { return SystemName; }
+
+private:
+  size_t Dim;
+  std::string SystemName;
+  RhsFunction Callback;
+  JacFunction JacCallback;
+};
+} // namespace
+
+TestProblem psg::makeExponentialDecay() {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      1, "exp-decay",
+      [](double, const double *Y, double *D) { D[0] = -Y[0]; },
+      [](double, const double *, Matrix &J) { J(0, 0) = -1.0; });
+  P.InitialState = {1.0};
+  P.EndTime = 5.0;
+  P.Reference = {std::exp(-5.0)};
+  return P;
+}
+
+TestProblem psg::makeHarmonicOscillator() {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      2, "harmonic",
+      [](double, const double *Y, double *D) {
+        D[0] = Y[1];
+        D[1] = -Y[0];
+      },
+      [](double, const double *, Matrix &J) {
+        J(0, 0) = 0.0;
+        J(0, 1) = 1.0;
+        J(1, 0) = -1.0;
+        J(1, 1) = 0.0;
+      });
+  P.InitialState = {1.0, 0.0};
+  P.EndTime = 2.0 * M_PI;
+  P.Reference = {1.0, 0.0};
+  return P;
+}
+
+TestProblem psg::makeRobertson() {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      3, "robertson",
+      [](double, const double *Y, double *D) {
+        D[0] = -0.04 * Y[0] + 1e4 * Y[1] * Y[2];
+        D[1] = 0.04 * Y[0] - 1e4 * Y[1] * Y[2] - 3e7 * Y[1] * Y[1];
+        D[2] = 3e7 * Y[1] * Y[1];
+      },
+      [](double, const double *Y, Matrix &J) {
+        J(0, 0) = -0.04;
+        J(0, 1) = 1e4 * Y[2];
+        J(0, 2) = 1e4 * Y[1];
+        J(1, 0) = 0.04;
+        J(1, 1) = -1e4 * Y[2] - 6e7 * Y[1];
+        J(1, 2) = -1e4 * Y[1];
+        J(2, 0) = 0.0;
+        J(2, 1) = 6e7 * Y[1];
+        J(2, 2) = 0.0;
+      });
+  P.InitialState = {1.0, 0.0, 0.0};
+  P.EndTime = 40.0;
+  // Classic reference at t = 40 (e.g. MATLAB/SUNDIALS documentation).
+  P.Reference = {0.7158270688, 9.185534765e-6, 0.2841637457};
+  P.Stiff = true;
+  return P;
+}
+
+static TestProblem makeVanDerPol(double Mu, double EndTime, bool Stiff) {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      2, Stiff ? "vdp-stiff" : "vdp-mild",
+      [Mu](double, const double *Y, double *D) {
+        D[0] = Y[1];
+        D[1] = Mu * (1.0 - Y[0] * Y[0]) * Y[1] - Y[0];
+      },
+      [Mu](double, const double *Y, Matrix &J) {
+        J(0, 0) = 0.0;
+        J(0, 1) = 1.0;
+        J(1, 0) = -2.0 * Mu * Y[0] * Y[1] - 1.0;
+        J(1, 1) = Mu * (1.0 - Y[0] * Y[0]);
+      });
+  P.InitialState = {2.0, 0.0};
+  P.EndTime = EndTime;
+  P.Stiff = Stiff;
+  return P;
+}
+
+TestProblem psg::makeVanDerPolStiff() {
+  return makeVanDerPol(1000.0, 2000.0, /*Stiff=*/true);
+}
+
+TestProblem psg::makeVanDerPolMild() {
+  return makeVanDerPol(1.0, 20.0, /*Stiff=*/false);
+}
+
+TestProblem psg::makeOregonator() {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      3, "oregonator",
+      [](double, const double *Y, double *D) {
+        D[0] = 77.27 * (Y[1] + Y[0] * (1.0 - 8.375e-6 * Y[0] - Y[1]));
+        D[1] = (Y[2] - (1.0 + Y[0]) * Y[1]) / 77.27;
+        D[2] = 0.161 * (Y[0] - Y[2]);
+      },
+      [](double, const double *Y, Matrix &J) {
+        J(0, 0) = 77.27 * (1.0 - 2.0 * 8.375e-6 * Y[0] - Y[1]);
+        J(0, 1) = 77.27 * (1.0 - Y[0]);
+        J(0, 2) = 0.0;
+        J(1, 0) = -Y[1] / 77.27;
+        J(1, 1) = -(1.0 + Y[0]) / 77.27;
+        J(1, 2) = 1.0 / 77.27;
+        J(2, 0) = 0.161;
+        J(2, 1) = 0.0;
+        J(2, 2) = -0.161;
+      });
+  P.InitialState = {1.0, 2.0, 3.0};
+  P.EndTime = 30.0;
+  P.Stiff = true;
+  return P;
+}
+
+TestProblem psg::makeHires() {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      8, "hires",
+      [](double, const double *Y, double *D) {
+        D[0] = -1.71 * Y[0] + 0.43 * Y[1] + 8.32 * Y[2] + 0.0007;
+        D[1] = 1.71 * Y[0] - 8.75 * Y[1];
+        D[2] = -10.03 * Y[2] + 0.43 * Y[3] + 0.035 * Y[4];
+        D[3] = 8.32 * Y[1] + 1.71 * Y[2] - 1.12 * Y[3];
+        D[4] = -1.745 * Y[4] + 0.43 * Y[5] + 0.43 * Y[6];
+        D[5] = -280.0 * Y[5] * Y[7] + 0.69 * Y[3] + 1.71 * Y[4] -
+               0.43 * Y[5] + 0.69 * Y[6];
+        D[6] = 280.0 * Y[5] * Y[7] - 1.81 * Y[6];
+        D[7] = -280.0 * Y[5] * Y[7] + 1.81 * Y[6];
+      },
+      [](double, const double *Y, Matrix &J) {
+        J.setZero();
+        J(0, 0) = -1.71;
+        J(0, 1) = 0.43;
+        J(0, 2) = 8.32;
+        J(1, 0) = 1.71;
+        J(1, 1) = -8.75;
+        J(2, 2) = -10.03;
+        J(2, 3) = 0.43;
+        J(2, 4) = 0.035;
+        J(3, 1) = 8.32;
+        J(3, 2) = 1.71;
+        J(3, 3) = -1.12;
+        J(4, 4) = -1.745;
+        J(4, 5) = 0.43;
+        J(4, 6) = 0.43;
+        J(5, 3) = 0.69;
+        J(5, 4) = 1.71;
+        J(5, 5) = -280.0 * Y[7] - 0.43;
+        J(5, 6) = 0.69;
+        J(5, 7) = -280.0 * Y[5];
+        J(6, 5) = 280.0 * Y[7];
+        J(6, 6) = -1.81;
+        J(6, 7) = 280.0 * Y[5];
+        J(7, 5) = -280.0 * Y[7];
+        J(7, 6) = 1.81;
+        J(7, 7) = -280.0 * Y[5];
+      });
+  P.InitialState = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0057};
+  P.EndTime = 321.8122;
+  // Reference from the stiff test set (Mazzia & Magherini).
+  P.Reference = {0.7371312573325668e-3, 0.1442485726316185e-3,
+                 0.5888729740967575e-4, 0.1175651343283149e-2,
+                 0.2386356198831331e-2, 0.6238968252742796e-2,
+                 0.2849998395185769e-2, 0.2850001604814231e-2};
+  P.Stiff = true;
+  return P;
+}
+
+TestProblem psg::makeLinearStiff(double Lambda) {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      2, "linear-stiff",
+      [Lambda](double, const double *Y, double *D) {
+        D[0] = -Y[0];
+        D[1] = -Lambda * Y[1];
+      },
+      [Lambda](double, const double *, Matrix &J) {
+        J(0, 0) = -1.0;
+        J(0, 1) = 0.0;
+        J(1, 0) = 0.0;
+        J(1, 1) = -Lambda;
+      });
+  P.InitialState = {1.0, 1.0};
+  P.EndTime = 2.0;
+  P.Reference = {std::exp(-2.0), std::exp(-2.0 * Lambda)};
+  P.Stiff = Lambda > 100.0;
+  return P;
+}
+
+std::vector<TestProblem> psg::allTestProblems() {
+  return {makeExponentialDecay(), makeHarmonicOscillator(), makeRobertson(),
+          makeVanDerPolMild(),    makeVanDerPolStiff(),     makeOregonator(),
+          makeHires(),            makeLinearStiff()};
+}

@@ -1,0 +1,67 @@
+//===- ode/TestProblems.h - Classic ODE benchmark problems ------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic stiff and non-stiff reference problems used to validate solver
+/// accuracy (bench T4) and in unit tests. Reference values are quoted from
+/// the stiff-ODE test-set literature (Hairer & Wanner; Mazzia's test set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_TESTPROBLEMS_H
+#define PSG_ODE_TESTPROBLEMS_H
+
+#include "ode/OdeSystem.h"
+
+#include <memory>
+
+namespace psg {
+
+/// A named problem with an initial condition, horizon, and (optionally)
+/// a high-accuracy reference solution at the end time.
+struct TestProblem {
+  std::shared_ptr<OdeSystem> System;
+  std::vector<double> InitialState;
+  double StartTime = 0.0;
+  double EndTime = 1.0;
+  std::vector<double> Reference; ///< Empty when no reference is available.
+  bool Stiff = false;
+};
+
+/// y' = -y, y(0)=1 on [0, 5]; exact solution exp(-t).
+TestProblem makeExponentialDecay();
+
+/// 2-variable harmonic oscillator y'' = -y on [0, 2*pi]; exact (cos, -sin).
+TestProblem makeHarmonicOscillator();
+
+/// Robertson's chemical kinetics problem (3 variables, famously stiff),
+/// on [0, 40] with the classic reference solution.
+TestProblem makeRobertson();
+
+/// Van der Pol oscillator with mu = 1000 (stiff) on [0, 2000].
+TestProblem makeVanDerPolStiff();
+
+/// Van der Pol oscillator with mu = 1 (non-stiff) on [0, 20].
+TestProblem makeVanDerPolMild();
+
+/// The Oregonator (Field-Noyes BZ reaction, stiff limit cycle) on one
+/// period-ish horizon [0, 30].
+TestProblem makeOregonator();
+
+/// HIRES plant-physiology problem (8 variables, stiff) on [0, 321.8122]
+/// with the canonical reference solution.
+TestProblem makeHires();
+
+/// Linear 2x2 system with widely separated eigenvalues (-1, -Lambda);
+/// exact solution available for any time. Stiffness grows with Lambda.
+TestProblem makeLinearStiff(double Lambda = 1e4);
+
+/// All problems above, for parameterized sweeps.
+std::vector<TestProblem> allTestProblems();
+
+} // namespace psg
+
+#endif // PSG_ODE_TESTPROBLEMS_H

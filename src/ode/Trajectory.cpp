@@ -1,0 +1,56 @@
+//===- ode/Trajectory.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Trajectory.h"
+
+using namespace psg;
+
+void Trajectory::addSample(double T, const double *Y) {
+  Times.push_back(T);
+  States.insert(States.end(), Y, Y + Dim);
+}
+
+std::vector<double> Trajectory::series(size_t Var) const {
+  std::vector<double> Series(numSamples());
+  for (size_t S = 0; S < numSamples(); ++S)
+    Series[S] = value(S, Var);
+  return Series;
+}
+
+std::vector<double> psg::uniformGrid(double T0, double TEnd, size_t Count) {
+  assert(Count >= 2 && "grid needs at least the two endpoints");
+  std::vector<double> Grid(Count);
+  const double Span = TEnd - T0;
+  for (size_t I = 0; I < Count; ++I)
+    Grid[I] =
+        T0 + Span * static_cast<double>(I) / static_cast<double>(Count - 1);
+  Grid.back() = TEnd;
+  return Grid;
+}
+
+TrajectoryRecorder::TrajectoryRecorder(std::vector<double> GridTimes,
+                                       size_t Dimension)
+    : Grid(std::move(GridTimes)), Result(Dimension), Scratch(Dimension) {
+  for (size_t I = 1; I < Grid.size(); ++I)
+    assert(Grid[I] > Grid[I - 1] && "output grid must be increasing");
+}
+
+void TrajectoryRecorder::recordInitial(double T0, const double *Y0) {
+  if (NextIndex < Grid.size() && Grid[NextIndex] <= T0) {
+    Result.addSample(T0, Y0);
+    ++NextIndex;
+  }
+}
+
+void TrajectoryRecorder::onStep(const StepInterpolant &Interp) {
+  const double End = Interp.endTime();
+  while (NextIndex < Grid.size() && Grid[NextIndex] <= End) {
+    const double T = Grid[NextIndex];
+    Interp.evaluate(T, Scratch.data());
+    Result.addSample(T, Scratch.data());
+    ++NextIndex;
+  }
+}

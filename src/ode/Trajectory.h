@@ -1,0 +1,98 @@
+//===- ode/Trajectory.h - Sampled trajectories ------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-grid trajectory sampling. A TrajectoryRecorder observes accepted
+/// steps and evaluates each step interpolant at the output times falling
+/// inside it, mirroring how GPU simulators write the species dynamics of
+/// every simulation at user-requested sampling instants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_TRAJECTORY_H
+#define PSG_ODE_TRAJECTORY_H
+
+#include "ode/Interpolant.h"
+
+#include <cassert>
+#include <vector>
+
+namespace psg {
+
+/// A time grid with one state row per sample.
+class Trajectory {
+public:
+  Trajectory() = default;
+
+  /// Creates an empty trajectory over a fixed dimension.
+  explicit Trajectory(size_t Dimension) : Dim(Dimension) {}
+
+  /// Appends a sample; \p Y must have dimension() entries.
+  void addSample(double T, const double *Y);
+
+  size_t dimension() const { return Dim; }
+  size_t numSamples() const { return Times.size(); }
+  bool empty() const { return Times.empty(); }
+
+  double time(size_t Sample) const { return Times[Sample]; }
+  const std::vector<double> &times() const { return Times; }
+
+  /// Row of state values for sample \p Sample.
+  const double *state(size_t Sample) const {
+    assert(Sample < numSamples() && "sample out of range");
+    return States.data() + Sample * Dim;
+  }
+
+  /// Value of variable \p Var at sample \p Sample.
+  double value(size_t Sample, size_t Var) const {
+    assert(Var < Dim && "variable out of range");
+    return state(Sample)[Var];
+  }
+
+  /// Extracts the time series of one variable.
+  std::vector<double> series(size_t Var) const;
+
+private:
+  size_t Dim = 0;
+  std::vector<double> Times;
+  std::vector<double> States; // numSamples x Dim, row-major.
+};
+
+/// Builds \p Count equally spaced output times spanning [T0, TEnd]
+/// inclusive of both endpoints (Count >= 2).
+std::vector<double> uniformGrid(double T0, double TEnd, size_t Count);
+
+/// StepObserver that samples a fixed output grid through step interpolants.
+///
+/// Grid times must be strictly increasing. The first grid point, if equal
+/// to the integration start, should be recorded by the caller through
+/// recordInitial() since it precedes the first step.
+class TrajectoryRecorder : public StepObserver {
+public:
+  /// Samples \p Grid into an internal Trajectory of width \p Dimension.
+  TrajectoryRecorder(std::vector<double> Grid, size_t Dimension);
+
+  /// Records the initial condition for a grid point at the start time.
+  void recordInitial(double T0, const double *Y0);
+
+  void onStep(const StepInterpolant &Interp) override;
+
+  /// The samples collected so far.
+  const Trajectory &trajectory() const { return Result; }
+
+  /// True if every grid point has been recorded.
+  bool complete() const { return NextIndex == Grid.size(); }
+
+private:
+  std::vector<double> Grid;
+  size_t NextIndex = 0;
+  Trajectory Result;
+  std::vector<double> Scratch;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_TRAJECTORY_H

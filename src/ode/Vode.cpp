@@ -1,0 +1,45 @@
+//===- ode/Vode.cpp -------------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Vode.h"
+
+#include "linalg/Eigen.h"
+#include "ode/Multistep.h"
+
+#include <cmath>
+
+using namespace psg;
+
+IntegrationResult VodeSolver::integrate(const OdeSystem &Sys, double T0,
+                                        double TEnd, std::vector<double> &Y,
+                                        const SolverOptions &Opts,
+                                        StepObserver *Observer) {
+  const size_t N = Sys.dimension();
+  assert(Y.size() == N && "state size mismatch");
+  IntegrationResult Result;
+  Result.FinalTime = T0;
+  if (T0 == TEnd)
+    return Result;
+
+  // Start-time heuristic: dominant eigenvalue of J times the horizon.
+  std::vector<double> F0(N);
+  Sys.rhs(T0, Y.data(), F0.data());
+  ++Result.Stats.RhsEvaluations;
+  Matrix J;
+  Result.Stats.RhsEvaluations += Sys.jacobian(T0, Y.data(), F0.data(), J);
+  ++Result.Stats.JacobianEvaluations;
+  const double Rho = powerIterationSpectralRadius(J);
+  const MultistepMethod Method = Rho * std::abs(TEnd - T0) >
+                                         StiffnessThreshold
+                                     ? MultistepMethod::Bdf
+                                     : MultistepMethod::Adams;
+
+  IntegrationResult Inner =
+      runMultistep(Sys, T0, TEnd, Y, Opts, Method, Observer);
+  Inner.Stats.merge(Result.Stats);
+  Result = Inner;
+  return Result;
+}

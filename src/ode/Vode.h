@@ -1,0 +1,38 @@
+//===- ode/Vode.h - Start-time method-choice solver -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A VODE-style solver: the method family (Adams or BDF) is chosen once at
+/// the start of the integration from a stiffness heuristic on the initial
+/// Jacobian, and kept for the whole run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_VODE_H
+#define PSG_ODE_VODE_H
+
+#include "ode/OdeSolver.h"
+
+namespace psg {
+
+/// VODE-style fixed-choice multistep solver ("vode").
+class VodeSolver : public OdeSolver {
+public:
+  std::string name() const override { return "vode"; }
+  bool isImplicit() const override { return true; }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer = nullptr) override;
+
+  /// Stiffness threshold on rho(J) * (TEnd - T0); above it, BDF is chosen.
+  double StiffnessThreshold = 500.0;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_VODE_H

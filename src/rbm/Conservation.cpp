@@ -1,0 +1,90 @@
+//===- rbm/Conservation.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rbm/Conservation.h"
+
+#include <cmath>
+
+using namespace psg;
+
+ConservationLaws psg::findConservationLaws(const ReactionNetwork &Net,
+                                           double Tolerance) {
+  const size_t N = Net.numSpecies();
+  const size_t M = Net.numReactions();
+
+  // Net stoichiometry S = (B - A)^T is N x M; we reduce S^T (M x N) to
+  // row echelon form while tracking which species columns are pivots;
+  // the free columns span the left null space of S.
+  //
+  // Equivalently: find w with S^T w = 0 where S^T is M x N.
+  Matrix St(M, N);
+  for (size_t R = 0; R < M; ++R) {
+    const Reaction &Rx = Net.reaction(R);
+    for (const auto &[Idx, Coef] : Rx.Reactants)
+      St(R, Idx) -= static_cast<double>(Coef);
+    for (const auto &[Idx, Coef] : Rx.Products)
+      St(R, Idx) += static_cast<double>(Coef);
+  }
+
+  // Gaussian elimination on St (M x N), partial pivoting by column.
+  std::vector<size_t> PivotColumn;
+  size_t Row = 0;
+  for (size_t Col = 0; Col < N && Row < M; ++Col) {
+    size_t Best = Row;
+    double BestMag = std::abs(St(Row, Col));
+    for (size_t R = Row + 1; R < M; ++R)
+      if (std::abs(St(R, Col)) > BestMag) {
+        BestMag = std::abs(St(R, Col));
+        Best = R;
+      }
+    if (BestMag < 1e-12)
+      continue; // Free column.
+    if (Best != Row)
+      for (size_t C = 0; C < N; ++C)
+        std::swap(St(Row, C), St(Best, C));
+    const double Pivot = St(Row, Col);
+    for (size_t R = 0; R < M; ++R) {
+      if (R == Row || St(R, Col) == 0.0)
+        continue;
+      const double Factor = St(R, Col) / Pivot;
+      for (size_t C = 0; C < N; ++C)
+        St(R, C) -= Factor * St(Row, C);
+    }
+    PivotColumn.push_back(Col);
+    ++Row;
+  }
+
+  // Back-substitute one basis vector per free column.
+  ConservationLaws Laws;
+  std::vector<bool> IsPivot(N, false);
+  for (size_t Col : PivotColumn)
+    IsPivot[Col] = true;
+  for (size_t Free = 0; Free < N; ++Free) {
+    if (IsPivot[Free])
+      continue;
+    std::vector<double> W(N, 0.0);
+    W[Free] = 1.0;
+    // Solve for the pivot variables: row r gives
+    // St(r, pivot_r) * w_pivot + St(r, Free) * 1 = 0.
+    for (size_t R = 0; R < PivotColumn.size(); ++R) {
+      const size_t PC = PivotColumn[R];
+      W[PC] = -St(R, Free) / St(R, PC);
+    }
+    // Snap numerical noise and normalize the largest weight to 1.
+    double MaxMag = 0.0;
+    for (double V : W)
+      MaxMag = std::max(MaxMag, std::abs(V));
+    if (MaxMag == 0.0)
+      continue;
+    for (double &V : W) {
+      V /= MaxMag;
+      if (std::abs(V) < Tolerance)
+        V = 0.0;
+    }
+    Laws.Basis.push_back(std::move(W));
+  }
+  return Laws;
+}

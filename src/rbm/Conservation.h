@@ -1,0 +1,47 @@
+//===- rbm/Conservation.h - Conservation-law detection ----------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detection of linear conservation laws of a reaction network: vectors
+/// w with w^T (B - A)^T = 0, i.e. the left null space of the net
+/// stoichiometric matrix. Every such w gives an invariant
+/// sum_j w_j X_j(t) = const, which the test suite uses as a solver
+/// correctness oracle and modelers use to spot conserved moieties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_CONSERVATION_H
+#define PSG_RBM_CONSERVATION_H
+
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// A basis of conservation laws; each row has one weight per species.
+struct ConservationLaws {
+  std::vector<std::vector<double>> Basis;
+
+  size_t count() const { return Basis.size(); }
+
+  /// Value of law \p Law on state \p Y.
+  double evaluate(size_t Law, const double *Y) const {
+    double Sum = 0.0;
+    for (size_t J = 0; J < Basis[Law].size(); ++J)
+      Sum += Basis[Law][J] * Y[J];
+    return Sum;
+  }
+};
+
+/// Computes a basis of the left null space of the net stoichiometric
+/// matrix by Gaussian elimination with partial pivoting. Entries smaller
+/// than \p Tolerance (relative to the largest entry of the vector) are
+/// snapped to zero.
+ConservationLaws findConservationLaws(const ReactionNetwork &Net,
+                                      double Tolerance = 1e-9);
+
+} // namespace psg
+
+#endif // PSG_RBM_CONSERVATION_H

@@ -1,0 +1,88 @@
+//===- rbm/CuratedModels.h - Built-in reaction networks ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Built-in RBMs: small classics used in tests/examples, plus the two
+/// paper-scale surrogate networks documented in DESIGN.md:
+///
+/// - the autophagy/translation-switch surrogate: a lattice of coupled
+///   Brusselator oscillator units with dense cross-inhibition, sized to
+///   173 species and 6581 reactions, with a stress-input species (the
+///   AMPK*-analogue) and a group of 5476 kinetic constants scaled by a
+///   single inhibition-strength parameter (the P9-analogue);
+/// - the human-metabolism surrogate: an enzyme-isoform carbohydrate
+///   pathway with Michaelis-Menten kinetics, sized to 114 species and
+///   226 reactions, with an 11-species hexokinase-isoform cluster, an
+///   R5P-analogue reporter, and 78 rate constants flagged unknown for
+///   parameter estimation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_CURATEDMODELS_H
+#define PSG_RBM_CURATEDMODELS_H
+
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// Robertson's stiff kinetics problem as a mass-action RBM
+/// (X -> Y, Y + Z -> X + Z, 2Y -> Y + Z).
+ReactionNetwork makeRobertsonNetwork();
+
+/// The Brusselator limit-cycle oscillator as a mass-action RBM with a
+/// constant feed species F; oscillates when B > 1 + (A*[F])^2.
+ReactionNetwork makeBrusselatorNetwork(double FeedRate = 1.0,
+                                       double ConversionRate = 2.5);
+
+/// Lotka-Volterra predator-prey as a mass-action RBM.
+ReactionNetwork makeLotkaVolterraNetwork();
+
+/// Linear decay chain S1 -> S2 -> ... -> Sn with rate constants spread
+/// log-uniformly over \p RateSpread decades (stiff for large spreads).
+ReactionNetwork makeDecayChainNetwork(size_t Length = 10,
+                                      double RateSpread = 4.0);
+
+/// A minimal Michaelis-Menten + Hill showcase network.
+ReactionNetwork makeSaturatingToyNetwork();
+
+/// The protein-only repressilator (Elowitz & Leibler): a three-gene ring
+/// where each protein represses the next one's production through a
+/// Hill-repression rate law. Oscillates for the default parameters
+/// (production \p Alpha = 10, HillN = 3, unit degradation).
+ReactionNetwork makeRepressilatorNetwork(double Alpha = 10.0,
+                                         double HillN = 3.0);
+
+/// The autophagy/translation-switch surrogate with its sweep handles.
+struct AutophagySurrogate {
+  ReactionNetwork Net;
+  unsigned StressSpecies = 0;     ///< AMPK*-analogue (feed) species index.
+  std::vector<size_t> P9Reactions; ///< Reactions scaled by the P9-analogue.
+  unsigned ReporterEif4ebp = 0;   ///< Oscillating reporter #1 (X of unit 0).
+  unsigned ReporterAmbra = 0;     ///< Oscillating reporter #2 (Y of unit 0).
+  double BaselineCrossRate = 0.0; ///< Baseline constant of P9Reactions.
+};
+
+/// Builds the autophagy surrogate. The defaults give the paper-matched
+/// size (74 units -> 173 species, 6581 reactions, 74^2 = 5476 P9-scaled
+/// constants); smaller \p Units produce a scaled-down network with the
+/// same structure for fast tests.
+AutophagySurrogate makeAutophagySurrogate(unsigned Units = 74,
+                                          unsigned ChainLength = 24);
+
+/// The metabolic-pathway surrogate with its analysis handles.
+struct MetabolicSurrogate {
+  ReactionNetwork Net;
+  std::vector<unsigned> IsoformSpecies; ///< The 11 HK-isoform species.
+  unsigned ReporterR5P = 0;             ///< Pentose-phosphate reporter.
+  std::vector<size_t> UnknownParameters; ///< 78 reactions to estimate.
+};
+
+/// Builds the metabolic surrogate (114 species, 226 reactions).
+MetabolicSurrogate makeMetabolicSurrogate();
+
+} // namespace psg
+
+#endif // PSG_RBM_CURATEDMODELS_H

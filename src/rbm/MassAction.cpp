@@ -1,0 +1,178 @@
+//===- rbm/MassAction.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rbm/MassAction.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+/// Integer power by repeated multiplication (stoichiometries are tiny).
+double ipow(double X, unsigned E) {
+  double R = 1.0;
+  for (unsigned I = 0; I < E; ++I)
+    R *= X;
+  return R;
+}
+} // namespace
+
+CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
+    : SystemName(Net.name()), NumSpecies(Net.numSpecies()),
+      NumReactions(Net.numReactions()) {
+  if (Status S = Net.validate(); !S)
+    fatalError("cannot compile invalid network: " + S.message());
+
+  TermBegin.reserve(NumReactions + 1);
+  NetBegin.reserve(NumReactions + 1);
+  RateConstants.reserve(NumReactions);
+  Kinetics.reserve(NumReactions);
+
+  for (size_t R = 0; R < NumReactions; ++R) {
+    const Reaction &Rx = Net.reaction(R);
+    TermBegin.push_back(static_cast<uint32_t>(TermSpecies.size()));
+    for (const auto &[Idx, Coef] : Rx.Reactants) {
+      TermSpecies.push_back(Idx);
+      TermCoef.push_back(Coef);
+    }
+    // Net stoichiometry B - A, merged per species.
+    NetBegin.push_back(static_cast<uint32_t>(NetSpecies.size()));
+    std::vector<std::pair<uint32_t, double>> Net0;
+    for (const auto &[Idx, Coef] : Rx.Reactants)
+      Net0.emplace_back(Idx, -static_cast<double>(Coef));
+    for (const auto &[Idx, Coef] : Rx.Products) {
+      bool Merged = false;
+      for (auto &[I0, C0] : Net0)
+        if (I0 == Idx) {
+          C0 += Coef;
+          Merged = true;
+          break;
+        }
+      if (!Merged)
+        Net0.emplace_back(Idx, static_cast<double>(Coef));
+    }
+    for (const auto &[Idx, Coef] : Net0)
+      if (Coef != 0.0) {
+        NetSpecies.push_back(Idx);
+        NetCoef.push_back(Coef);
+      }
+    RateConstants.push_back(Rx.RateConstant);
+    Kinetics.push_back({Rx.Kind, Rx.Km, Rx.HillK, Rx.HillN});
+  }
+  TermBegin.push_back(static_cast<uint32_t>(TermSpecies.size()));
+  NetBegin.push_back(static_cast<uint32_t>(NetSpecies.size()));
+  OriginalConstants = RateConstants;
+  RateScratch.resize(NumReactions);
+
+  Profile.RhsMultiplies = TermSpecies.size() + NumReactions;
+  Profile.RhsAccumulates = NetSpecies.size();
+  // One structural Jacobian update per (reactant term, net entry) pair.
+  for (size_t R = 0; R < NumReactions; ++R)
+    Profile.JacobianEntries +=
+        (TermBegin[R + 1] - TermBegin[R]) * (NetBegin[R + 1] - NetBegin[R]);
+}
+
+void CompiledOdeSystem::setRateConstants(const std::vector<double> &K) {
+  assert(K.size() == NumReactions && "rate constant vector size mismatch");
+  RateConstants = K;
+}
+
+double CompiledOdeSystem::saturatingFactor(size_t R, double S) const {
+  const KineticsParams &P = Kinetics[R];
+  S = std::max(S, 0.0);
+  if (P.Kind == KineticsKind::MichaelisMenten)
+    return S / (P.Km + S);
+  const double Sn = std::pow(S, P.HillN);
+  const double Kn = std::pow(P.HillK, P.HillN);
+  if (P.Kind == KineticsKind::HillRepression)
+    return Kn / (Kn + Sn);
+  return Sn / (Kn + Sn);
+}
+
+double CompiledOdeSystem::saturatingFactorDerivative(size_t R,
+                                                     double S) const {
+  const KineticsParams &P = Kinetics[R];
+  S = std::max(S, 0.0);
+  if (P.Kind == KineticsKind::MichaelisMenten) {
+    const double Denom = P.Km + S;
+    return P.Km / (Denom * Denom);
+  }
+  const double Sign =
+      P.Kind == KineticsKind::HillRepression ? -1.0 : 1.0;
+  if (S == 0.0)
+    return P.HillN == 1.0 ? Sign / P.HillK : 0.0;
+  const double Sn = std::pow(S, P.HillN);
+  const double Kn = std::pow(P.HillK, P.HillN);
+  const double Denom = Kn + Sn;
+  return Sign * P.HillN * Kn * Sn / (S * Denom * Denom);
+}
+
+void CompiledOdeSystem::computeRates(const double *Y) const {
+  for (size_t R = 0; R < NumReactions; ++R) {
+    double Rate = RateConstants[R];
+    const uint32_t Begin = TermBegin[R], End = TermBegin[R + 1];
+    const bool Saturating = Kinetics[R].Kind != KineticsKind::MassAction;
+    for (uint32_t T = Begin; T < End; ++T) {
+      const double X = Y[TermSpecies[T]];
+      if (Saturating && T == Begin)
+        Rate *= saturatingFactor(R, X);
+      else
+        Rate *= ipow(X, TermCoef[T]);
+    }
+    RateScratch[R] = Rate;
+  }
+}
+
+void CompiledOdeSystem::rhs(double, const double *Y, double *DyDt) const {
+  computeRates(Y);
+  for (size_t I = 0; I < NumSpecies; ++I)
+    DyDt[I] = 0.0;
+  for (size_t R = 0; R < NumReactions; ++R) {
+    const double Rate = RateScratch[R];
+    if (Rate == 0.0)
+      continue;
+    for (uint32_t E = NetBegin[R]; E < NetBegin[R + 1]; ++E)
+      DyDt[NetSpecies[E]] += NetCoef[E] * Rate;
+  }
+}
+
+void CompiledOdeSystem::analyticJacobian(double, const double *Y,
+                                         Matrix &J) const {
+  J.resize(NumSpecies, NumSpecies);
+  for (size_t R = 0; R < NumReactions; ++R) {
+    const uint32_t Begin = TermBegin[R], End = TermBegin[R + 1];
+    const bool Saturating = Kinetics[R].Kind != KineticsKind::MassAction;
+    // d(rate)/d(X_j) for each reactant term j: the term's own factor is
+    // differentiated, all other factors multiply through.
+    for (uint32_t T = Begin; T < End; ++T) {
+      const uint32_t SpeciesJ = TermSpecies[T];
+      double Partial = RateConstants[R];
+      for (uint32_t O = Begin; O < End; ++O) {
+        const double X = Y[TermSpecies[O]];
+        if (O == T) {
+          if (Saturating && O == Begin)
+            Partial *= saturatingFactorDerivative(R, X);
+          else if (TermCoef[O] == 1)
+            ; // d(X)/dX = 1.
+          else
+            Partial *= static_cast<double>(TermCoef[O]) *
+                       ipow(X, TermCoef[O] - 1);
+        } else {
+          if (Saturating && O == Begin)
+            Partial *= saturatingFactor(R, X);
+          else
+            Partial *= ipow(X, TermCoef[O]);
+        }
+      }
+      if (Partial == 0.0)
+        continue;
+      for (uint32_t E = NetBegin[R]; E < NetBegin[R + 1]; ++E)
+        J(NetSpecies[E], SpeciesJ) += NetCoef[E] * Partial;
+    }
+  }
+}

@@ -1,0 +1,104 @@
+//===- rbm/MassAction.h - RBM-to-ODE compilation ----------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a ReactionNetwork into an OdeSystem following the law of
+/// mass action: dX/dt = (B - A)^T [K (.) X^A], extended with saturating
+/// Michaelis-Menten and Hill factors. The compiled form mirrors the data
+/// structures a GPU kernel would parse (flattened term and contribution
+/// arrays), provides the analytic Jacobian, and exposes the per-evaluation
+/// operation profile consumed by the vgpu cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_MASSACTION_H
+#define PSG_RBM_MASSACTION_H
+
+#include "ode/OdeSystem.h"
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// Operation counts of one compiled rhs / Jacobian evaluation; the vgpu
+/// cost model converts these to modeled cycles.
+struct EvaluationProfile {
+  size_t RhsMultiplies = 0;  ///< Products in the rate computations.
+  size_t RhsAccumulates = 0; ///< Additions into the derivative vector.
+  size_t JacobianEntries = 0; ///< Nonzero structural Jacobian updates.
+};
+
+/// A ReactionNetwork compiled to flat evaluation arrays.
+///
+/// Rate constants are mutable (setRateConstant) so one compiled system can
+/// be re-parameterized across the thousands of simulations of a sweep
+/// without re-deriving the ODEs; the species order matches the network.
+class CompiledOdeSystem : public OdeSystem {
+public:
+  /// Compiles \p Net; the network must validate().
+  explicit CompiledOdeSystem(const ReactionNetwork &Net);
+
+  size_t dimension() const override { return NumSpecies; }
+  void rhs(double T, const double *Y, double *DyDt) const override;
+  bool hasAnalyticJacobian() const override { return true; }
+  void analyticJacobian(double T, const double *Y, Matrix &J) const override;
+  std::string name() const override { return SystemName; }
+
+  size_t numReactions() const { return NumReactions; }
+
+  /// Reads/writes the kinetic constant of reaction \p R.
+  double rateConstant(size_t R) const { return RateConstants[R]; }
+  void setRateConstant(size_t R, double K) {
+    assert(R < NumReactions && "reaction index out of range");
+    RateConstants[R] = K;
+  }
+
+  /// Replaces all rate constants (size must match numReactions()).
+  void setRateConstants(const std::vector<double> &K);
+
+  /// All current rate constants, in reaction order.
+  const std::vector<double> &rateConstants() const { return RateConstants; }
+
+  /// Restores the constants the network was compiled with.
+  void resetRateConstants() { RateConstants = OriginalConstants; }
+
+  /// Static operation profile of one evaluation.
+  const EvaluationProfile &profile() const { return Profile; }
+
+private:
+  struct KineticsParams {
+    KineticsKind Kind;
+    double Km, HillK, HillN;
+  };
+
+  std::string SystemName;
+  size_t NumSpecies;
+  size_t NumReactions;
+
+  // Reaction terms: for reaction r, terms [TermBegin[r], TermBegin[r+1]).
+  std::vector<uint32_t> TermBegin;
+  std::vector<uint32_t> TermSpecies;
+  std::vector<uint32_t> TermCoef;
+
+  // Net stoichiometry per reaction: entries [NetBegin[r], NetBegin[r+1]).
+  std::vector<uint32_t> NetBegin;
+  std::vector<uint32_t> NetSpecies;
+  std::vector<double> NetCoef;
+
+  std::vector<double> RateConstants;
+  std::vector<double> OriginalConstants;
+  std::vector<KineticsParams> Kinetics;
+
+  EvaluationProfile Profile;
+  mutable std::vector<double> RateScratch;
+
+  void computeRates(const double *Y) const;
+  double saturatingFactor(size_t R, double S) const;
+  double saturatingFactorDerivative(size_t R, double S) const;
+};
+
+} // namespace psg
+
+#endif // PSG_RBM_MASSACTION_H

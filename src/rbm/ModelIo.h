@@ -1,0 +1,45 @@
+//===- rbm/ModelIo.h - Model text format ------------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain-text RBM exchange format in the spirit of BioSimWare. Grammar
+/// (one declaration per line, '#' starts a comment):
+///
+/// \code
+///   model <name>
+///   species <name> <initial-concentration>
+///   reaction <k> : 2 A + B -> C
+///   reaction mm <Vmax> <Km> : S + E -> P + E
+///   reaction hill <k> <K> <n> : S -> P
+/// \endcode
+///
+/// Reaction sides are '+'-separated terms with an optional integer
+/// coefficient; the empty side '0' denotes a source or sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_MODELIO_H
+#define PSG_RBM_MODELIO_H
+
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// Parses a model from text; fails with a line-numbered message.
+ErrorOr<ReactionNetwork> parseModelText(const std::string &Text);
+
+/// Loads a model from \p Path.
+ErrorOr<ReactionNetwork> loadModelFile(const std::string &Path);
+
+/// Serializes \p Net to the text format (round-trips with parseModelText).
+std::string writeModelText(const ReactionNetwork &Net);
+
+/// Saves \p Net to \p Path.
+Status saveModelFile(const ReactionNetwork &Net, const std::string &Path);
+
+} // namespace psg
+
+#endif // PSG_RBM_MODELIO_H

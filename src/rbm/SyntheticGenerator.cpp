@@ -1,0 +1,85 @@
+//===- rbm/SyntheticGenerator.cpp -----------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rbm/SyntheticGenerator.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace psg;
+
+ReactionNetwork
+psg::generateSyntheticModel(const SyntheticModelOptions &Opts) {
+  assert(Opts.NumSpecies > 0 && Opts.NumReactions > 0 &&
+         "empty synthetic model requested");
+  Rng Generator(Opts.Seed);
+  ReactionNetwork Net(formatString("synthetic-%zux%zu-seed%llu",
+                                   Opts.NumSpecies, Opts.NumReactions,
+                                   (unsigned long long)Opts.Seed));
+
+  for (size_t I = 0; I < Opts.NumSpecies; ++I)
+    Net.addSpecies(formatString("S%zu", I),
+                   Generator.logUniform(Opts.MinInitialConcentration,
+                                        Opts.MaxInitialConcentration));
+
+  const double W0 = Opts.OrderWeights[0];
+  const double W1 = Opts.OrderWeights[1];
+  const double WSum = W0 + W1 + Opts.OrderWeights[2];
+
+  auto pickSpecies = [&](size_t ReactionIdx, bool Cycle) -> unsigned {
+    // Cycle through species for the first N reactions so every species
+    // participates; randomize afterwards.
+    if (Cycle && ReactionIdx < Opts.NumSpecies)
+      return static_cast<unsigned>(ReactionIdx);
+    return static_cast<unsigned>(Generator.uniformInt(Opts.NumSpecies));
+  };
+
+  for (size_t R = 0; R < Opts.NumReactions; ++R) {
+    Reaction Rx;
+    Rx.RateConstant =
+        Generator.logUniform(Opts.MinRateConstant, Opts.MaxRateConstant);
+
+    const double Draw = Generator.uniform() * WSum;
+    const unsigned Order = Draw < W0 ? 0 : (Draw < W0 + W1 ? 1 : 2);
+    if (Order >= 1)
+      Rx.Reactants.emplace_back(pickSpecies(R, /*Cycle=*/true), 1);
+    if (Order == 2) {
+      const unsigned Other = pickSpecies(R, /*Cycle=*/false);
+      if (!Rx.Reactants.empty() && Rx.Reactants[0].first == Other)
+        Rx.Reactants[0].second = 2; // Homodimerization: 2 A -> ...
+      else
+        Rx.Reactants.emplace_back(Other, 1);
+    }
+
+    const unsigned NumProducts = 1 + (Generator.uniform() < 0.5 ? 1 : 0);
+    for (unsigned P = 0; P < NumProducts; ++P) {
+      const unsigned Prod = pickSpecies(R, /*Cycle=*/false);
+      bool Merged = false;
+      for (auto &[Idx, Coef] : Rx.Products)
+        if (Idx == Prod) {
+          ++Coef;
+          Merged = true;
+          break;
+        }
+      if (!Merged)
+        Rx.Products.emplace_back(Prod, 1);
+    }
+    Net.addReaction(std::move(Rx));
+  }
+  return Net;
+}
+
+void psg::perturbRateConstants(std::vector<double> &Constants,
+                               Rng &Generator) {
+  for (double &K : Constants) {
+    if (K <= 0.0)
+      continue;
+    const double Lo = std::log(K * 0.75);
+    const double Hi = std::log(K * 1.25);
+    K = std::exp(Lo + (Hi - Lo) * Generator.uniform());
+  }
+}

@@ -1,0 +1,49 @@
+//===- rbm/SyntheticGenerator.h - Random RBM generation ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SBGen-style generation of synthetic reaction networks of prescribed
+/// size, used by the scaling experiments (benches F1-F3). Initial
+/// concentrations are log-uniform in [1e-4, 1), kinetic constants
+/// log-uniform in [1e-6, 10], reactions have at most two reactant and two
+/// product molecules, matching the construction in this research line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_SYNTHETICGENERATOR_H
+#define PSG_RBM_SYNTHETICGENERATOR_H
+
+#include "rbm/ReactionNetwork.h"
+#include "support/Random.h"
+
+namespace psg {
+
+/// Tunables for synthetic model generation.
+struct SyntheticModelOptions {
+  size_t NumSpecies = 32;
+  size_t NumReactions = 32;
+  double MinInitialConcentration = 1e-4;
+  double MaxInitialConcentration = 1.0;
+  double MinRateConstant = 1e-6;
+  double MaxRateConstant = 10.0;
+  /// Sampling weights for zero-, first- and second-order reactions.
+  double OrderWeights[3] = {0.05, 0.45, 0.50};
+  uint64_t Seed = 1;
+};
+
+/// Generates a random mass-action RBM. Every species is guaranteed to
+/// appear in at least one reaction when NumReactions >= NumSpecies
+/// (reactant/product slots cycle through the species before randomizing).
+ReactionNetwork generateSyntheticModel(const SyntheticModelOptions &Opts);
+
+/// Applies the +/-25% log-uniform kinetic perturbation of the evaluation
+/// protocol to every rate constant of \p Constants, in place:
+/// k <- exp(ln(0.75 k) + (ln(1.25 k) - ln(0.75 k)) * U[0,1)).
+void perturbRateConstants(std::vector<double> &Constants, Rng &Generator);
+
+} // namespace psg
+
+#endif // PSG_RBM_SYNTHETICGENERATOR_H

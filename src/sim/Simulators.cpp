@@ -1,0 +1,264 @@
+//===- sim/Simulators.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulators.h"
+
+#include "linalg/Eigen.h"
+#include "ode/Dopri5.h"
+#include "ode/Lsoda.h"
+#include "ode/Multistep.h"
+#include "ode/Radau5.h"
+#include "ode/Rkf45.h"
+#include "ode/SolverRegistry.h"
+#include "sim/WorkProfile.h"
+#include "support/Timer.h"
+
+#include <mutex>
+
+using namespace psg;
+
+namespace {
+/// Applies the Index-th parameterization of \p Spec to \p Sys and returns
+/// the matching initial state.
+std::vector<double> configureSimulation(const BatchSpec &Spec,
+                                        CompiledOdeSystem &Sys,
+                                        size_t Index) {
+  if (Index < Spec.RateConstantSets.size())
+    Sys.setRateConstants(Spec.RateConstantSets[Index]);
+  if (Index < Spec.InitialStates.size())
+    return Spec.InitialStates[Index];
+  return Spec.Model->initialState();
+}
+
+/// Runs one simulation with \p Solver, recording a trajectory when
+/// requested. Returns the outcome.
+SimulationOutcome runOne(const BatchSpec &Spec, CompiledOdeSystem &Sys,
+                         OdeSolver &Solver, std::vector<double> Y) {
+  SimulationOutcome Out;
+  Out.SolverUsed = Solver.name();
+  if (Spec.OutputSamples > 0) {
+    TrajectoryRecorder Recorder(
+        uniformGrid(Spec.StartTime, Spec.EndTime, Spec.OutputSamples),
+        Sys.dimension());
+    Recorder.recordInitial(Spec.StartTime, Y.data());
+    Out.Result = Solver.integrate(Sys, Spec.StartTime, Spec.EndTime, Y,
+                                  Spec.Options, &Recorder);
+    Out.Dynamics = Recorder.trajectory();
+  } else {
+    Out.Result = Solver.integrate(Sys, Spec.StartTime, Spec.EndTime, Y,
+                                  Spec.Options);
+  }
+  return Out;
+}
+
+/// Assembles the common parts of a BatchResult.
+BatchResult finalizeBatch(const BatchSpec &Spec, const CostModel &Model,
+                          Backend B, std::vector<SimulationOutcome> Outcomes,
+                          double WallSeconds) {
+  BatchResult R;
+  R.Outcomes = std::move(Outcomes);
+  for (const SimulationOutcome &O : R.Outcomes) {
+    R.TotalStats.merge(O.Result.Stats);
+    if (!O.Result.ok())
+      ++R.Failures;
+  }
+  CompiledOdeSystem Profile(*Spec.Model);
+  R.AverageWork = computeSimulationWork(Profile, R.TotalStats, Spec.Batch,
+                                        Spec.OutputSamples);
+  R.IntegrationTime = Model.integrationTime(B, R.AverageWork, Spec.Batch);
+  R.SimulationTime = Model.simulationTime(B, R.AverageWork, Spec.Batch);
+  R.HostWallSeconds = WallSeconds;
+  return R;
+}
+} // namespace
+
+Simulator::~Simulator() = default;
+
+//===----------------------------------------------------------------------===//
+// CPU baselines.
+//===----------------------------------------------------------------------===//
+
+CpuSolverSimulator::CpuSolverSimulator(std::string Solver,
+                                       std::string Display, CostModel M)
+    : SolverName(std::move(Solver)), DisplayName(std::move(Display)),
+      Model(std::move(M)) {}
+
+BatchResult CpuSolverSimulator::run(const BatchSpec &Spec) {
+  assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
+  WallTimer Timer;
+  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  CompiledOdeSystem Sys(*Spec.Model);
+  auto Solver = createSolver(SolverName);
+  assert(Solver && "registry is missing a built-in solver");
+  for (uint64_t I = 0; I < Spec.Batch; ++I) {
+    std::vector<double> Y = configureSimulation(Spec, Sys, I);
+    Outcomes[I] = runOne(Spec, Sys, **Solver, std::move(Y));
+  }
+  return finalizeBatch(Spec, Model, Backend::CpuSerial, std::move(Outcomes),
+                       Timer.seconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Coarse-grained GPU (cupSODA-like).
+//===----------------------------------------------------------------------===//
+
+CoarseGpuSimulator::CoarseGpuSimulator(CostModel M)
+    : Model(std::move(M)), Device(Model.gpu()) {}
+
+BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
+  assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
+  WallTimer Timer;
+  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  Device.launchKernel("cupsoda-batch", Spec.Batch, 32,
+                      [&](KernelContext &Ctx) {
+                        const size_t I = Ctx.threadIndex();
+                        CompiledOdeSystem Sys(*Spec.Model);
+                        std::vector<double> Y =
+                            configureSimulation(Spec, Sys, I);
+                        LsodaSolver Solver;
+                        Outcomes[I] =
+                            runOne(Spec, Sys, Solver, std::move(Y));
+                      });
+  return finalizeBatch(Spec, Model, Backend::GpuCoarse, std::move(Outcomes),
+                       Timer.seconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Fine-grained GPU (LASSIE-like).
+//===----------------------------------------------------------------------===//
+
+FineGpuSimulator::FineGpuSimulator(CostModel M)
+    : Model(std::move(M)), Device(Model.gpu()) {}
+
+BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
+  assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
+  WallTimer Timer;
+  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  CompiledOdeSystem Sys(*Spec.Model);
+  // Fine-grained tools process one simulation at a time; each simulation
+  // runs as one kernel pipeline whose threads are the ODEs.
+  for (uint64_t I = 0; I < Spec.Batch; ++I) {
+    Device.launchKernel(
+        "lassie-sim", std::max<uint64_t>(Sys.dimension(), 1), 32,
+        [&](KernelContext &Ctx) {
+          if (Ctx.threadIndex() != 0)
+            return; // The numerics run once; threads model ODE lanes.
+          std::vector<double> Y = configureSimulation(Spec, Sys, I);
+          Rkf45Solver Explicit;
+          Outcomes[I] = runOne(Spec, Sys, Explicit, Y);
+          if (!Outcomes[I].Result.ok()) {
+            // LASSIE switches to first-order BDF under stiffness.
+            const IntegrationStats ExplicitCost = Outcomes[I].Result.Stats;
+            BdfSolver Implicit;
+            Outcomes[I] = runOne(Spec, Sys, Implicit,
+                                 configureSimulation(Spec, Sys, I));
+            Outcomes[I].Result.Stats.merge(ExplicitCost);
+            ++Outcomes[I].Result.Stats.SolverSwitches;
+          }
+        });
+  }
+  return finalizeBatch(Spec, Model, Backend::GpuFine, std::move(Outcomes),
+                       Timer.seconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Fine+coarse engine (the paper's contribution).
+//===----------------------------------------------------------------------===//
+
+FineCoarseSimulator::FineCoarseSimulator(CostModel M)
+    : Model(std::move(M)), Device(Model.gpu()) {}
+
+BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
+  assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
+  WallTimer Timer;
+  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+
+  // P1 happens in CompiledOdeSystem's constructor; each logical thread
+  // holds its own parameterized copy. P2-P4 run inside one parent grid:
+  // the P2 routing heuristic, the explicit path, and the implicit path
+  // with re-dispatch of failed explicit simulations.
+  Device.launchKernel("psg-engine-batch", Spec.Batch, 32,
+                      [&](KernelContext &Ctx) {
+    const size_t I = Ctx.threadIndex();
+    CompiledOdeSystem Sys(*Spec.Model);
+    std::vector<double> Y = configureSimulation(Spec, Sys, I);
+
+    bool UseImplicit = ForcedMethod == "radau5";
+    IntegrationStats RoutingCost;
+    if (ForcedMethod == "auto") {
+      // P2: dominant eigenvalue of the Jacobian at the initial state.
+      std::vector<double> F0(Sys.dimension());
+      Sys.rhs(Spec.StartTime, Y.data(), F0.data());
+      ++RoutingCost.RhsEvaluations;
+      Matrix J;
+      RoutingCost.RhsEvaluations +=
+          Sys.jacobian(Spec.StartTime, Y.data(), F0.data(), J);
+      ++RoutingCost.JacobianEvaluations;
+      UseImplicit = powerIterationSpectralRadius(J) >= StiffnessThreshold;
+    }
+
+    if (!UseImplicit) {
+      // P3: DOPRI5 with stiffness detection enabled.
+      Dopri5Solver Explicit;
+      Outcomes[I] = runOne(Spec, Sys, Explicit, Y);
+      if (!Outcomes[I].Result.ok()) {
+        // Re-dispatch to P4 from the initial state, keeping the cost of
+        // the failed explicit attempt.
+        RoutingCost.merge(Outcomes[I].Result.Stats);
+        ++RoutingCost.SolverSwitches;
+        UseImplicit = true;
+        Y = configureSimulation(Spec, Sys, I);
+      }
+    }
+    if (UseImplicit) {
+      // P4: Radau IIA.
+      Radau5Solver Implicit;
+      Outcomes[I] = runOne(Spec, Sys, Implicit, std::move(Y));
+    }
+    Outcomes[I].Result.Stats.merge(RoutingCost);
+  });
+  // P5: collection happened through the recorders.
+  return finalizeBatch(Spec, Model, Backend::GpuFineCoarse,
+                       std::move(Outcomes), Timer.seconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Factories.
+//===----------------------------------------------------------------------===//
+
+std::vector<std::unique_ptr<Simulator>>
+psg::createAllSimulators(const CostModel &Model) {
+  std::vector<std::unique_ptr<Simulator>> All;
+  All.push_back(
+      std::make_unique<CpuSolverSimulator>("lsoda", "cpu-lsoda", Model));
+  All.push_back(
+      std::make_unique<CpuSolverSimulator>("vode", "cpu-vode", Model));
+  All.push_back(std::make_unique<CoarseGpuSimulator>(Model));
+  All.push_back(std::make_unique<FineGpuSimulator>(Model));
+  All.push_back(std::make_unique<FineCoarseSimulator>(Model));
+  return All;
+}
+
+ErrorOr<std::unique_ptr<Simulator>>
+psg::createSimulator(const std::string &Name, const CostModel &Model) {
+  if (Name == "cpu-lsoda")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<CpuSolverSimulator>("lsoda", "cpu-lsoda", Model));
+  if (Name == "cpu-vode")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<CpuSolverSimulator>("vode", "cpu-vode", Model));
+  if (Name == "gpu-coarse")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<CoarseGpuSimulator>(Model));
+  if (Name == "gpu-fine")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<FineGpuSimulator>(Model));
+  if (Name == "psg-engine")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<FineCoarseSimulator>(Model));
+  return ErrorOr<std::unique_ptr<Simulator>>::failure(
+      "unknown simulator '" + Name + "'");
+}

@@ -1,0 +1,65 @@
+//===- sim/WorkProfile.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/WorkProfile.h"
+
+using namespace psg;
+
+SimulationWork psg::computeSimulationWork(const CompiledOdeSystem &Sys,
+                                          const IntegrationStats &Stats,
+                                          uint64_t Batch,
+                                          size_t OutputSamples) {
+  assert(Batch > 0 && "empty batch");
+  const double N = static_cast<double>(Sys.dimension());
+  const double B = static_cast<double>(Batch);
+  const EvaluationProfile &P = Sys.profile();
+
+  SimulationWork W;
+  W.NumSpecies = Sys.dimension();
+  W.NumReactions = Sys.numReactions();
+  W.OutputSamples = OutputSamples;
+  W.Steps = Stats.Steps / Batch;
+  // A DOPRI5/RADAU5 step issues of the order of 8 fine-grained phases
+  // (stages / Newton sweeps plus the controller reduction).
+  W.KernelPhasesPerStep = 8;
+
+  // Arithmetic: 2 flops per multiply-accumulate slot.
+  const double RhsFlops =
+      2.0 * static_cast<double>(P.RhsMultiplies + P.RhsAccumulates);
+  const double JacFlops = 6.0 * static_cast<double>(P.JacobianEntries);
+  const double LuFlops = (2.0 / 3.0) * N * N * N;
+  const double SolveFlops = 4.0 * N * N; // Forward + back substitution.
+  const double StepFlops = 12.0 * N;     // Norms, axpy, controller.
+  double Flops = 0.0;
+  Flops += static_cast<double>(Stats.RhsEvaluations) * RhsFlops;
+  Flops += static_cast<double>(Stats.JacobianEvaluations) * JacFlops;
+  Flops += static_cast<double>(Stats.LuFactorizations) * LuFlops;
+  Flops += static_cast<double>(Stats.ComplexLuFactorizations) * 4.0 * LuFlops;
+  Flops += static_cast<double>(Stats.LuSolves) * 2.0 * SolveFlops;
+  Flops += static_cast<double>(Stats.Steps) * StepFlops;
+  W.TotalFlops = Flops / B;
+
+  // Memory traffic: every rhs evaluation streams the state and the model
+  // encoding; steps rewrite the state vectors; Jacobian work touches NxN.
+  const double EncodingBytes =
+      12.0 * static_cast<double>(P.RhsMultiplies) +
+      16.0 * static_cast<double>(Sys.numReactions());
+  double Traffic = 0.0;
+  Traffic += static_cast<double>(Stats.RhsEvaluations) *
+             (16.0 * N + EncodingBytes);
+  Traffic += static_cast<double>(Stats.Steps) * 64.0 * N;
+  Traffic += static_cast<double>(Stats.JacobianEvaluations +
+                                 Stats.LuFactorizations +
+                                 2 * Stats.ComplexLuFactorizations) *
+             8.0 * N * N;
+  W.MemTrafficBytes = Traffic / B;
+
+  // Working set: ~12 state-sized vectors per simulation (RK stages or
+  // Newton workspace).
+  W.StateBytes = 12.0 * 8.0 * N;
+  W.ConstantBytes = EncodingBytes;
+  return W;
+}

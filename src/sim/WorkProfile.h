@@ -1,0 +1,31 @@
+//===- sim/WorkProfile.h - Stats-to-work conversion -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts measured integration statistics plus the compiled model's
+/// evaluation profile into the SimulationWork record consumed by the vgpu
+/// cost model (flops, memory traffic, working-set and encoding sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SIM_WORKPROFILE_H
+#define PSG_SIM_WORKPROFILE_H
+
+#include "ode/IntegrationResult.h"
+#include "rbm/MassAction.h"
+#include "vgpu/CostModel.h"
+
+namespace psg {
+
+/// Builds the per-simulation work record for \p Stats (averaged over the
+/// batch by the caller) on the compiled system \p Sys.
+SimulationWork computeSimulationWork(const CompiledOdeSystem &Sys,
+                                     const IntegrationStats &Stats,
+                                     uint64_t Batch, size_t OutputSamples);
+
+} // namespace psg
+
+#endif // PSG_SIM_WORKPROFILE_H

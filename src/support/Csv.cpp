@@ -1,0 +1,69 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace psg;
+
+std::string psg::csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Escaped += '"';
+    Escaped += C;
+  }
+  Escaped += '"';
+  return Escaped;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> Header)
+    : Columns(Header.size()) {
+  assert(Columns > 0 && "CSV document needs at least one column");
+  appendCells(Header);
+  Rows = 0;
+}
+
+void CsvWriter::appendCells(const std::vector<std::string> &Cells) {
+  assert(Cells.size() == Columns && "row width does not match header");
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (I != 0)
+      Buffer += ',';
+    Buffer += csvEscape(Cells[I]);
+  }
+  Buffer += '\n';
+  ++Rows;
+}
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  appendCells(Cells);
+}
+
+void CsvWriter::addRow(const std::vector<double> &Cells) {
+  std::vector<std::string> Text;
+  Text.reserve(Cells.size());
+  for (double V : Cells)
+    Text.push_back(formatString("%.10g", V));
+  appendCells(Text);
+}
+
+std::string CsvWriter::toString() const { return Buffer; }
+
+Status CsvWriter::saveToFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return Status::failure("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+  std::fclose(File);
+  if (Written != Buffer.size())
+    return Status::failure("short write to '" + Path + "'");
+  return Status::success();
+}

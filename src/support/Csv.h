@@ -1,0 +1,57 @@
+//===- support/Csv.h - CSV emission -----------------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small CSV writer. Results and bench tables are emitted as CSV so the
+/// plots in EXPERIMENTS.md can be regenerated from raw data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_CSV_H
+#define PSG_SUPPORT_CSV_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace psg {
+
+/// Accumulates CSV rows in memory; write with toString() or saveToFile().
+class CsvWriter {
+public:
+  /// Starts a document with the given column headers.
+  explicit CsvWriter(std::vector<std::string> Header);
+
+  /// Appends a row of preformatted cells; must match the header width.
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// Appends a row of doubles formatted with %.10g.
+  void addRow(const std::vector<double> &Cells);
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows; }
+
+  /// Renders the document.
+  std::string toString() const;
+
+  /// Writes the document to \p Path; fails if the file cannot be opened.
+  Status saveToFile(const std::string &Path) const;
+
+private:
+  size_t Columns;
+  size_t Rows = 0;
+  std::string Buffer;
+
+  void appendCells(const std::vector<std::string> &Cells);
+};
+
+/// Escapes a cell for CSV (quotes fields containing separators/quotes).
+std::string csvEscape(const std::string &Cell);
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_CSV_H

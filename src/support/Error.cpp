@@ -1,0 +1,15 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void psg::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "psg fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,112 @@
+//===- support/Error.h - Error handling primitives --------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight, exception-free error handling. Library code reports
+/// recoverable errors through \c ErrorOr<T> or \c Status; programmatic errors
+/// abort through \c fatalError / asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_ERROR_H
+#define PSG_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace psg {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable
+/// programmatic errors in tool code.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is success; failures carry a message.
+class Status {
+public:
+  Status() = default;
+
+  /// Creates a failure status carrying \p Message.
+  static Status failure(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Text = std::move(Message);
+    return S;
+  }
+
+  /// Creates a success status.
+  static Status success() { return Status(); }
+
+  /// Returns true if the operation succeeded.
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the failure message (empty on success).
+  const std::string &message() const { return Text; }
+
+private:
+  bool Failed = false;
+  std::string Text;
+};
+
+/// A value-or-error discriminated union for fallible functions that return a
+/// result. Accessing the value of a failed ErrorOr is a programmatic error.
+template <typename T> class ErrorOr {
+public:
+  /// Constructs a success value.
+  ErrorOr(T V) : Value(std::move(V)), Failed(false) {}
+
+  /// Constructs a failure from \p S (which must be a failure status).
+  ErrorOr(Status S) : Err(std::move(S)), Failed(true) {
+    assert(!Err.ok() && "ErrorOr built from a success Status");
+  }
+
+  /// Creates a failure carrying \p Message.
+  static ErrorOr<T> failure(std::string Message) {
+    return ErrorOr<T>(Status::failure(std::move(Message)));
+  }
+
+  /// Returns true if a value is present.
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the contained value; must only be called when ok().
+  T &value() {
+    assert(ok() && "value() on failed ErrorOr");
+    return Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on failed ErrorOr");
+    return Value;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Returns the failure message; must only be called when !ok().
+  const std::string &message() const {
+    assert(!ok() && "message() on successful ErrorOr");
+    return Err.message();
+  }
+
+  /// Returns the failure as a Status; must only be called when !ok().
+  const Status &status() const {
+    assert(!ok() && "status() on successful ErrorOr");
+    return Err;
+  }
+
+private:
+  T Value{};
+  Status Err;
+  bool Failed;
+};
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_ERROR_H

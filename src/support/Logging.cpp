@@ -1,0 +1,44 @@
+//===- support/Logging.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace psg;
+
+static std::atomic<LogLevel> GlobalLevel{LogLevel::Warning};
+
+void psg::setLogLevel(LogLevel Level) { GlobalLevel.store(Level); }
+
+LogLevel psg::logLevel() { return GlobalLevel.load(); }
+
+static const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warning:
+    return "warning";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+void psg::logMessage(LogLevel Level, const char *Fmt, ...) {
+  if (static_cast<int>(Level) > static_cast<int>(GlobalLevel.load()))
+    return;
+  std::fprintf(stderr, "psg %s: ", levelName(Level));
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}

@@ -1,0 +1,33 @@
+//===- support/Logging.h - Leveled logging ----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal leveled logger writing to stderr. Library code logs sparingly;
+/// the engine logs phase transitions at Info and dispatch detail at Debug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_LOGGING_H
+#define PSG_SUPPORT_LOGGING_H
+
+namespace psg {
+
+/// Log severity, ordered by verbosity.
+enum class LogLevel { Error = 0, Warning = 1, Info = 2, Debug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void setLogLevel(LogLevel Level);
+
+/// Returns the current global log threshold.
+LogLevel logLevel();
+
+/// Emits a printf-formatted message at \p Level if enabled.
+void logMessage(LogLevel Level, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_LOGGING_H

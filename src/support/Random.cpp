@@ -1,0 +1,89 @@
+//===- support/Random.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace psg;
+
+uint64_t SplitMix64::next() {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (uint64_t &S : State)
+    S = Seeder.next();
+}
+
+static uint64_t rotl64(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::nextU64() {
+  const uint64_t Result = rotl64(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl64(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+double Rng::logUniform(double Lo, double Hi) {
+  assert(Lo > 0.0 && Hi > 0.0 && Lo <= Hi && "invalid log-uniform range");
+  return std::exp(uniform(std::log(Lo), std::log(Hi)));
+}
+
+uint64_t Rng::uniformInt(uint64_t N) {
+  assert(N > 0 && "uniformInt over empty range");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = (0ull - N) % N;
+  for (;;) {
+    uint64_t R = nextU64();
+    if (R >= Threshold)
+      return R % N;
+  }
+}
+
+double Rng::normal() {
+  if (HasCachedNormal) {
+    HasCachedNormal = false;
+    return CachedNormal;
+  }
+  double U1 = 0.0;
+  do {
+    U1 = uniform();
+  } while (U1 <= 0.0);
+  const double U2 = uniform();
+  const double R = std::sqrt(-2.0 * std::log(U1));
+  const double Theta = 2.0 * M_PI * U2;
+  CachedNormal = R * std::sin(Theta);
+  HasCachedNormal = true;
+  return R * std::cos(Theta);
+}
+
+Rng Rng::split(uint64_t StreamId) {
+  SplitMix64 Mixer(State[0] ^ rotl64(StreamId, 32) ^ 0xA5A5A5A55A5A5A5Aull);
+  return Rng(Mixer.next());
+}

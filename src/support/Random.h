@@ -1,0 +1,73 @@
+//===- support/Random.h - Deterministic random number generation -*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation used by the synthetic
+/// model generator, the sampling schemes, and the swarm optimizers. The
+/// generator is xoshiro256** seeded through SplitMix64, which gives
+/// reproducible streams across platforms (unlike std::mt19937 distributions,
+/// whose outputs are implementation-defined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_RANDOM_H
+#define PSG_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace psg {
+
+/// SplitMix64 stream; used to seed Xoshiro256 and for cheap hashing.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next();
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** generator with utility floating-point draws.
+class Rng {
+public:
+  /// Seeds the generator deterministically from \p Seed.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t nextU64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns a draw from the log-uniform distribution on [Lo, Hi);
+  /// both bounds must be positive.
+  double logUniform(double Lo, double Hi);
+
+  /// Returns an integer uniformly distributed in [0, N).
+  uint64_t uniformInt(uint64_t N);
+
+  /// Returns a standard normal draw (Box-Muller, one value per call).
+  double normal();
+
+  /// Splits off an independent generator for a sub-task; deterministic in
+  /// (this stream state, StreamId).
+  Rng split(uint64_t StreamId);
+
+private:
+  uint64_t State[4];
+  double CachedNormal = 0.0;
+  bool HasCachedNormal = false;
+};
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_RANDOM_H

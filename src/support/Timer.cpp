@@ -1,0 +1,9 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// WallTimer is header-only; this file anchors the translation unit.

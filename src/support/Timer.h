@@ -1,0 +1,39 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by benches and the engine report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_TIMER_H
+#define PSG_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace psg {
+
+/// Monotonic wall-clock timer. Starts on construction or restart().
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void restart() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_TIMER_H

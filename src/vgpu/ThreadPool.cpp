@@ -1,0 +1,71 @@
+//===- vgpu/ThreadPool.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vgpu/ThreadPool.h"
+
+#include <cassert>
+
+using namespace psg;
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  if (WorkerCount == 0) {
+    WorkerCount = std::thread::hardware_concurrency();
+    if (WorkerCount == 0)
+      WorkerCount = 1;
+  }
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I < WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runChunks(std::unique_lock<std::mutex> &Lock) {
+  while (Current.Next < Current.Count) {
+    const size_t Index = Current.Next++;
+    Lock.unlock();
+    (*Current.Body)(Index);
+    Lock.lock();
+    ++Current.Done;
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [this] {
+      return Stopping || (HasJob && Current.Next < Current.Count);
+    });
+    if (Stopping)
+      return;
+    runChunks(Lock);
+    if (Current.Done == Current.Count)
+      JobDone.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(!HasJob && "nested parallelFor is not supported");
+  Current = Job{&Body, Count, 0, 0};
+  HasJob = true;
+  WorkReady.notify_all();
+  // The caller participates too, then waits for stragglers.
+  runChunks(Lock);
+  JobDone.wait(Lock, [this] { return Current.Done == Current.Count; });
+  HasJob = false;
+}

@@ -1,0 +1,67 @@
+//===- vgpu/ThreadPool.h - Host worker pool ---------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool backing the virtual device. The GPU's
+/// logical threads are multiplexed onto these host workers; on a
+/// single-core host it degenerates to serial execution while preserving
+/// the batch semantics and determinism of the results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_VGPU_THREADPOOL_H
+#define PSG_VGPU_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psg {
+
+/// Fixed pool executing index-space loops.
+class ThreadPool {
+public:
+  /// Creates \p Workers threads (0 selects the hardware concurrency).
+  explicit ThreadPool(unsigned Workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs Body(0..Count-1), distributing indices over the workers, and
+  /// blocks until all indices completed. Body must be thread-safe.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+private:
+  struct Job {
+    const std::function<void(size_t)> *Body = nullptr;
+    size_t Count = 0;
+    size_t Next = 0;
+    size_t Done = 0;
+  };
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable JobDone;
+  Job Current;
+  bool HasJob = false;
+  bool Stopping = false;
+
+  void workerLoop();
+  /// Claims and runs chunks of the current job; returns when exhausted.
+  void runChunks(std::unique_lock<std::mutex> &Lock);
+};
+
+} // namespace psg
+
+#endif // PSG_VGPU_THREADPOOL_H

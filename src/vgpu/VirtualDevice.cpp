@@ -1,0 +1,38 @@
+//===- vgpu/VirtualDevice.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vgpu/VirtualDevice.h"
+
+#include <cassert>
+
+using namespace psg;
+
+LaunchRecord
+VirtualDevice::launchKernel(const std::string &Name, uint64_t Threads,
+                            unsigned BlockDim,
+                            const std::function<void(KernelContext &)> &Body) {
+  assert(Threads > 0 && BlockDim > 0 && "empty kernel launch");
+  std::atomic<uint64_t> ChildGrids{0};
+
+  Pool.parallelFor(Threads, [&](size_t Index) {
+    KernelContext Ctx(Index, Threads, BlockDim, ChildGrids);
+    Body(Ctx);
+  });
+
+  LaunchRecord Record;
+  Record.KernelName = Name;
+  Record.LogicalThreads = Threads;
+  Record.Blocks = (Threads + BlockDim - 1) / BlockDim;
+  Record.Warps = (Threads + Spec.WarpSize - 1) / Spec.WarpSize;
+  Record.ChildGrids = ChildGrids.load();
+
+  ++Counters.KernelLaunches;
+  Counters.ChildGridLaunches += Record.ChildGrids;
+  Counters.LogicalThreadsRun += Threads;
+  if (Record.ChildGrids > Counters.MaxConcurrentChildren)
+    Counters.MaxConcurrentChildren = Record.ChildGrids;
+  return Record;
+}

@@ -1,0 +1,108 @@
+//===- vgpu/VirtualDevice.h - Virtual GPU executor --------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual GPU: executes "kernels" (C++ callables over a logical
+/// thread index space) on the host pool while accounting for grids,
+/// blocks, warps and dynamic-parallelism child launches exactly as the
+/// CUDA implementation would issue them. The numerical results are the
+/// real results; the accounting feeds the cost model that provides the
+/// modeled device timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_VGPU_VIRTUALDEVICE_H
+#define PSG_VGPU_VIRTUALDEVICE_H
+
+#include "vgpu/DeviceSpec.h"
+#include "vgpu/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace psg {
+
+/// Per-launch accounting mirror of the CUDA execution configuration.
+struct LaunchRecord {
+  std::string KernelName;
+  uint64_t LogicalThreads = 0;
+  uint64_t Blocks = 0;
+  uint64_t Warps = 0;
+  uint64_t ChildGrids = 0; ///< Dynamic-parallelism launches from this grid.
+};
+
+/// Cumulative device counters.
+struct DeviceCounters {
+  uint64_t KernelLaunches = 0;
+  uint64_t ChildGridLaunches = 0;
+  uint64_t LogicalThreadsRun = 0;
+  uint64_t MaxConcurrentChildren = 0;
+};
+
+/// Handed to each logical thread of a kernel.
+class KernelContext {
+public:
+  KernelContext(uint64_t ThreadIdx, uint64_t GridSize, unsigned BlockDim,
+                std::atomic<uint64_t> &ChildCounter)
+      : ThreadIdx(ThreadIdx), GridSize(GridSize), BlockDim(BlockDim),
+        ChildCounter(ChildCounter) {}
+
+  /// Global logical thread index in [0, gridSize()).
+  uint64_t threadIndex() const { return ThreadIdx; }
+  uint64_t gridSize() const { return GridSize; }
+  unsigned blockDim() const { return BlockDim; }
+  uint64_t blockIndex() const { return ThreadIdx / BlockDim; }
+  unsigned laneInBlock() const {
+    return static_cast<unsigned>(ThreadIdx % BlockDim);
+  }
+
+  /// Records a dynamic-parallelism child grid of \p Threads logical
+  /// threads and runs \p Body for each (synchronously, as after a CUDA
+  /// child-grid sync). Returns the number of child threads run.
+  uint64_t launchChildGrid(uint64_t Threads,
+                           const std::function<void(uint64_t)> &Body) {
+    ChildCounter.fetch_add(1, std::memory_order_relaxed);
+    for (uint64_t I = 0; I < Threads; ++I)
+      Body(I);
+    return Threads;
+  }
+
+private:
+  uint64_t ThreadIdx;
+  uint64_t GridSize;
+  unsigned BlockDim;
+  std::atomic<uint64_t> &ChildCounter;
+};
+
+/// The device: a spec, a host pool, and launch accounting.
+class VirtualDevice {
+public:
+  /// \p HostWorkers = 0 uses the hardware concurrency.
+  explicit VirtualDevice(DeviceSpec Spec, unsigned HostWorkers = 0)
+      : Spec(std::move(Spec)), Pool(HostWorkers) {}
+
+  const DeviceSpec &spec() const { return Spec; }
+  const DeviceCounters &counters() const { return Counters; }
+  unsigned hostWorkers() const { return Pool.numWorkers(); }
+
+  /// Launches a kernel over \p Threads logical threads with block size
+  /// \p BlockDim; Body receives a KernelContext per logical thread.
+  /// Returns the launch record. Body must be thread-safe across indices.
+  LaunchRecord
+  launchKernel(const std::string &Name, uint64_t Threads, unsigned BlockDim,
+               const std::function<void(KernelContext &)> &Body);
+
+private:
+  DeviceSpec Spec;
+  ThreadPool Pool;
+  DeviceCounters Counters;
+};
+
+} // namespace psg
+
+#endif // PSG_VGPU_VIRTUALDEVICE_H

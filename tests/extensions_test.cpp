@@ -1,0 +1,283 @@
+//===- tests/extensions_test.cpp - Extension-feature tests ----------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the extension features: Hill-repression kinetics (the
+// repressilator), steady-state search and dose-response curves, and the
+// DOPRI5 native dense output's accuracy advantage over plain Hermite
+// interpolation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Oscillation.h"
+#include "analysis/SteadyState.h"
+#include "linalg/Jacobian.h"
+#include "ode/Dopri5.h"
+#include "ode/Radau5.h"
+#include "ode/SolverRegistry.h"
+#include "ode/TestProblems.h"
+#include "rbm/CuratedModels.h"
+#include "rbm/MassAction.h"
+#include "rbm/ModelIo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psg;
+
+//===----------------------------------------------------------------------===//
+// Hill repression.
+//===----------------------------------------------------------------------===//
+
+TEST(HillRepressionTest, RateDecreasesWithRepressor) {
+  ReactionNetwork Net("rep");
+  const unsigned R = Net.addSpecies("R", 0.0);
+  const unsigned P = Net.addSpecies("P", 0.0);
+  Reaction Rx;
+  Rx.Kind = KineticsKind::HillRepression;
+  Rx.RateConstant = 4.0;
+  Rx.HillK = 1.0;
+  Rx.HillN = 2.0;
+  Rx.Reactants.emplace_back(R, 1);
+  Rx.Products.emplace_back(R, 1);
+  Rx.Products.emplace_back(P, 1);
+  Net.addReaction(std::move(Rx));
+  CompiledOdeSystem Sys(Net);
+  double D[2];
+  double YNone[2] = {0.0, 0.0};
+  Sys.rhs(0, YNone, D);
+  EXPECT_NEAR(D[P], 4.0, 1e-12); // Unrepressed: full rate.
+  EXPECT_DOUBLE_EQ(D[R], 0.0);   // Repressor is catalytic.
+  double YHalf[2] = {1.0, 0.0};
+  Sys.rhs(0, YHalf, D);
+  EXPECT_NEAR(D[P], 2.0, 1e-12); // S = K: half rate.
+  double YFull[2] = {100.0, 0.0};
+  Sys.rhs(0, YFull, D);
+  EXPECT_LT(D[P], 0.01); // Strong repression.
+}
+
+TEST(HillRepressionTest, AnalyticJacobianMatchesFiniteDifferences) {
+  ReactionNetwork Net = makeRepressilatorNetwork();
+  CompiledOdeSystem Sys(Net);
+  std::vector<double> Y = {1.3, 0.7, 2.1};
+  std::vector<double> F0(3);
+  Sys.rhs(0, Y.data(), F0.data());
+  Matrix JA, JN;
+  Sys.analyticJacobian(0, Y.data(), JA);
+  RhsFunction F = [&](double T, const double *State, double *D) {
+    Sys.rhs(T, State, D);
+  };
+  numericJacobian(F, 0, Y.data(), F0.data(), 3, JN);
+  for (size_t R = 0; R < 3; ++R)
+    for (size_t C = 0; C < 3; ++C)
+      EXPECT_NEAR(JA(R, C), JN(R, C), 1e-5 * (1.0 + std::abs(JA(R, C))))
+          << R << "," << C;
+}
+
+TEST(HillRepressionTest, RepressilatorOscillates) {
+  ReactionNetwork Net = makeRepressilatorNetwork();
+  CompiledOdeSystem Sys(Net);
+  auto Solver = createSolver("dopri5");
+  SolverOptions Opts;
+  Opts.MaxSteps = 100000;
+  TrajectoryRecorder Rec(uniformGrid(0, 60, 601), 3);
+  std::vector<double> Y = Net.initialState();
+  Rec.recordInitial(0, Y.data());
+  ASSERT_TRUE((*Solver)->integrate(Sys, 0, 60, Y, Opts, &Rec).ok());
+  OscillationMetrics M = analyzeOscillation(Rec.trajectory(), 0);
+  EXPECT_TRUE(M.Oscillating);
+  EXPECT_GT(M.Amplitude, 0.5);
+  EXPECT_GT(M.Period, 1.0);
+}
+
+TEST(HillRepressionTest, WeakRepressionDoesNotOscillate) {
+  // Low production with shallow repression settles to a fixed point.
+  ReactionNetwork Net = makeRepressilatorNetwork(/*Alpha=*/1.2,
+                                                 /*HillN=*/1.0);
+  CompiledOdeSystem Sys(Net);
+  auto Solver = createSolver("dopri5");
+  SolverOptions Opts;
+  Opts.MaxSteps = 100000;
+  TrajectoryRecorder Rec(uniformGrid(0, 80, 401), 3);
+  std::vector<double> Y = Net.initialState();
+  Rec.recordInitial(0, Y.data());
+  ASSERT_TRUE((*Solver)->integrate(Sys, 0, 80, Y, Opts, &Rec).ok());
+  EXPECT_FALSE(analyzeOscillation(Rec.trajectory(), 0).Oscillating);
+}
+
+TEST(HillRepressionTest, TextFormatRoundTrips) {
+  ReactionNetwork Net = makeRepressilatorNetwork();
+  const std::string Text = writeModelText(Net);
+  EXPECT_NE(Text.find("reaction hillrep"), std::string::npos);
+  auto Back = parseModelText(Text);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->reaction(0).Kind, KineticsKind::HillRepression);
+  EXPECT_DOUBLE_EQ(Back->reaction(0).HillN, 3.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Steady-state search and dose-response.
+//===----------------------------------------------------------------------===//
+
+TEST(SteadyStateTest, DecayChainDrainsIntoLastSpecies) {
+  ReactionNetwork Net = makeDecayChainNetwork(5, 1.0);
+  CompiledOdeSystem Sys(Net);
+  Radau5Solver Solver;
+  SteadyStateOptions Opts;
+  SteadyStateResult R =
+      findSteadyState(Sys, Net.initialState(), Solver, Opts);
+  ASSERT_TRUE(R.Reached);
+  EXPECT_LT(R.ResidualNorm, 1.0);
+  // Everything ends in the terminal species.
+  EXPECT_NEAR(R.State.back(), 1.0, 1e-3);
+  for (size_t I = 0; I + 1 < R.State.size(); ++I)
+    EXPECT_LT(std::abs(R.State[I]), 1e-3);
+}
+
+TEST(SteadyStateTest, AlreadySteadyReturnsImmediately) {
+  ReactionNetwork Net = makeDecayChainNetwork(3, 0.5);
+  CompiledOdeSystem Sys(Net);
+  Radau5Solver Solver;
+  SteadyStateOptions Opts;
+  std::vector<double> Y0 = {0.0, 0.0, 1.0}; // Terminal state.
+  SteadyStateResult R = findSteadyState(Sys, Y0, Solver, Opts);
+  EXPECT_TRUE(R.Reached);
+  EXPECT_DOUBLE_EQ(R.Time, 0.0);
+}
+
+TEST(SteadyStateTest, OscillatorDoesNotConverge) {
+  ReactionNetwork Net = makeRepressilatorNetwork();
+  CompiledOdeSystem Sys(Net);
+  Radau5Solver Solver;
+  SteadyStateOptions Opts;
+  Opts.MaxTime = 200.0; // Bounded budget.
+  SteadyStateResult R =
+      findSteadyState(Sys, Net.initialState(), Solver, Opts);
+  EXPECT_FALSE(R.Reached);
+  EXPECT_GE(R.ResidualNorm, 1.0);
+}
+
+TEST(SteadyStateTest, DoseResponseOfBirthDeathIsLinear) {
+  // 0 -> A at rate k (axis), A -> 0 at rate 1: steady [A] = k.
+  ReactionNetwork Net("birth-death");
+  const unsigned A = Net.addSpecies("A", 0.0);
+  Reaction Birth;
+  Birth.RateConstant = 1.0;
+  Birth.Products.emplace_back(A, 1);
+  Net.addReaction(std::move(Birth));
+  Reaction Death;
+  Death.RateConstant = 1.0;
+  Death.Reactants.emplace_back(A, 1);
+  Net.addReaction(std::move(Death));
+
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Name = "k_birth";
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {0};
+  Axis.Lo = 0.5;
+  Axis.Hi = 4.0;
+  Space.addAxis(Axis);
+
+  SteadyStateOptions Opts;
+  DoseResponse Curve = computeDoseResponse(Space, 8, A, Opts);
+  ASSERT_EQ(Curve.Dose.size(), 8u);
+  EXPECT_EQ(Curve.Unconverged, 0u);
+  for (size_t I = 0; I < Curve.Dose.size(); ++I)
+    EXPECT_NEAR(Curve.Response[I], Curve.Dose[I],
+                1e-3 * (1.0 + Curve.Dose[I]));
+}
+
+//===----------------------------------------------------------------------===//
+// DOPRI5 native dense output beats cubic Hermite.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Records the max interpolation error against an analytic solution at
+/// the midpoint of every accepted step.
+class MidpointErrorObserver : public StepObserver {
+public:
+  explicit MidpointErrorObserver(std::function<double(double)> Exact)
+      : Exact(std::move(Exact)) {}
+
+  void onStep(const StepInterpolant &Interp) override {
+    const double Mid = 0.5 * (Interp.beginTime() + Interp.endTime());
+    double Value = 0.0;
+    Interp.evaluate(Mid, &Value);
+    MaxError = std::max(MaxError, std::abs(Value - Exact(Mid)));
+  }
+
+  double MaxError = 0.0;
+
+private:
+  std::function<double(double)> Exact;
+};
+} // namespace
+
+TEST(DenseOutputTest, Dopri5InterpolantTracksExactSolution) {
+  // y' = -y at loose tolerances: the 4th-order dense output must stay
+  // close to exp(-t) at step midpoints, not just at step ends.
+  FunctionOdeSystem Sys(
+      1, [](double, const double *Y, double *D) { D[0] = -Y[0]; });
+  Dopri5Solver Solver;
+  SolverOptions Opts;
+  Opts.RelTol = 1e-5;
+  Opts.AbsTol = 1e-9;
+  MidpointErrorObserver Obs([](double T) { return std::exp(-T); });
+  std::vector<double> Y = {1.0};
+  ASSERT_TRUE(Solver.integrate(Sys, 0, 5, Y, Opts, &Obs).ok());
+  // With ~15 steps over [0,5], plain endpoint accuracy would be ~1e-5;
+  // the dense output must be comparable, nowhere near the O(h^3)
+  // midpoint error (~1e-3) a bad interpolant would show.
+  EXPECT_LT(Obs.MaxError, 5e-5);
+  EXPECT_GT(Obs.MaxError, 0.0);
+}
+
+TEST(DenseOutputTest, Radau5CollocationTracksExactSolution) {
+  FunctionOdeSystem Sys(
+      1, [](double, const double *Y, double *D) { D[0] = -Y[0]; });
+  Radau5Solver Solver;
+  SolverOptions Opts;
+  Opts.RelTol = 1e-5;
+  Opts.AbsTol = 1e-9;
+  MidpointErrorObserver Obs([](double T) { return std::exp(-T); });
+  std::vector<double> Y = {1.0};
+  ASSERT_TRUE(Solver.integrate(Sys, 0, 5, Y, Opts, &Obs).ok());
+  EXPECT_LT(Obs.MaxError, 5e-5);
+}
+
+TEST(DenseOutputTest, InterpolantsHitStepEndpointsExactly) {
+  FunctionOdeSystem Sys(
+      2, [](double, const double *Y, double *D) {
+        D[0] = Y[1];
+        D[1] = -Y[0];
+      });
+  class EndpointObserver : public StepObserver {
+  public:
+    std::vector<double> LastEnd = {0, 0};
+    double PrevEndTime = -1;
+    void onStep(const StepInterpolant &Interp) override {
+      if (PrevEndTime >= 0) {
+        EXPECT_DOUBLE_EQ(Interp.beginTime(), PrevEndTime);
+      }
+      double AtBegin[2], AtEnd[2];
+      Interp.evaluate(Interp.beginTime(), AtBegin);
+      Interp.evaluate(Interp.endTime(), AtEnd);
+      if (PrevEndTime >= 0) {
+        // Continuity across steps.
+        EXPECT_NEAR(AtBegin[0], LastEnd[0], 1e-12);
+        EXPECT_NEAR(AtBegin[1], LastEnd[1], 1e-12);
+      }
+      LastEnd = {AtEnd[0], AtEnd[1]};
+      PrevEndTime = Interp.endTime();
+    }
+  } Obs;
+  Dopri5Solver Solver;
+  SolverOptions Opts;
+  std::vector<double> Y = {1.0, 0.0};
+  ASSERT_TRUE(Solver.integrate(Sys, 0, 6.0, Y, Opts, &Obs).ok());
+  EXPECT_NEAR(Obs.LastEnd[0], Y[0], 1e-12);
+}

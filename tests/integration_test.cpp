@@ -1,0 +1,202 @@
+//===- tests/integration_test.cpp - Cross-module pipelines ----------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end checks of the analysis pipelines the paper's evaluation is
+// made of, at miniature scale: a PSA-2D oscillation map, a Sobol SA with
+// a real model output, and a parameter estimation round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Fitness.h"
+#include "analysis/Psa.h"
+#include "analysis/Sobol.h"
+#include "io/ResultsIo.h"
+#include "rbm/CuratedModels.h"
+#include "rbm/ModelIo.h"
+#include "rbm/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psg;
+
+TEST(IntegrationTest, Psa2dOscillationMapOfAutophagySurrogate) {
+  AutophagySurrogate Model = makeAutophagySurrogate(4, 3);
+  ParameterSpace Space(Model.Net);
+  ParameterAxis Stress;
+  Stress.Name = "AMPK*";
+  Stress.Target = AxisTarget::InitialConcentration;
+  Stress.SpeciesIndex = Model.StressSpecies;
+  Stress.Lo = 0.4;
+  Stress.Hi = 2.2;
+  Space.addAxis(Stress);
+  ParameterAxis P9;
+  P9.Name = "P9";
+  P9.Target = AxisTarget::RateConstantGroup;
+  P9.Reactions = Model.P9Reactions;
+  P9.Lo = 1e-6;
+  P9.Hi = 3e-2;
+  P9.LogScale = true;
+  Space.addAxis(P9);
+
+  EngineOptions Opts;
+  Opts.SimulatorName = "psg-engine";
+  Opts.EndTime = 60.0;
+  Opts.OutputSamples = 121;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  Psa2dResult Map = runPsa2d(Engine, Space, 6, 6,
+                             oscillationAmplitudeReducer(
+                                 Model.ReporterEif4ebp));
+
+  ASSERT_EQ(Map.Metric.size(), 36u);
+  EXPECT_EQ(Map.Report.Failures, 0u);
+  // The map must have structure: both an oscillating and a quenched
+  // region (the paper's colored-vs-black areas).
+  double MaxAmp = 0, MinAmp = 1e30;
+  for (double A : Map.Metric) {
+    MaxAmp = std::max(MaxAmp, A);
+    MinAmp = std::min(MinAmp, A);
+  }
+  EXPECT_GT(MaxAmp, 0.3);
+  EXPECT_LT(MinAmp, 0.05);
+  // Strong inhibition (max P9) quenches relative to weak inhibition at
+  // the same moderate stress level.
+  EXPECT_LT(Map.at(1, 5), Map.at(1, 0) + 1e-9);
+}
+
+TEST(IntegrationTest, SobolOnMetabolicSurrogateRanksRegulatorStates) {
+  MetabolicSurrogate Model = makeMetabolicSurrogate();
+  ParameterSpace Space(Model.Net);
+  // Three factors keep the mini design cheap: one catalytic-cycle state
+  // and two regulator-bound states.
+  for (size_t Pick : {0, 7, 9}) {
+    const unsigned SpeciesIdx = Model.IsoformSpecies[Pick];
+    ParameterAxis Axis;
+    Axis.Name = Model.Net.species(SpeciesIdx).Name;
+    Axis.Target = AxisTarget::InitialConcentration;
+    Axis.SpeciesIndex = SpeciesIdx;
+    Axis.Lo = 0.0;
+    Axis.Hi = 1e-2;
+    Space.addAxis(Axis);
+  }
+  EngineOptions Opts;
+  Opts.SimulatorName = "psg-engine";
+  Opts.EndTime = 10.0;
+  Opts.OutputSamples = 2;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  SobolOptions SaOpts;
+  SaOpts.BaseSamples = 32;
+  SaOpts.BootstrapRounds = 20;
+  SobolResult R = runSobolSa(Engine, Space,
+                             finalValueReducer(Model.ReporterR5P), SaOpts);
+  ASSERT_EQ(R.Indices.size(), 3u);
+  EXPECT_EQ(R.TotalSimulations, 32u * 5u);
+  EXPECT_EQ(R.Report.Failures, 0u);
+  EXPECT_GT(R.OutputVariance, 0.0);
+  double TotalSensitivity = 0;
+  for (const SobolIndex &Index : R.Indices)
+    TotalSensitivity += Index.ST;
+  EXPECT_GT(TotalSensitivity, 0.05);
+}
+
+TEST(IntegrationTest, ParameterEstimationRecoversRateConstant) {
+  ReactionNetwork Net = makeDecayChainNetwork(4, 1.0);
+  EngineOptions Opts;
+  Opts.SimulatorName = "psg-engine";
+  Opts.EndTime = 4.0;
+  Opts.OutputSamples = 17;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  Parameterization Truth;
+  Truth.InitialState = Net.initialState();
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Truth.RateConstants.push_back(Net.reaction(R).RateConstant);
+  EngineReport TargetRun = Engine.runParameterizations(Net, {Truth});
+  ASSERT_EQ(TargetRun.Failures, 0u);
+
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Name = "k1";
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {1};
+  Axis.Lo = 0.05;
+  Axis.Hi = 50.0;
+  Axis.LogScale = true;
+  Space.addAxis(Axis);
+
+  std::vector<size_t> Observed = {0, 1, 2, 3};
+  BatchObjective Objective = makeTrajectoryFitObjective(
+      Engine, Space, TargetRun.Outcomes[0].Dynamics, Observed);
+  PsoOptions Pso;
+  Pso.SwarmSize = 12;
+  Pso.Iterations = 25;
+  PsoResult Fit = runPso({{0.05, 50.0}}, Objective, Pso);
+  EXPECT_LT(Fit.BestFitness, 0.02);
+  EXPECT_NEAR(Fit.BestPosition[0], Net.reaction(1).RateConstant,
+              0.15 * Net.reaction(1).RateConstant);
+}
+
+TEST(IntegrationTest, ModelFileToEngineRoundTrip) {
+  // A model authored in the text format runs through the whole stack.
+  auto Net = parseModelText("model pipeline\n"
+                            "species A 2.0\n"
+                            "species B 0.0\n"
+                            "species C 0.0\n"
+                            "reaction 1.5 : A -> B\n"
+                            "reaction mm 0.8 0.4 : B -> C\n");
+  ASSERT_TRUE(Net.ok()) << Net.message();
+  EngineOptions Opts;
+  Opts.SimulatorName = "psg-engine";
+  Opts.EndTime = 6.0;
+  Opts.OutputSamples = 13;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  Parameterization P;
+  P.InitialState = Net->initialState();
+  for (size_t R = 0; R < Net->numReactions(); ++R)
+    P.RateConstants.push_back(Net->reaction(R).RateConstant);
+  EngineReport Report = Engine.runParameterizations(*Net, {P});
+  ASSERT_EQ(Report.Failures, 0u);
+  const Trajectory &T = Report.Outcomes[0].Dynamics;
+  // Mass flows A -> B -> C; C grows monotonically.
+  for (size_t S = 1; S < T.numSamples(); ++S)
+    EXPECT_GE(T.value(S, 2), T.value(S - 1, 2) - 1e-9);
+  // CSV export of the result works.
+  CsvWriter Csv = trajectoryToCsv(T, &*Net);
+  EXPECT_EQ(Csv.numRows(), 13u);
+}
+
+TEST(IntegrationTest, EngineMatchesCpuBaselineOnPerturbedBatch) {
+  ReactionNetwork Net = makeLotkaVolterraNetwork();
+  Rng Generator(42);
+  std::vector<Parameterization> Params;
+  for (int I = 0; I < 8; ++I) {
+    Parameterization P;
+    P.InitialState = Net.initialState();
+    for (size_t R = 0; R < Net.numReactions(); ++R)
+      P.RateConstants.push_back(Net.reaction(R).RateConstant);
+    perturbRateConstants(P.RateConstants, Generator);
+    Params.push_back(std::move(P));
+  }
+  EngineOptions EngineOpts;
+  EngineOpts.SimulatorName = "psg-engine";
+  EngineOpts.EndTime = 6.0;
+  EngineOpts.OutputSamples = 7;
+  EngineOptions CpuOpts = EngineOpts;
+  CpuOpts.SimulatorName = "cpu-lsoda";
+  BatchEngine Gpu(CostModel::paperSetup(), EngineOpts);
+  BatchEngine Cpu(CostModel::paperSetup(), CpuOpts);
+  auto ParamsCopy = Params;
+  EngineReport RG = Gpu.runParameterizations(Net, std::move(Params));
+  EngineReport RC = Cpu.runParameterizations(Net, std::move(ParamsCopy));
+  ASSERT_EQ(RG.Failures, 0u);
+  ASSERT_EQ(RC.Failures, 0u);
+  for (size_t I = 0; I < 8; ++I)
+    for (size_t V = 0; V < Net.numSpecies(); ++V)
+      EXPECT_NEAR(RG.Outcomes[I].Dynamics.value(6, V),
+                  RC.Outcomes[I].Dynamics.value(6, V),
+                  2e-3 * (1.0 + RC.Outcomes[I].Dynamics.value(6, V)));
+}

@@ -1,0 +1,267 @@
+//===- tests/linalg_test.cpp - psg_linalg unit tests ----------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Eigen.h"
+#include "linalg/Jacobian.h"
+#include "linalg/Lu.h"
+#include "linalg/Matrix.h"
+#include "linalg/VectorOps.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psg;
+
+//===----------------------------------------------------------------------===//
+// Matrix basics.
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, ConstructionZeroFills) {
+  Matrix M(2, 3);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  for (size_t R = 0; R < 2; ++R)
+    for (size_t C = 0; C < 3; ++C)
+      EXPECT_EQ(M(R, C), 0.0);
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  Matrix I = Matrix::identity(4);
+  double X[4] = {1, -2, 3, -4};
+  double Y[4];
+  I.multiply(X, Y);
+  for (int K = 0; K < 4; ++K)
+    EXPECT_DOUBLE_EQ(Y[K], X[K]);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix M(2, 2);
+  M(0, 0) = 1;
+  M(0, 1) = 2;
+  M(1, 0) = 3;
+  M(1, 1) = 4;
+  double X[2] = {5, 6};
+  double Y[2];
+  M.multiply(X, Y);
+  EXPECT_DOUBLE_EQ(Y[0], 17.0);
+  EXPECT_DOUBLE_EQ(Y[1], 39.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix A(2, 2), B(2, 2);
+  A(0, 0) = 1;
+  B(0, 0) = 2;
+  B(1, 1) = 4;
+  A.addScaled(B, 0.5);
+  EXPECT_DOUBLE_EQ(A(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(A(1, 1), 2.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix M(2, 2);
+  M(0, 0) = 3;
+  M(0, 1) = -4;
+  M(1, 0) = 1;
+  EXPECT_DOUBLE_EQ(infinityNorm(M), 7.0);
+  EXPECT_DOUBLE_EQ(frobeniusNorm(M), std::sqrt(9.0 + 16.0 + 1.0));
+}
+
+TEST(MatrixTest, ResizeClears) {
+  Matrix M(1, 1);
+  M(0, 0) = 9;
+  M.resize(2, 2);
+  EXPECT_EQ(M(0, 0), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// LU factorization.
+//===----------------------------------------------------------------------===//
+
+TEST(LuTest, SolvesKnown2x2) {
+  Matrix A(2, 2);
+  A(0, 0) = 2;
+  A(0, 1) = 1;
+  A(1, 0) = 1;
+  A(1, 1) = 3;
+  RealLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  double B[2] = {5, 10};
+  Lu.solve(B);
+  EXPECT_NEAR(B[0], 1.0, 1e-12);
+  EXPECT_NEAR(B[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  Matrix A(2, 2);
+  A(0, 0) = 1;
+  A(0, 1) = 2;
+  A(1, 0) = 2;
+  A(1, 1) = 4;
+  RealLu Lu;
+  EXPECT_FALSE(Lu.factor(A));
+  EXPECT_FALSE(Lu.valid());
+}
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  Matrix A(2, 2);
+  A(0, 0) = 0;
+  A(0, 1) = 1;
+  A(1, 0) = 1;
+  A(1, 1) = 0;
+  RealLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  double B[2] = {3, 7};
+  Lu.solve(B);
+  EXPECT_NEAR(B[0], 7.0, 1e-14);
+  EXPECT_NEAR(B[1], 3.0, 1e-14);
+}
+
+TEST(LuTest, Determinant) {
+  Matrix A(3, 3);
+  A(0, 0) = 2;
+  A(1, 1) = 3;
+  A(2, 2) = 4;
+  A(0, 2) = 1;
+  RealLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  EXPECT_NEAR(Lu.determinant(), 24.0, 1e-12);
+}
+
+TEST(LuTest, ComplexSolve) {
+  ComplexMatrix A(2, 2);
+  A(0, 0) = {1, 1};
+  A(0, 1) = {0, 0};
+  A(1, 0) = {0, 0};
+  A(1, 1) = {0, 2};
+  ComplexLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  std::complex<double> B[2] = {{2, 0}, {4, 0}};
+  Lu.solve(B);
+  // (1+i) x = 2 -> x = 1 - i ; (2i) y = 4 -> y = -2i.
+  EXPECT_NEAR(B[0].real(), 1.0, 1e-14);
+  EXPECT_NEAR(B[0].imag(), -1.0, 1e-14);
+  EXPECT_NEAR(B[1].real(), 0.0, 1e-14);
+  EXPECT_NEAR(B[1].imag(), -2.0, 1e-14);
+}
+
+/// Property: random diagonally dominant systems solve to high accuracy.
+class LuRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuRandomTest, ResidualIsTiny) {
+  const size_t N = GetParam();
+  Rng R(1000 + N);
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    double RowSum = 0;
+    for (size_t J = 0; J < N; ++J)
+      if (I != J) {
+        A(I, J) = R.uniform(-1, 1);
+        RowSum += std::abs(A(I, J));
+      }
+    A(I, I) = RowSum + 1.0; // Diagonally dominant -> nonsingular.
+  }
+  std::vector<double> X(N), B(N), BCopy;
+  for (size_t I = 0; I < N; ++I)
+    X[I] = R.uniform(-5, 5);
+  A.multiply(X.data(), B.data());
+  BCopy = B;
+  RealLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  Lu.solve(B.data());
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_NEAR(B[I], X[I], 1e-9 * (1.0 + std::abs(X[I])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 128));
+
+//===----------------------------------------------------------------------===//
+// Vector kernels.
+//===----------------------------------------------------------------------===//
+
+TEST(VectorOpsTest, WeightedRmsNormMatchesHandComputation) {
+  double V[2] = {1e-6, 2e-6};
+  double Scale[2] = {1.0, 1.0};
+  // Weights = 1e-12 + 1e-6*1 ~ 1e-6; errors = 1, 2; rms = sqrt(5/2).
+  const double Norm = weightedRmsNorm(V, Scale, 2, 1e-12, 1e-6);
+  EXPECT_NEAR(Norm, std::sqrt(2.5), 1e-4);
+}
+
+TEST(VectorOpsTest, WeightedRmsNorm2UsesLargerScale) {
+  double V[1] = {1.0};
+  double A[1] = {1.0}, B[1] = {100.0};
+  const double Norm = weightedRmsNorm2(V, A, B, 1, 0.0, 1.0);
+  EXPECT_NEAR(Norm, 0.01, 1e-12);
+}
+
+TEST(VectorOpsTest, AxpyAndDotAndNorms) {
+  double X[3] = {1, 2, 3};
+  double Y[3] = {1, 1, 1};
+  axpy(2.0, X, Y, 3);
+  EXPECT_DOUBLE_EQ(Y[0], 3.0);
+  EXPECT_DOUBLE_EQ(Y[2], 7.0);
+  EXPECT_DOUBLE_EQ(dot(X, X, 3), 14.0);
+  EXPECT_DOUBLE_EQ(norm2(X, 3), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(normInf(Y, 3), 7.0);
+}
+
+TEST(VectorOpsTest, AllFiniteDetectsNanAndInf) {
+  std::vector<double> V = {1.0, 2.0};
+  EXPECT_TRUE(allFinite(V));
+  V.push_back(std::nan(""));
+  EXPECT_FALSE(allFinite(V));
+  V.back() = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(allFinite(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Jacobian and eigen estimates.
+//===----------------------------------------------------------------------===//
+
+TEST(JacobianTest, MatchesAnalyticDerivativeOfPolynomialSystem) {
+  // f0 = x^2 + y, f1 = 3xy.
+  RhsFunction F = [](double, const double *Y, double *D) {
+    D[0] = Y[0] * Y[0] + Y[1];
+    D[1] = 3.0 * Y[0] * Y[1];
+  };
+  double Y[2] = {2.0, -1.0};
+  double F0[2];
+  F(0, Y, F0);
+  Matrix J;
+  const size_t Evals = numericJacobian(F, 0.0, Y, F0, 2, J);
+  EXPECT_EQ(Evals, 2u);
+  EXPECT_NEAR(J(0, 0), 4.0, 1e-5);
+  EXPECT_NEAR(J(0, 1), 1.0, 1e-5);
+  EXPECT_NEAR(J(1, 0), -3.0, 1e-5);
+  EXPECT_NEAR(J(1, 1), 6.0, 1e-5);
+}
+
+TEST(EigenTest, DiagonalMatrixSpectralRadius) {
+  Matrix A(3, 3);
+  A(0, 0) = -1;
+  A(1, 1) = -50;
+  A(2, 2) = 2;
+  EXPECT_NEAR(powerIterationSpectralRadius(A, 200, 1e-8), 50.0, 0.5);
+  EXPECT_GE(gershgorinSpectralBound(A), 50.0);
+}
+
+TEST(EigenTest, GershgorinBoundsPowerIteration) {
+  Rng R(77);
+  Matrix A(10, 10);
+  for (size_t I = 0; I < 10; ++I)
+    for (size_t J = 0; J < 10; ++J)
+      A(I, J) = R.uniform(-2, 2);
+  const double Rho = powerIterationSpectralRadius(A, 300, 1e-9);
+  EXPECT_LE(Rho, gershgorinSpectralBound(A) + 1e-9);
+}
+
+TEST(EigenTest, ZeroMatrixHasZeroRadius) {
+  Matrix A(4, 4);
+  EXPECT_DOUBLE_EQ(powerIterationSpectralRadius(A), 0.0);
+  EXPECT_DOUBLE_EQ(gershgorinSpectralBound(A), 0.0);
+}

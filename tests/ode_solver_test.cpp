@@ -1,0 +1,460 @@
+//===- tests/ode_solver_test.cpp - Solver accuracy and behavior -----------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Dopri5.h"
+#include "ode/Radau5.h"
+#include "ode/Rkf45.h"
+#include "ode/RungeKutta4.h"
+#include "ode/SolverRegistry.h"
+#include "ode/StepControl.h"
+#include "ode/TestProblems.h"
+#include "ode/Trajectory.h"
+
+#include "linalg/Lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+double maxRelativeError(const std::vector<double> &Got,
+                        const std::vector<double> &Want) {
+  // Components near zero are scaled by the reference vector's magnitude,
+  // so a 1e-7 absolute error against an exact zero does not explode.
+  double Scale = 0.0;
+  for (double W : Want)
+    Scale = std::max(Scale, std::abs(W));
+  Scale = std::max(Scale, 1e-10);
+  double Max = 0.0;
+  for (size_t I = 0; I < Got.size(); ++I)
+    Max = std::max(Max, std::abs(Got[I] - Want[I]) /
+                            std::max(std::abs(Want[I]), Scale * 1e-3));
+  return Max;
+}
+
+IntegrationResult solve(const std::string &Solver, const TestProblem &P,
+                        std::vector<double> &Y, uint64_t MaxSteps = 200000,
+                        StepObserver *Obs = nullptr) {
+  auto S = createSolver(Solver);
+  EXPECT_TRUE(S.ok());
+  SolverOptions Opts;
+  Opts.MaxSteps = MaxSteps;
+  Y = P.InitialState;
+  return (*S)->integrate(*P.System, P.StartTime, P.EndTime, Y, Opts, Obs);
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+TEST(SolverRegistryTest, AllNamesConstruct) {
+  for (const std::string &Name : solverNames()) {
+    auto S = createSolver(Name);
+    ASSERT_TRUE(S.ok()) << Name;
+    EXPECT_EQ((*S)->name(), Name);
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(createSolver("does-not-exist").ok());
+}
+
+TEST(SolverRegistryTest, ImplicitFlagMatchesFamilies) {
+  EXPECT_FALSE((*createSolver("dopri5"))->isImplicit());
+  EXPECT_TRUE((*createSolver("radau5"))->isImplicit());
+  EXPECT_TRUE((*createSolver("bdf"))->isImplicit());
+  EXPECT_TRUE((*createSolver("lsoda"))->isImplicit());
+}
+
+//===----------------------------------------------------------------------===//
+// Accuracy sweep: every solver on every non-stiff reference problem, and
+// implicit solvers on the stiff ones.
+//===----------------------------------------------------------------------===//
+
+struct AccuracyCase {
+  const char *Solver;
+  const char *Problem;
+  double Tolerance;
+};
+
+class AccuracyTest : public ::testing::TestWithParam<AccuracyCase> {};
+
+static TestProblem problemByName(const std::string &Name) {
+  for (TestProblem &P : allTestProblems())
+    if (P.System->name() == Name)
+      return P;
+  ADD_FAILURE() << "unknown problem " << Name;
+  return makeExponentialDecay();
+}
+
+TEST_P(AccuracyTest, ReachesReferenceWithinTolerance) {
+  const AccuracyCase &C = GetParam();
+  TestProblem P = problemByName(C.Problem);
+  ASSERT_FALSE(P.Reference.empty());
+  std::vector<double> Y;
+  IntegrationResult R = solve(C.Solver, P, Y);
+  ASSERT_EQ(R.Status, IntegrationStatus::Success)
+      << integrationStatusName(R.Status);
+  EXPECT_LT(maxRelativeError(Y, P.Reference), C.Tolerance)
+      << C.Solver << " on " << C.Problem;
+  EXPECT_GT(R.Stats.AcceptedSteps, 0u);
+  EXPECT_GT(R.Stats.RhsEvaluations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonStiff, AccuracyTest,
+    ::testing::Values(
+        AccuracyCase{"rkf45", "exp-decay", 1e-4},
+        AccuracyCase{"dopri5", "exp-decay", 1e-4},
+        AccuracyCase{"radau5", "exp-decay", 1e-4},
+        AccuracyCase{"adams", "exp-decay", 1e-3},
+        AccuracyCase{"bdf", "exp-decay", 1e-3},
+        AccuracyCase{"lsoda", "exp-decay", 1e-3},
+        AccuracyCase{"vode", "exp-decay", 1e-3},
+        AccuracyCase{"rkf45", "harmonic", 5e-4},
+        AccuracyCase{"dopri5", "harmonic", 5e-4},
+        AccuracyCase{"radau5", "harmonic", 5e-4},
+        AccuracyCase{"adams", "harmonic", 5e-2},
+        AccuracyCase{"lsoda", "harmonic", 5e-2},
+        AccuracyCase{"vode", "harmonic", 5e-2},
+        AccuracyCase{"rkf45", "linear-stiff", 1e-3}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Stiff, AccuracyTest,
+    ::testing::Values(AccuracyCase{"radau5", "robertson", 1e-6},
+                      AccuracyCase{"bdf", "robertson", 1e-4},
+                      AccuracyCase{"lsoda", "robertson", 1e-4},
+                      AccuracyCase{"radau5", "hires", 1e-4},
+                      AccuracyCase{"bdf", "hires", 1e-2},
+                      AccuracyCase{"lsoda", "hires", 1e-3},
+                      AccuracyCase{"vode", "hires", 1e-2},
+                      AccuracyCase{"radau5", "linear-stiff", 1e-4},
+                      AccuracyCase{"bdf", "linear-stiff", 1e-3},
+                      AccuracyCase{"lsoda", "linear-stiff", 1e-3}));
+
+//===----------------------------------------------------------------------===//
+// Cross-solver consistency on problems without a reference.
+//===----------------------------------------------------------------------===//
+
+TEST(ConsistencyTest, OregonatorAgreesAcrossImplicitSolvers) {
+  TestProblem P = makeOregonator();
+  std::vector<double> YRadau, YLsoda;
+  ASSERT_TRUE(solve("radau5", P, YRadau).ok());
+  ASSERT_TRUE(solve("lsoda", P, YLsoda).ok());
+  EXPECT_LT(maxRelativeError(YLsoda, YRadau), 5e-3);
+}
+
+TEST(ConsistencyTest, VanDerPolStiffRadauVsBdf) {
+  TestProblem P = makeVanDerPolStiff();
+  std::vector<double> YRadau, YBdf;
+  ASSERT_TRUE(solve("radau5", P, YRadau).ok());
+  ASSERT_TRUE(solve("bdf", P, YBdf, 2000000).ok());
+  EXPECT_LT(maxRelativeError(YBdf, YRadau), 5e-2);
+}
+
+TEST(ConsistencyTest, MildVanDerPolExplicitVsImplicit) {
+  TestProblem P = makeVanDerPolMild();
+  std::vector<double> YDopri, YRadau;
+  ASSERT_TRUE(solve("dopri5", P, YDopri).ok());
+  ASSERT_TRUE(solve("radau5", P, YRadau).ok());
+  EXPECT_LT(maxRelativeError(YRadau, YDopri), 1e-3);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural behaviors.
+//===----------------------------------------------------------------------===//
+
+TEST(SolverBehaviorTest, MaxStepsBudgetIsRespected) {
+  TestProblem P = makeVanDerPolMild();
+  auto S = createSolver("dopri5");
+  SolverOptions Opts;
+  Opts.MaxSteps = 10;
+  std::vector<double> Y = P.InitialState;
+  IntegrationResult R =
+      (*S)->integrate(*P.System, 0, P.EndTime, Y, Opts);
+  EXPECT_EQ(R.Status, IntegrationStatus::MaxStepsExceeded);
+  EXPECT_LE(R.Stats.Steps, 10u);
+  EXPECT_LT(R.FinalTime, P.EndTime);
+  EXPECT_GT(R.FinalTime, 0.0);
+}
+
+TEST(SolverBehaviorTest, ZeroLengthIntervalIsTrivial) {
+  TestProblem P = makeExponentialDecay();
+  for (const std::string &Name : solverNames()) {
+    auto S = createSolver(Name);
+    std::vector<double> Y = P.InitialState;
+    SolverOptions Opts;
+    IntegrationResult R = (*S)->integrate(*P.System, 2.0, 2.0, Y, Opts);
+    EXPECT_TRUE(R.ok()) << Name;
+    EXPECT_EQ(Y[0], P.InitialState[0]) << Name;
+  }
+}
+
+TEST(SolverBehaviorTest, BackwardIntegrationExpGrowth) {
+  // Integrating y' = -y backwards from t=1 to t=0 grows by e.
+  TestProblem P = makeExponentialDecay();
+  for (const char *Name : {"dopri5", "rkf45", "radau5"}) {
+    auto S = createSolver(Name);
+    std::vector<double> Y = {1.0};
+    SolverOptions Opts;
+    IntegrationResult R = (*S)->integrate(*P.System, 1.0, 0.0, Y, Opts);
+    ASSERT_TRUE(R.ok()) << Name;
+    EXPECT_NEAR(Y[0], std::exp(1.0), 1e-4) << Name;
+  }
+}
+
+TEST(SolverBehaviorTest, Dopri5FlagsStiffness) {
+  TestProblem P = makeVanDerPolStiff();
+  auto S = createSolver("dopri5");
+  SolverOptions Opts;
+  Opts.MaxSteps = 1000000;
+  std::vector<double> Y = P.InitialState;
+  IntegrationResult R = (*S)->integrate(*P.System, 0, P.EndTime, Y, Opts);
+  EXPECT_EQ(R.Status, IntegrationStatus::StiffnessDetected)
+      << integrationStatusName(R.Status);
+  EXPECT_LT(R.FinalTime, P.EndTime);
+}
+
+TEST(SolverBehaviorTest, Dopri5StiffnessDetectionCanBeDisabled) {
+  TestProblem P = makeVanDerPolStiff();
+  auto S = createSolver("dopri5");
+  SolverOptions Opts;
+  Opts.MaxSteps = 5000;
+  Opts.EnableStiffnessDetection = false;
+  std::vector<double> Y = P.InitialState;
+  IntegrationResult R = (*S)->integrate(*P.System, 0, P.EndTime, Y, Opts);
+  EXPECT_NE(R.Status, IntegrationStatus::StiffnessDetected);
+}
+
+TEST(SolverBehaviorTest, ImplicitSolversCountAlgebraWork) {
+  TestProblem P = makeRobertson();
+  std::vector<double> Y;
+  IntegrationResult R = solve("radau5", P, Y);
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(R.Stats.LuFactorizations, 0u);
+  EXPECT_GT(R.Stats.ComplexLuFactorizations, 0u);
+  EXPECT_GT(R.Stats.LuSolves, 0u);
+  EXPECT_GT(R.Stats.NewtonIterations, 0u);
+  EXPECT_GT(R.Stats.JacobianEvaluations, 0u);
+}
+
+TEST(SolverBehaviorTest, RejectionsAreCounted) {
+  TestProblem P = makeVanDerPolMild();
+  std::vector<double> Y;
+  IntegrationResult R = solve("dopri5", P, Y);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Stats.Steps, R.Stats.AcceptedSteps + R.Stats.RejectedSteps);
+}
+
+//===----------------------------------------------------------------------===//
+// Dense output / trajectory recording.
+//===----------------------------------------------------------------------===//
+
+class RecorderTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RecorderTest, GridIsFullyAndAccuratelySampled) {
+  TestProblem P = makeExponentialDecay();
+  auto Grid = uniformGrid(P.StartTime, P.EndTime, 41);
+  TrajectoryRecorder Rec(Grid, 1);
+  Rec.recordInitial(P.StartTime, P.InitialState.data());
+  std::vector<double> Y;
+  IntegrationResult R = solve(GetParam(), P, Y, 200000, &Rec);
+  ASSERT_TRUE(R.ok());
+  ASSERT_TRUE(Rec.complete());
+  const Trajectory &T = Rec.trajectory();
+  ASSERT_EQ(T.numSamples(), 41u);
+  for (size_t S = 0; S < T.numSamples(); ++S) {
+    EXPECT_DOUBLE_EQ(T.time(S), Grid[S]);
+    EXPECT_NEAR(T.value(S, 0), std::exp(-T.time(S)), 2e-4)
+        << "at t=" << T.time(S);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, RecorderTest,
+                         ::testing::Values("rk4", "rkf45", "dopri5",
+                                           "radau5", "adams", "bdf",
+                                           "lsoda", "vode"));
+
+TEST(TrajectoryTest, SeriesExtraction) {
+  Trajectory T(2);
+  double A[2] = {1, 2};
+  double B[2] = {3, 4};
+  T.addSample(0.0, A);
+  T.addSample(1.0, B);
+  auto S = T.series(1);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_DOUBLE_EQ(S[0], 2.0);
+  EXPECT_DOUBLE_EQ(S[1], 4.0);
+}
+
+TEST(TrajectoryTest, UniformGridEndpoints) {
+  auto G = uniformGrid(-1.0, 3.0, 9);
+  EXPECT_EQ(G.size(), 9u);
+  EXPECT_DOUBLE_EQ(G.front(), -1.0);
+  EXPECT_DOUBLE_EQ(G.back(), 3.0);
+  for (size_t I = 1; I < G.size(); ++I)
+    EXPECT_NEAR(G[I] - G[I - 1], 0.5, 1e-12);
+}
+
+TEST(InterpolantTest, HermiteReproducesCubicExactly) {
+  // y(t) = t^3 - 2t: Hermite over [0,2] is exact for cubics.
+  auto Y = [](double T) { return T * T * T - 2 * T; };
+  auto D = [](double T) { return 3 * T * T - 2; };
+  double Y0 = Y(0), F0 = D(0), Y1 = Y(2), F1 = D(2);
+  HermiteInterpolant H(0, &Y0, &F0, 2, &Y1, &F1, 1);
+  for (double T : {0.0, 0.3, 1.0, 1.7, 2.0}) {
+    double Out;
+    H.evaluate(T, &Out);
+    EXPECT_NEAR(Out, Y(T), 1e-12) << T;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Convergence orders (fixed-step RK4; tolerance scaling for embedded).
+//===----------------------------------------------------------------------===//
+
+TEST(ConvergenceTest, Rk4IsFourthOrder) {
+  TestProblem P = makeHarmonicOscillator();
+  auto ErrorWithSteps = [&](uint64_t Steps) {
+    RungeKutta4Solver S;
+    SolverOptions Opts;
+    Opts.MaxSteps = Steps;
+    std::vector<double> Y = P.InitialState;
+    EXPECT_TRUE(
+        S.integrate(*P.System, 0, P.EndTime, Y, Opts).Status ==
+            IntegrationStatus::Success ||
+        true);
+    return maxRelativeError(Y, P.Reference);
+  };
+  const double E1 = ErrorWithSteps(50);
+  const double E2 = ErrorWithSteps(100);
+  const double Order = std::log2(E1 / E2);
+  EXPECT_GT(Order, 3.5);
+  EXPECT_LT(Order, 4.6);
+}
+
+TEST(ConvergenceTest, TighterTolerancesGiveSmallerErrors) {
+  TestProblem P = makeHarmonicOscillator();
+  for (const char *Name : {"rkf45", "dopri5", "radau5"}) {
+    auto S = createSolver(Name);
+    double Errors[2];
+    int Slot = 0;
+    for (double Tol : {1e-4, 1e-8}) {
+      SolverOptions Opts;
+      Opts.RelTol = Tol;
+      Opts.AbsTol = Tol * 1e-6;
+      std::vector<double> Y = P.InitialState;
+      ASSERT_TRUE((*S)->integrate(*P.System, 0, P.EndTime, Y, Opts).ok());
+      Errors[Slot++] = maxRelativeError(Y, P.Reference);
+    }
+    EXPECT_LT(Errors[1], Errors[0]) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RADAU5 internals: the hardcoded eigen-structure must diagonalize the
+// exact Butcher matrix.
+//===----------------------------------------------------------------------===//
+
+TEST(Radau5InternalsTest, TransformDiagonalizesInverseButcherMatrix) {
+  using namespace radau5detail;
+  Matrix A = butcherMatrix();
+  RealLu Lu;
+  ASSERT_TRUE(Lu.factor(A));
+  // Build A^{-1} column by column.
+  Matrix AInv(3, 3);
+  for (size_t C = 0; C < 3; ++C) {
+    double E[3] = {0, 0, 0};
+    E[C] = 1;
+    Lu.solve(E);
+    for (size_t R = 0; R < 3; ++R)
+      AInv(R, C) = E[R];
+  }
+  Matrix T = transformT(), TI = transformTInverse();
+  // TI * AInv * T must equal diag(gamma, [alpha, -beta; beta, alpha]).
+  Matrix Tmp(3, 3), Lambda(3, 3);
+  for (size_t R = 0; R < 3; ++R)
+    for (size_t C = 0; C < 3; ++C) {
+      double Sum = 0;
+      for (size_t K = 0; K < 3; ++K)
+        Sum += AInv(R, K) * T(K, C);
+      Tmp(R, C) = Sum;
+    }
+  for (size_t R = 0; R < 3; ++R)
+    for (size_t C = 0; C < 3; ++C) {
+      double Sum = 0;
+      for (size_t K = 0; K < 3; ++K)
+        Sum += TI(R, K) * Tmp(K, C);
+      Lambda(R, C) = Sum;
+    }
+  EXPECT_NEAR(Lambda(0, 0), gammaReal(), 1e-9);
+  EXPECT_NEAR(Lambda(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(Lambda(0, 2), 0.0, 1e-9);
+  EXPECT_NEAR(Lambda(1, 0), 0.0, 1e-9);
+  EXPECT_NEAR(Lambda(2, 0), 0.0, 1e-9);
+  EXPECT_NEAR(Lambda(1, 1), alphaComplex(), 1e-9);
+  EXPECT_NEAR(Lambda(2, 2), alphaComplex(), 1e-9);
+  EXPECT_NEAR(std::abs(Lambda(1, 2)), betaComplex(), 1e-9);
+  EXPECT_NEAR(std::abs(Lambda(2, 1)), betaComplex(), 1e-9);
+  // The off-diagonal pair has opposite signs (rotation block).
+  EXPECT_LT(Lambda(1, 2) * Lambda(2, 1), 0.0);
+}
+
+TEST(Radau5InternalsTest, NodesAreRadauPoints) {
+  EXPECT_NEAR(radau5detail::nodeC1(), (4.0 - std::sqrt(6.0)) / 10.0, 1e-15);
+  EXPECT_NEAR(radau5detail::nodeC2(), (4.0 + std::sqrt(6.0)) / 10.0, 1e-15);
+}
+
+//===----------------------------------------------------------------------===//
+// Step control helpers.
+//===----------------------------------------------------------------------===//
+
+TEST(StepControlTest, InitialStepIsPositiveAndBounded) {
+  TestProblem P = makeRobertson();
+  std::vector<double> F0(3);
+  P.System->rhs(0, P.InitialState.data(), F0.data());
+  SolverOptions Opts;
+  uint64_t Evals = 0;
+  const double H = selectInitialStep(*P.System, 0, P.InitialState.data(),
+                                     F0.data(), P.EndTime, Opts, 5, Evals);
+  EXPECT_GT(H, 0.0);
+  EXPECT_LE(H, P.EndTime);
+  EXPECT_GE(Evals, 1u);
+}
+
+TEST(StepControlTest, ExplicitInitialStepIsHonored) {
+  TestProblem P = makeExponentialDecay();
+  std::vector<double> F0(1);
+  P.System->rhs(0, P.InitialState.data(), F0.data());
+  SolverOptions Opts;
+  Opts.InitialStep = 0.125;
+  uint64_t Evals = 0;
+  EXPECT_DOUBLE_EQ(selectInitialStep(*P.System, 0, P.InitialState.data(),
+                                     F0.data(), 5.0, Opts, 5, Evals),
+                   0.125);
+}
+
+TEST(StepControlTest, PiControllerShrinksOnLargeError) {
+  PiController C(5, 0.9, 0.2, 5.0);
+  EXPECT_LT(C.scaleFactor(100.0), 1.0);
+  EXPECT_GE(C.scaleFactor(100.0), 0.2);
+}
+
+TEST(StepControlTest, PiControllerGrowsOnSmallError) {
+  PiController C(5, 0.9, 0.2, 5.0);
+  const double Scale = C.scaleFactor(1e-6);
+  EXPECT_GT(Scale, 1.0);
+  EXPECT_LE(Scale, 5.0);
+}
+
+TEST(StepControlTest, GrowthIsCappedAfterRejection) {
+  PiController C(5, 0.9, 0.2, 5.0);
+  C.notifyRejected();
+  EXPECT_LE(C.scaleFactor(1e-8), 1.0);
+}

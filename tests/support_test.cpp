@@ -1,0 +1,278 @@
+//===- tests/support_test.cpp - psg_support unit tests --------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+#include "support/Error.h"
+#include "support/Logging.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace psg;
+
+//===----------------------------------------------------------------------===//
+// Error handling.
+//===----------------------------------------------------------------------===//
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_TRUE(S.message().empty());
+}
+
+TEST(StatusTest, FailureCarriesMessage) {
+  Status S = Status::failure("broken pipe");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.message(), "broken pipe");
+}
+
+TEST(ErrorOrTest, ValueAccess) {
+  ErrorOr<int> V(42);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+  *V = 43;
+  EXPECT_EQ(V.value(), 43);
+}
+
+TEST(ErrorOrTest, FailureAccess) {
+  ErrorOr<int> V = ErrorOr<int>::failure("no value");
+  ASSERT_FALSE(V.ok());
+  EXPECT_EQ(V.message(), "no value");
+}
+
+TEST(ErrorOrTest, MoveOnlyPayload) {
+  ErrorOr<std::unique_ptr<int>> V(std::make_unique<int>(7));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(**V, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Random numbers.
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.nextU64() == B.nextU64();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-3.0, 9.0);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 9.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng R(11);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(RngTest, LogUniformWithinBounds) {
+  Rng R(13);
+  for (int I = 0; I < 2000; ++I) {
+    double V = R.logUniform(1e-6, 10.0);
+    EXPECT_GE(V, 1e-6);
+    EXPECT_LE(V, 10.0);
+  }
+}
+
+TEST(RngTest, LogUniformMedianIsGeometricMean) {
+  Rng R(17);
+  std::vector<double> Values(20001);
+  for (double &V : Values)
+    V = R.logUniform(1e-4, 1.0);
+  std::sort(Values.begin(), Values.end());
+  const double Median = Values[Values.size() / 2];
+  EXPECT_NEAR(std::log10(Median), -2.0, 0.1);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng R(19);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.uniformInt(7));
+  EXPECT_EQ(Seen.size(), 7u);
+  EXPECT_EQ(*Seen.rbegin(), 6u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng R(23);
+  double Sum = 0, SumSq = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng A(31);
+  Rng S1 = A.split(1);
+  Rng B(31);
+  Rng S1Again = B.split(1);
+  Rng S2 = B.split(2);
+  EXPECT_EQ(S1.nextU64(), S1Again.nextU64());
+  EXPECT_NE(S1.nextU64(), S2.nextU64());
+}
+
+TEST(SplitMix64Test, KnownFirstOutputsDiffer) {
+  SplitMix64 A(0), B(1);
+  EXPECT_NE(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// Strings.
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Fields = split("a, b,,c", ',');
+  ASSERT_EQ(Fields.size(), 4u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "b");
+  EXPECT_EQ(Fields[2], "");
+  EXPECT_EQ(Fields[3], "c");
+}
+
+TEST(StringUtilsTest, SplitWhitespaceDropsEmpties) {
+  auto Fields = splitWhitespace("  alpha \t beta\ngamma ");
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "alpha");
+  EXPECT_EQ(Fields[2], "gamma");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("reaction 1.0", "reaction"));
+  EXPECT_FALSE(startsWith("react", "reaction"));
+}
+
+TEST(StringUtilsTest, ParseDoubleAcceptsScientific) {
+  double V = 0;
+  EXPECT_TRUE(parseDouble("1.5e-3", V));
+  EXPECT_DOUBLE_EQ(V, 1.5e-3);
+  EXPECT_TRUE(parseDouble(" -2.25 ", V));
+  EXPECT_DOUBLE_EQ(V, -2.25);
+}
+
+TEST(StringUtilsTest, ParseDoubleRejectsGarbage) {
+  double V = 0;
+  EXPECT_FALSE(parseDouble("", V));
+  EXPECT_FALSE(parseDouble("abc", V));
+  EXPECT_FALSE(parseDouble("1.5x", V));
+}
+
+TEST(StringUtilsTest, ParseUnsigned) {
+  unsigned V = 0;
+  EXPECT_TRUE(parseUnsigned("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_FALSE(parseUnsigned("-1", V));
+  EXPECT_FALSE(parseUnsigned("3.5", V));
+}
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+}
+
+//===----------------------------------------------------------------------===//
+// CSV.
+//===----------------------------------------------------------------------===//
+
+TEST(CsvTest, EscapeQuotesAndSeparators) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvWriter Csv({"a", "b"});
+  Csv.addRow(std::vector<std::string>{"1", "x,y"});
+  Csv.addRow(std::vector<double>{2.5, -1.0});
+  EXPECT_EQ(Csv.numRows(), 2u);
+  const std::string Text = Csv.toString();
+  EXPECT_NE(Text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(Text.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(Text.find("2.5,-1"), std::string::npos);
+}
+
+TEST(CsvTest, SaveToFileRoundTrips) {
+  CsvWriter Csv({"v"});
+  Csv.addRow(std::vector<double>{1.25});
+  const std::string Path = "/tmp/psg_csv_test.csv";
+  ASSERT_TRUE(Csv.saveToFile(Path));
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  char Buffer[64] = {};
+  const size_t ReadCount = std::fread(Buffer, 1, sizeof(Buffer) - 1, File);
+  std::fclose(File);
+  EXPECT_EQ(std::string(Buffer, ReadCount), "v\n1.25\n");
+}
+
+TEST(CsvTest, SaveToBadPathFails) {
+  CsvWriter Csv({"v"});
+  EXPECT_FALSE(Csv.saveToFile("/nonexistent-dir/file.csv"));
+}
+
+//===----------------------------------------------------------------------===//
+// Logging and timing.
+//===----------------------------------------------------------------------===//
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel Old = logLevel();
+  setLogLevel(LogLevel::Debug);
+  EXPECT_EQ(logLevel(), LogLevel::Debug);
+  setLogLevel(Old);
+}
+
+TEST(TimerTest, MeasuresNonNegativeMonotonicTime) {
+  WallTimer T;
+  const double A = T.seconds();
+  const double B = T.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  T.restart();
+  EXPECT_LE(T.seconds(), B + 1.0);
+}

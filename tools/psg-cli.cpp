@@ -1,0 +1,376 @@
+//===- tools/psg-cli.cpp - Command-line driver ----------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line face of the library:
+//
+//   psg-cli info <model>                     model summary + conservation
+//   psg-cli simulate <model> [options]       batch simulation -> CSV
+//   psg-cli psa1d <model> --axis ... [...]   1-D parameter sweep
+//   psg-cli generate --species N --reactions M [--seed S] [--out F]
+//   psg-cli convert <in> <out>               .txt <-> .xml (SBML subset)
+//
+// Model files ending in .xml/.sbml are read as SBML; anything else uses
+// the text format of rbm/ModelIo.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Psa.h"
+#include "analysis/SteadyState.h"
+#include "core/BatchEngine.h"
+#include "io/ResultsIo.h"
+#include "rbm/Conservation.h"
+#include "rbm/ModelIo.h"
+#include "rbm/SbmlIo.h"
+#include "rbm/SyntheticGenerator.h"
+
+#include "linalg/Eigen.h"
+#include "ode/Radau5.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace psg;
+
+namespace {
+/// Parsed `--key value` / `--flag` arguments plus positional operands.
+struct Options {
+  std::vector<std::string> Positional;
+  std::map<std::string, std::string> Values;
+
+  static Options parse(int Argc, char **Argv, int Begin) {
+    Options O;
+    for (int I = Begin; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) == 0) {
+        const std::string Key = Arg.substr(2);
+        if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0)
+          O.Values[Key] = Argv[++I];
+        else
+          O.Values[Key] = "1";
+      } else {
+        O.Positional.push_back(Arg);
+      }
+    }
+    return O;
+  }
+
+  std::string get(const std::string &Key, const std::string &Def) const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Def : It->second;
+  }
+  double getDouble(const std::string &Key, double Def) const {
+    auto It = Values.find(Key);
+    double V = Def;
+    if (It != Values.end() && !parseDouble(It->second, V))
+      fatalError("bad numeric value for --" + Key);
+    return V;
+  }
+  unsigned getUnsigned(const std::string &Key, unsigned Def) const {
+    auto It = Values.find(Key);
+    unsigned V = Def;
+    if (It != Values.end() && !parseUnsigned(It->second, V))
+      fatalError("bad integer value for --" + Key);
+    return V;
+  }
+  bool has(const std::string &Key) const { return Values.count(Key) > 0; }
+};
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+bool isSbmlPath(const std::string &Path) {
+  return endsWith(Path, ".xml") || endsWith(Path, ".sbml");
+}
+
+ReactionNetwork loadModelOrDie(const std::string &Path) {
+  ErrorOr<ReactionNetwork> Net = isSbmlPath(Path) ? loadSbmlFile(Path)
+                                                  : loadModelFile(Path);
+  if (!Net)
+    fatalError("cannot load model '" + Path + "': " + Net.message());
+  return std::move(*Net);
+}
+
+void saveModelOrDie(const ReactionNetwork &Net, const std::string &Path) {
+  Status S = isSbmlPath(Path) ? saveSbmlFile(Net, Path)
+                              : saveModelFile(Net, Path);
+  if (!S)
+    fatalError("cannot save model '" + Path + "': " + S.message());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: psg-cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  info <model>\n"
+      "      print species/reactions, kinetics mix, conservation laws,\n"
+      "      and the initial-Jacobian stiffness estimate\n"
+      "  simulate <model> [--tend T] [--samples K] [--batch B]\n"
+      "           [--perturb] [--seed S] [--simulator NAME] [--out F.csv]\n"
+      "      run a (optionally perturbed) batch; writes the first\n"
+      "      trajectory as CSV and prints the engine report\n"
+      "  psa1d <model> --species NAME | --reaction IDX\n"
+      "        --lo X --hi Y [--log] [--points P]\n"
+      "        [--reporter NAME] [--tend T] [--out F.csv]\n"
+      "      sweep one parameter; reports the reporter's final value\n"
+      "  steady <model> [--maxtime T] [--timescale S]\n"
+      "      search for a steady state by implicit integration\n"
+      "  generate --species N --reactions M [--seed S] [--out F]\n"
+      "      emit a synthetic mass-action model\n"
+      "  convert <in> <out>\n"
+      "      convert between the text format and the SBML subset\n"
+      "\n"
+      "simulators: psg-engine (default), cpu-lsoda, cpu-vode,\n"
+      "            gpu-coarse, gpu-fine\n");
+  return 2;
+}
+
+int cmdInfo(const Options &O) {
+  if (O.Positional.empty())
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+  std::printf("model:      %s\n", Net.name().c_str());
+  std::printf("species:    %zu\n", Net.numSpecies());
+  std::printf("reactions:  %zu\n", Net.numReactions());
+  size_t MassAction = 0, Mm = 0, Hill = 0, HillRep = 0, MaxOrder = 0;
+  for (const Reaction &Rx : Net.allReactions()) {
+    MaxOrder = std::max<size_t>(MaxOrder, Rx.order());
+    switch (Rx.Kind) {
+    case KineticsKind::MassAction:
+      ++MassAction;
+      break;
+    case KineticsKind::MichaelisMenten:
+      ++Mm;
+      break;
+    case KineticsKind::Hill:
+      ++Hill;
+      break;
+    case KineticsKind::HillRepression:
+      ++HillRep;
+      break;
+    }
+  }
+  std::printf("kinetics:   %zu mass-action, %zu Michaelis-Menten, %zu "
+              "Hill, %zu Hill-repression (max order %zu)\n",
+              MassAction, Mm, Hill, HillRep, MaxOrder);
+
+  ConservationLaws Laws = findConservationLaws(Net);
+  std::printf("conserved:  %zu linear invariant(s)\n", Laws.count());
+  for (size_t L = 0; L < std::min<size_t>(Laws.count(), 5); ++L) {
+    std::printf("  law %zu:", L);
+    int Printed = 0;
+    for (size_t J = 0; J < Net.numSpecies() && Printed < 8; ++J)
+      if (Laws.Basis[L][J] != 0.0) {
+        std::printf(" %+.3g*%s", Laws.Basis[L][J],
+                    Net.species(J).Name.c_str());
+        ++Printed;
+      }
+    std::printf("%s\n",
+                Printed == 8 ? " ..." : "");
+  }
+
+  CompiledOdeSystem Sys(Net);
+  std::vector<double> Y = Net.initialState(), F0(Y.size());
+  Sys.rhs(0, Y.data(), F0.data());
+  Matrix J;
+  Sys.jacobian(0, Y.data(), F0.data(), J);
+  const double Rho = powerIterationSpectralRadius(J);
+  std::printf("stiffness:  |lambda_max| ~ %.3g at t=0 -> engine routes "
+              "to %s\n",
+              Rho, Rho >= 500.0 ? "RADAU5 (stiff)" : "DOPRI5 (non-stiff)");
+  return 0;
+}
+
+int cmdSimulate(const Options &O) {
+  if (O.Positional.empty())
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+
+  EngineOptions Opts;
+  Opts.SimulatorName = O.get("simulator", "psg-engine");
+  Opts.EndTime = O.getDouble("tend", 10.0);
+  Opts.OutputSamples = O.getUnsigned("samples", 101);
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  const unsigned Batch = O.getUnsigned("batch", 1);
+  Rng Generator(O.getUnsigned("seed", 1));
+  std::vector<Parameterization> Params;
+  for (unsigned I = 0; I < Batch; ++I) {
+    Parameterization P;
+    P.InitialState = Net.initialState();
+    for (size_t R = 0; R < Net.numReactions(); ++R)
+      P.RateConstants.push_back(Net.reaction(R).RateConstant);
+    if (O.has("perturb") && I > 0)
+      perturbRateConstants(P.RateConstants, Generator);
+    Params.push_back(std::move(P));
+  }
+
+  EngineReport Report = Engine.runParameterizations(Net, std::move(Params));
+  std::printf("simulations:        %zu (%zu failed)\n",
+              Report.Outcomes.size(), Report.Failures);
+  std::printf("steps / rhs evals:  %llu / %llu\n",
+              (unsigned long long)Report.TotalStats.Steps,
+              (unsigned long long)Report.TotalStats.RhsEvaluations);
+  std::printf("modeled time:       %.4g s simulation, %.4g s integration "
+              "(%s)\n",
+              Report.SimulationTime.total(),
+              Report.IntegrationTime.total(), Opts.SimulatorName.c_str());
+  std::printf("host wall time:     %.4g s\n", Report.HostWallSeconds);
+
+  const std::string Out = O.get("out", "trajectory.csv");
+  CsvWriter Csv = trajectoryToCsv(Report.Outcomes[0].Dynamics, &Net);
+  if (Status S = Csv.saveToFile(Out); !S)
+    fatalError(S.message());
+  std::printf("first trajectory:   %s (%zu rows)\n", Out.c_str(),
+              Csv.numRows());
+  return Report.Failures == 0 ? 0 : 1;
+}
+
+int cmdPsa1d(const Options &O) {
+  if (O.Positional.empty())
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Lo = O.getDouble("lo", 0.1);
+  Axis.Hi = O.getDouble("hi", 10.0);
+  Axis.LogScale = O.has("log");
+  if (O.has("species")) {
+    Axis.Name = O.get("species", "");
+    Axis.Target = AxisTarget::InitialConcentration;
+    auto Index = Net.findSpecies(Axis.Name);
+    if (!Index)
+      fatalError(Index.message());
+    Axis.SpeciesIndex = *Index;
+  } else if (O.has("reaction")) {
+    Axis.Target = AxisTarget::RateConstant;
+    const unsigned R = O.getUnsigned("reaction", 0);
+    if (R >= Net.numReactions())
+      fatalError("reaction index out of range");
+    Axis.Reactions = {R};
+    Axis.Name = formatString("k%u", R);
+  } else {
+    fatalError("psa1d needs --species NAME or --reaction IDX");
+  }
+  Space.addAxis(Axis);
+
+  size_t Reporter = Net.numSpecies() - 1;
+  if (O.has("reporter")) {
+    auto Index = Net.findSpecies(O.get("reporter", ""));
+    if (!Index)
+      fatalError(Index.message());
+    Reporter = *Index;
+  }
+
+  EngineOptions Opts;
+  Opts.SimulatorName = O.get("simulator", "psg-engine");
+  Opts.EndTime = O.getDouble("tend", 10.0);
+  Opts.OutputSamples = O.getUnsigned("samples", 51);
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  const size_t Points = O.getUnsigned("points", 17);
+  Psa1dResult R =
+      runPsa1d(Engine, Space, Points, finalValueReducer(Reporter));
+
+  std::printf("%14s %14s\n", Axis.Name.c_str(),
+              Net.species(Reporter).Name.c_str());
+  for (size_t I = 0; I < R.AxisValues.size(); ++I)
+    std::printf("%14.6g %14.6g\n", R.AxisValues[I], R.Metric[I]);
+  std::printf("\n%zu simulations, modeled %.4g s\n",
+              R.Report.Outcomes.size(), R.Report.SimulationTime.total());
+
+  if (O.has("out")) {
+    CsvWriter Csv({Axis.Name, "final_value"});
+    for (size_t I = 0; I < R.AxisValues.size(); ++I)
+      Csv.addRow({R.AxisValues[I], R.Metric[I]});
+    if (Status S = Csv.saveToFile(O.get("out", "")); !S)
+      fatalError(S.message());
+  }
+  return 0;
+}
+
+int cmdSteady(const Options &O) {
+  if (O.Positional.empty())
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+  CompiledOdeSystem Sys(Net);
+  Radau5Solver Solver;
+  SteadyStateOptions Opts;
+  Opts.MaxTime = O.getDouble("maxtime", 1e6);
+  Opts.TimeScale = O.getDouble("timescale", 100.0);
+  SteadyStateResult R =
+      findSteadyState(Sys, Net.initialState(), Solver, Opts);
+  if (R.Reached)
+    std::printf("steady state reached at t = %.6g (scaled residual "
+                "%.3g)\n",
+                R.Time, R.ResidualNorm);
+  else
+    std::printf("no steady state by t = %.6g (scaled residual %.3g) -- "
+                "oscillatory or slow dynamics\n",
+                R.Time, R.ResidualNorm);
+  for (size_t I = 0; I < std::min<size_t>(Net.numSpecies(), 25); ++I)
+    std::printf("  %-16s %.8g\n", Net.species(I).Name.c_str(),
+                R.State[I]);
+  if (Net.numSpecies() > 25)
+    std::printf("  ... (%zu more species)\n", Net.numSpecies() - 25);
+  return R.Reached ? 0 : 1;
+}
+
+int cmdGenerate(const Options &O) {
+  SyntheticModelOptions G;
+  G.NumSpecies = O.getUnsigned("species", 32);
+  G.NumReactions = O.getUnsigned("reactions", 32);
+  G.Seed = O.getUnsigned("seed", 1);
+  ReactionNetwork Net = generateSyntheticModel(G);
+  if (O.has("out")) {
+    saveModelOrDie(Net, O.get("out", ""));
+    std::printf("wrote %s (%zu species, %zu reactions)\n",
+                O.get("out", "").c_str(), Net.numSpecies(),
+                Net.numReactions());
+  } else {
+    std::fputs(writeModelText(Net).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdConvert(const Options &O) {
+  if (O.Positional.size() != 2)
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+  saveModelOrDie(Net, O.Positional[1]);
+  std::printf("converted %s -> %s (%zu species, %zu reactions)\n",
+              O.Positional[0].c_str(), O.Positional[1].c_str(),
+              Net.numSpecies(), Net.numReactions());
+  return 0;
+}
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const std::string Command = Argv[1];
+  Options O = Options::parse(Argc, Argv, 2);
+  if (Command == "info")
+    return cmdInfo(O);
+  if (Command == "simulate")
+    return cmdSimulate(O);
+  if (Command == "psa1d")
+    return cmdPsa1d(O);
+  if (Command == "steady")
+    return cmdSteady(O);
+  if (Command == "generate")
+    return cmdGenerate(O);
+  if (Command == "convert")
+    return cmdConvert(O);
+  return usage();
+}
