@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/support")
+subdirs("src/linalg")
+subdirs("src/rbm")
+subdirs("src/ode")
+subdirs("src/vgpu")
+subdirs("src/sim")
+subdirs("src/core")
+subdirs("src/analysis")
+subdirs("src/io")
+subdirs("tools")
+subdirs("examples")
+subdirs("tests")
+subdirs("bench-build")

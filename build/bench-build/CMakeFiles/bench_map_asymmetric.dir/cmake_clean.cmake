@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_map_asymmetric"
+  "../bench/bench_map_asymmetric.pdb"
+  "CMakeFiles/bench_map_asymmetric.dir/bench_map_asymmetric.cpp.o"
+  "CMakeFiles/bench_map_asymmetric.dir/bench_map_asymmetric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_map_symmetric"
+  "../bench/bench_map_symmetric.pdb"
+  "CMakeFiles/bench_map_symmetric.dir/bench_map_symmetric.cpp.o"
+  "CMakeFiles/bench_map_symmetric.dir/bench_map_symmetric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

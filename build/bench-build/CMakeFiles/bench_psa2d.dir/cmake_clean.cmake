@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_psa2d"
+  "../bench/bench_psa2d.pdb"
+  "CMakeFiles/bench_psa2d.dir/bench_psa2d.cpp.o"
+  "CMakeFiles/bench_psa2d.dir/bench_psa2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psa2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sobol_sa"
+  "../bench/bench_sobol_sa.pdb"
+  "CMakeFiles/bench_sobol_sa.dir/bench_sobol_sa.cpp.o"
+  "CMakeFiles/bench_sobol_sa.dir/bench_sobol_sa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sobol_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

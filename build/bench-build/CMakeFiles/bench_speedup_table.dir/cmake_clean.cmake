@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speedup_table"
+  "../bench/bench_speedup_table.pdb"
+  "CMakeFiles/bench_speedup_table.dir/bench_speedup_table.cpp.o"
+  "CMakeFiles/bench_speedup_table.dir/bench_speedup_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

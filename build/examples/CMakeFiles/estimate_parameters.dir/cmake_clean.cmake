@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_parameters.dir/estimate_parameters.cpp.o"
+  "CMakeFiles/estimate_parameters.dir/estimate_parameters.cpp.o.d"
+  "estimate_parameters"
+  "estimate_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

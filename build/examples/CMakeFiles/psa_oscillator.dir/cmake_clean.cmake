@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_oscillator.dir/psa_oscillator.cpp.o"
+  "CMakeFiles/psa_oscillator.dir/psa_oscillator.cpp.o.d"
+  "psa_oscillator"
+  "psa_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

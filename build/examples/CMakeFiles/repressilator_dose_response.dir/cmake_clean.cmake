@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repressilator_dose_response.dir/repressilator_dose_response.cpp.o"
+  "CMakeFiles/repressilator_dose_response.dir/repressilator_dose_response.cpp.o.d"
+  "repressilator_dose_response"
+  "repressilator_dose_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repressilator_dose_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

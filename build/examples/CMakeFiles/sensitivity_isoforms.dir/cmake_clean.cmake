@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_isoforms.dir/sensitivity_isoforms.cpp.o"
+  "CMakeFiles/sensitivity_isoforms.dir/sensitivity_isoforms.cpp.o.d"
+  "sensitivity_isoforms"
+  "sensitivity_isoforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_isoforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

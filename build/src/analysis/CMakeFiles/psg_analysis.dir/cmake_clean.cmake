@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_analysis.dir/Fitness.cpp.o"
+  "CMakeFiles/psg_analysis.dir/Fitness.cpp.o.d"
+  "CMakeFiles/psg_analysis.dir/Oscillation.cpp.o"
+  "CMakeFiles/psg_analysis.dir/Oscillation.cpp.o.d"
+  "CMakeFiles/psg_analysis.dir/Psa.cpp.o"
+  "CMakeFiles/psg_analysis.dir/Psa.cpp.o.d"
+  "CMakeFiles/psg_analysis.dir/Pso.cpp.o"
+  "CMakeFiles/psg_analysis.dir/Pso.cpp.o.d"
+  "CMakeFiles/psg_analysis.dir/Sobol.cpp.o"
+  "CMakeFiles/psg_analysis.dir/Sobol.cpp.o.d"
+  "CMakeFiles/psg_analysis.dir/SteadyState.cpp.o"
+  "CMakeFiles/psg_analysis.dir/SteadyState.cpp.o.d"
+  "libpsg_analysis.a"
+  "libpsg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_core.dir/BatchEngine.cpp.o"
+  "CMakeFiles/psg_core.dir/BatchEngine.cpp.o.d"
+  "CMakeFiles/psg_core.dir/ParameterSpace.cpp.o"
+  "CMakeFiles/psg_core.dir/ParameterSpace.cpp.o.d"
+  "libpsg_core.a"
+  "libpsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

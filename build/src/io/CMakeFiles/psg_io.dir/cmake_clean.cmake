@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_io.dir/ResultsIo.cpp.o"
+  "CMakeFiles/psg_io.dir/ResultsIo.cpp.o.d"
+  "libpsg_io.a"
+  "libpsg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/Eigen.cpp" "src/linalg/CMakeFiles/psg_linalg.dir/Eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/psg_linalg.dir/Eigen.cpp.o.d"
+  "/root/repo/src/linalg/Jacobian.cpp" "src/linalg/CMakeFiles/psg_linalg.dir/Jacobian.cpp.o" "gcc" "src/linalg/CMakeFiles/psg_linalg.dir/Jacobian.cpp.o.d"
+  "/root/repo/src/linalg/Lu.cpp" "src/linalg/CMakeFiles/psg_linalg.dir/Lu.cpp.o" "gcc" "src/linalg/CMakeFiles/psg_linalg.dir/Lu.cpp.o.d"
+  "/root/repo/src/linalg/Matrix.cpp" "src/linalg/CMakeFiles/psg_linalg.dir/Matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/psg_linalg.dir/Matrix.cpp.o.d"
+  "/root/repo/src/linalg/VectorOps.cpp" "src/linalg/CMakeFiles/psg_linalg.dir/VectorOps.cpp.o" "gcc" "src/linalg/CMakeFiles/psg_linalg.dir/VectorOps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/psg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

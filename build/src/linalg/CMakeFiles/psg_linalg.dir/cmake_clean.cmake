@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_linalg.dir/Eigen.cpp.o"
+  "CMakeFiles/psg_linalg.dir/Eigen.cpp.o.d"
+  "CMakeFiles/psg_linalg.dir/Jacobian.cpp.o"
+  "CMakeFiles/psg_linalg.dir/Jacobian.cpp.o.d"
+  "CMakeFiles/psg_linalg.dir/Lu.cpp.o"
+  "CMakeFiles/psg_linalg.dir/Lu.cpp.o.d"
+  "CMakeFiles/psg_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/psg_linalg.dir/Matrix.cpp.o.d"
+  "CMakeFiles/psg_linalg.dir/VectorOps.cpp.o"
+  "CMakeFiles/psg_linalg.dir/VectorOps.cpp.o.d"
+  "libpsg_linalg.a"
+  "libpsg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

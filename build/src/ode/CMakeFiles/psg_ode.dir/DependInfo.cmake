@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/Dopri5.cpp" "src/ode/CMakeFiles/psg_ode.dir/Dopri5.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Dopri5.cpp.o.d"
+  "/root/repo/src/ode/IntegrationResult.cpp" "src/ode/CMakeFiles/psg_ode.dir/IntegrationResult.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/IntegrationResult.cpp.o.d"
+  "/root/repo/src/ode/Interpolant.cpp" "src/ode/CMakeFiles/psg_ode.dir/Interpolant.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Interpolant.cpp.o.d"
+  "/root/repo/src/ode/Lsoda.cpp" "src/ode/CMakeFiles/psg_ode.dir/Lsoda.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Lsoda.cpp.o.d"
+  "/root/repo/src/ode/Multistep.cpp" "src/ode/CMakeFiles/psg_ode.dir/Multistep.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Multistep.cpp.o.d"
+  "/root/repo/src/ode/OdeSolver.cpp" "src/ode/CMakeFiles/psg_ode.dir/OdeSolver.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/OdeSolver.cpp.o.d"
+  "/root/repo/src/ode/OdeSystem.cpp" "src/ode/CMakeFiles/psg_ode.dir/OdeSystem.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/OdeSystem.cpp.o.d"
+  "/root/repo/src/ode/Radau5.cpp" "src/ode/CMakeFiles/psg_ode.dir/Radau5.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Radau5.cpp.o.d"
+  "/root/repo/src/ode/Rkf45.cpp" "src/ode/CMakeFiles/psg_ode.dir/Rkf45.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Rkf45.cpp.o.d"
+  "/root/repo/src/ode/RungeKutta4.cpp" "src/ode/CMakeFiles/psg_ode.dir/RungeKutta4.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/RungeKutta4.cpp.o.d"
+  "/root/repo/src/ode/SolverRegistry.cpp" "src/ode/CMakeFiles/psg_ode.dir/SolverRegistry.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/SolverRegistry.cpp.o.d"
+  "/root/repo/src/ode/StepControl.cpp" "src/ode/CMakeFiles/psg_ode.dir/StepControl.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/StepControl.cpp.o.d"
+  "/root/repo/src/ode/TestProblems.cpp" "src/ode/CMakeFiles/psg_ode.dir/TestProblems.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/TestProblems.cpp.o.d"
+  "/root/repo/src/ode/Trajectory.cpp" "src/ode/CMakeFiles/psg_ode.dir/Trajectory.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Trajectory.cpp.o.d"
+  "/root/repo/src/ode/Vode.cpp" "src/ode/CMakeFiles/psg_ode.dir/Vode.cpp.o" "gcc" "src/ode/CMakeFiles/psg_ode.dir/Vode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/psg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_ode.dir/Dopri5.cpp.o"
+  "CMakeFiles/psg_ode.dir/Dopri5.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/IntegrationResult.cpp.o"
+  "CMakeFiles/psg_ode.dir/IntegrationResult.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Interpolant.cpp.o"
+  "CMakeFiles/psg_ode.dir/Interpolant.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Lsoda.cpp.o"
+  "CMakeFiles/psg_ode.dir/Lsoda.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Multistep.cpp.o"
+  "CMakeFiles/psg_ode.dir/Multistep.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/OdeSolver.cpp.o"
+  "CMakeFiles/psg_ode.dir/OdeSolver.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/OdeSystem.cpp.o"
+  "CMakeFiles/psg_ode.dir/OdeSystem.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Radau5.cpp.o"
+  "CMakeFiles/psg_ode.dir/Radau5.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Rkf45.cpp.o"
+  "CMakeFiles/psg_ode.dir/Rkf45.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/RungeKutta4.cpp.o"
+  "CMakeFiles/psg_ode.dir/RungeKutta4.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/SolverRegistry.cpp.o"
+  "CMakeFiles/psg_ode.dir/SolverRegistry.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/StepControl.cpp.o"
+  "CMakeFiles/psg_ode.dir/StepControl.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/TestProblems.cpp.o"
+  "CMakeFiles/psg_ode.dir/TestProblems.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Trajectory.cpp.o"
+  "CMakeFiles/psg_ode.dir/Trajectory.cpp.o.d"
+  "CMakeFiles/psg_ode.dir/Vode.cpp.o"
+  "CMakeFiles/psg_ode.dir/Vode.cpp.o.d"
+  "libpsg_ode.a"
+  "libpsg_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbm/Conservation.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/Conservation.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/Conservation.cpp.o.d"
+  "/root/repo/src/rbm/CuratedModels.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/CuratedModels.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/CuratedModels.cpp.o.d"
+  "/root/repo/src/rbm/MassAction.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/MassAction.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/MassAction.cpp.o.d"
+  "/root/repo/src/rbm/ModelIo.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/ModelIo.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/ModelIo.cpp.o.d"
+  "/root/repo/src/rbm/ReactionNetwork.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/ReactionNetwork.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/ReactionNetwork.cpp.o.d"
+  "/root/repo/src/rbm/SbmlIo.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/SbmlIo.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/SbmlIo.cpp.o.d"
+  "/root/repo/src/rbm/SyntheticGenerator.cpp" "src/rbm/CMakeFiles/psg_rbm.dir/SyntheticGenerator.cpp.o" "gcc" "src/rbm/CMakeFiles/psg_rbm.dir/SyntheticGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ode/CMakeFiles/psg_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/psg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_rbm.dir/Conservation.cpp.o"
+  "CMakeFiles/psg_rbm.dir/Conservation.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/CuratedModels.cpp.o"
+  "CMakeFiles/psg_rbm.dir/CuratedModels.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/MassAction.cpp.o"
+  "CMakeFiles/psg_rbm.dir/MassAction.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/ModelIo.cpp.o"
+  "CMakeFiles/psg_rbm.dir/ModelIo.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/ReactionNetwork.cpp.o"
+  "CMakeFiles/psg_rbm.dir/ReactionNetwork.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/SbmlIo.cpp.o"
+  "CMakeFiles/psg_rbm.dir/SbmlIo.cpp.o.d"
+  "CMakeFiles/psg_rbm.dir/SyntheticGenerator.cpp.o"
+  "CMakeFiles/psg_rbm.dir/SyntheticGenerator.cpp.o.d"
+  "libpsg_rbm.a"
+  "libpsg_rbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_rbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

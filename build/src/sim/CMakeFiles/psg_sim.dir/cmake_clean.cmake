@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_sim.dir/Simulators.cpp.o"
+  "CMakeFiles/psg_sim.dir/Simulators.cpp.o.d"
+  "CMakeFiles/psg_sim.dir/WorkProfile.cpp.o"
+  "CMakeFiles/psg_sim.dir/WorkProfile.cpp.o.d"
+  "libpsg_sim.a"
+  "libpsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

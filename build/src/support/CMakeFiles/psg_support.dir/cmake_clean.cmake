@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_support.dir/Csv.cpp.o"
+  "CMakeFiles/psg_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/psg_support.dir/Error.cpp.o"
+  "CMakeFiles/psg_support.dir/Error.cpp.o.d"
+  "CMakeFiles/psg_support.dir/Logging.cpp.o"
+  "CMakeFiles/psg_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/psg_support.dir/Random.cpp.o"
+  "CMakeFiles/psg_support.dir/Random.cpp.o.d"
+  "CMakeFiles/psg_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/psg_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/psg_support.dir/Timer.cpp.o"
+  "CMakeFiles/psg_support.dir/Timer.cpp.o.d"
+  "libpsg_support.a"
+  "libpsg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/CostModel.cpp" "src/vgpu/CMakeFiles/psg_vgpu.dir/CostModel.cpp.o" "gcc" "src/vgpu/CMakeFiles/psg_vgpu.dir/CostModel.cpp.o.d"
+  "/root/repo/src/vgpu/DeviceSpec.cpp" "src/vgpu/CMakeFiles/psg_vgpu.dir/DeviceSpec.cpp.o" "gcc" "src/vgpu/CMakeFiles/psg_vgpu.dir/DeviceSpec.cpp.o.d"
+  "/root/repo/src/vgpu/ThreadPool.cpp" "src/vgpu/CMakeFiles/psg_vgpu.dir/ThreadPool.cpp.o" "gcc" "src/vgpu/CMakeFiles/psg_vgpu.dir/ThreadPool.cpp.o.d"
+  "/root/repo/src/vgpu/VirtualDevice.cpp" "src/vgpu/CMakeFiles/psg_vgpu.dir/VirtualDevice.cpp.o" "gcc" "src/vgpu/CMakeFiles/psg_vgpu.dir/VirtualDevice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/psg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_vgpu.dir/CostModel.cpp.o"
+  "CMakeFiles/psg_vgpu.dir/CostModel.cpp.o.d"
+  "CMakeFiles/psg_vgpu.dir/DeviceSpec.cpp.o"
+  "CMakeFiles/psg_vgpu.dir/DeviceSpec.cpp.o.d"
+  "CMakeFiles/psg_vgpu.dir/ThreadPool.cpp.o"
+  "CMakeFiles/psg_vgpu.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/psg_vgpu.dir/VirtualDevice.cpp.o"
+  "CMakeFiles/psg_vgpu.dir/VirtualDevice.cpp.o.d"
+  "libpsg_vgpu.a"
+  "libpsg_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ode_multistep_test.cpp" "tests/CMakeFiles/ode_multistep_test.dir/ode_multistep_test.cpp.o" "gcc" "tests/CMakeFiles/ode_multistep_test.dir/ode_multistep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/psg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/psg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbm/CMakeFiles/psg_rbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/psg_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/psg_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/psg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_multistep_test.dir/ode_multistep_test.cpp.o"
+  "CMakeFiles/ode_multistep_test.dir/ode_multistep_test.cpp.o.d"
+  "ode_multistep_test"
+  "ode_multistep_test.pdb"
+  "ode_multistep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_multistep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

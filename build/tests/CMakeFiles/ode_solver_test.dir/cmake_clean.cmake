@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_solver_test.dir/ode_solver_test.cpp.o"
+  "CMakeFiles/ode_solver_test.dir/ode_solver_test.cpp.o.d"
+  "ode_solver_test"
+  "ode_solver_test.pdb"
+  "ode_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

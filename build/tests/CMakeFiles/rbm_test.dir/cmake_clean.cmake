@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_test.dir/rbm_test.cpp.o"
+  "CMakeFiles/rbm_test.dir/rbm_test.cpp.o.d"
+  "rbm_test"
+  "rbm_test.pdb"
+  "rbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbml_conservation_test.dir/sbml_conservation_test.cpp.o"
+  "CMakeFiles/sbml_conservation_test.dir/sbml_conservation_test.cpp.o.d"
+  "sbml_conservation_test"
+  "sbml_conservation_test.pdb"
+  "sbml_conservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbml_conservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

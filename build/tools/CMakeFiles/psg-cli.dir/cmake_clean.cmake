@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg-cli.dir/psg-cli.cpp.o"
+  "CMakeFiles/psg-cli.dir/psg-cli.cpp.o.d"
+  "psg-cli"
+  "psg-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
