@@ -6,6 +6,9 @@
 
 #include "analysis/Fitness.h"
 
+#include "support/Timer.h"
+#include "support/Trace.h"
+
 #include <cmath>
 
 using namespace psg;
@@ -39,7 +42,12 @@ BatchObjective psg::makeTrajectoryFitObjective(BatchEngine &Engine,
           Species = std::move(Species),
           FailurePenalty](const std::vector<std::vector<double>> &Positions)
              -> std::vector<double> {
+    TraceSpan Span("analysis.fitness.evaluate", "analysis");
+    WallTimer Timer;
     EngineReport Report = Engine.run(Space, Positions);
+    metrics().counter("psg.analysis.fitness.evaluations").add(Positions.size());
+    metrics().histogram("psg.analysis.fitness.eval_wall_s")
+        .record(Timer.seconds());
     std::vector<double> Fitness(Positions.size(), FailurePenalty);
     for (size_t I = 0; I < Report.Outcomes.size(); ++I) {
       const SimulationOutcome &O = Report.Outcomes[I];

@@ -7,6 +7,9 @@
 #include "analysis/Psa.h"
 
 #include "analysis/Oscillation.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace psg;
 
@@ -30,15 +33,21 @@ Psa1dResult psg::runPsa1d(BatchEngine &Engine, const ParameterSpace &Space,
                           size_t Resolution,
                           const TrajectoryReducer &Reduce) {
   assert(Space.numAxes() == 1 && "PSA-1D needs exactly one axis");
+  TraceSpan Span("analysis.psa1d", "analysis");
+  MetricsRegistry &M = metrics();
+  M.counter("psg.analysis.psa1d.runs").add();
   Psa1dResult Result;
   std::vector<std::vector<double>> Points = Space.gridSample({Resolution});
+  M.counter("psg.analysis.psa.points").add(Points.size());
   Result.AxisValues.reserve(Resolution);
   for (const auto &Point : Points)
     Result.AxisValues.push_back(Point[0]);
   Result.Report = Engine.run(Space, Points);
+  WallTimer ReduceTimer;
   Result.Metric.reserve(Points.size());
   for (const SimulationOutcome &O : Result.Report.Outcomes)
     Result.Metric.push_back(Reduce(O));
+  M.histogram("psg.analysis.psa.reduce_wall_s").record(ReduceTimer.seconds());
   return Result;
 }
 
@@ -46,10 +55,14 @@ Psa2dResult psg::runPsa2d(BatchEngine &Engine, const ParameterSpace &Space,
                           size_t Res0, size_t Res1,
                           const TrajectoryReducer &Reduce) {
   assert(Space.numAxes() == 2 && "PSA-2D needs exactly two axes");
+  TraceSpan Span("analysis.psa2d", "analysis");
+  MetricsRegistry &M = metrics();
+  M.counter("psg.analysis.psa2d.runs").add();
   Psa2dResult Result;
   // gridSample produces the cartesian product with axis1 fastest, which
   // matches the row-major layout of Psa2dResult.
   std::vector<std::vector<double>> Points = Space.gridSample({Res0, Res1});
+  M.counter("psg.analysis.psa.points").add(Points.size());
   Result.Axis0Values.reserve(Res0);
   Result.Axis1Values.reserve(Res1);
   for (size_t I = 0; I < Res0; ++I)
@@ -57,8 +70,10 @@ Psa2dResult psg::runPsa2d(BatchEngine &Engine, const ParameterSpace &Space,
   for (size_t J = 0; J < Res1; ++J)
     Result.Axis1Values.push_back(Points[J][1]);
   Result.Report = Engine.run(Space, Points);
+  WallTimer ReduceTimer;
   Result.Metric.reserve(Points.size());
   for (const SimulationOutcome &O : Result.Report.Outcomes)
     Result.Metric.push_back(Reduce(O));
+  M.histogram("psg.analysis.psa.reduce_wall_s").record(ReduceTimer.seconds());
   return Result;
 }

@@ -11,6 +11,10 @@
 
 #include "analysis/Pso.h"
 
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -68,6 +72,22 @@ PsoResult psg::runPso(const std::vector<std::pair<double, double>> &Bounds,
                       const PsoOptions &Opts) {
   const size_t Dims = Bounds.size();
   assert(Dims > 0 && Opts.SwarmSize > 1 && "degenerate swarm setup");
+  TraceSpan RunSpan("analysis.pso.run", "analysis");
+  MetricsRegistry &M = metrics();
+  Counter &Iterations = M.counter("psg.analysis.pso.iterations");
+  Counter &Evaluations = M.counter("psg.analysis.pso.evaluations");
+  Histogram &EvalSeconds = M.histogram("psg.analysis.pso.eval_wall_s");
+  // Every swarm evaluation (one engine batch per PSO iteration) is timed
+  // and traced so per-iteration fitness cost shows up in the snapshot.
+  auto evaluateSwarm =
+      [&](const std::vector<std::vector<double>> &Positions) {
+        TraceSpan EvalSpan("analysis.pso.evaluate", "analysis");
+        WallTimer EvalTimer;
+        std::vector<double> F = Objective(Positions);
+        EvalSeconds.record(EvalTimer.seconds());
+        Evaluations.add(Positions.size());
+        return F;
+      };
   Rng Generator(Opts.Seed);
 
   double Diagonal = 0.0;
@@ -95,7 +115,7 @@ PsoResult psg::runPso(const std::vector<std::pair<double, double>> &Bounds,
     }
 
   PsoResult Result;
-  std::vector<double> Fitness = Objective(Position);
+  std::vector<double> Fitness = evaluateSwarm(Position);
   assert(Fitness.size() == Opts.SwarmSize && "objective size mismatch");
   Result.Evaluations = Opts.SwarmSize;
 
@@ -112,6 +132,7 @@ PsoResult psg::runPso(const std::vector<std::pair<double, double>> &Bounds,
   Result.ConvergenceHistory.push_back(Result.BestFitness);
 
   for (size_t Iter = 0; Iter < Opts.Iterations; ++Iter) {
+    Iterations.add();
     for (size_t P = 0; P < Opts.SwarmSize; ++P) {
       double W = Opts.Inertia, C = Opts.Cognitive, S = Opts.Social;
       if (Opts.FuzzySelfTuning) {
@@ -157,7 +178,7 @@ PsoResult psg::runPso(const std::vector<std::pair<double, double>> &Bounds,
       }
     }
 
-    Fitness = Objective(Position);
+    Fitness = evaluateSwarm(Position);
     assert(Fitness.size() == Opts.SwarmSize && "objective size mismatch");
     Result.Evaluations += Opts.SwarmSize;
     for (size_t P = 0; P < Opts.SwarmSize; ++P) {

@@ -9,7 +9,10 @@
 
 #include "analysis/Sobol.h"
 
+#include "support/Metrics.h"
 #include "support/Random.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cmath>
 
@@ -43,6 +46,10 @@ SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
   const size_t K = Space.numAxes();
   const size_t N = Opts.BaseSamples;
   assert(K >= 1 && N >= 8 && "degenerate Saltelli design");
+  TraceSpan RunSpan("analysis.sobol.run", "analysis");
+  MetricsRegistry &M = metrics();
+  M.counter("psg.analysis.sobol.runs").add();
+  WallTimer DesignTimer;
 
   // Saltelli design: one 2K-dimensional low-discrepancy stream split into
   // the independent unit-cube matrices A (first K coordinates) and B
@@ -85,6 +92,9 @@ SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
         Row[D] = CubeA[I][D];
         Points.push_back(Space.fromUnitCube(Row));
       }
+
+  M.histogram("psg.analysis.sobol.design_wall_s").record(DesignTimer.seconds());
+  M.counter("psg.analysis.sobol.simulations").add(Points.size());
 
   SobolResult Result;
   Result.TotalSimulations = Points.size();

@@ -8,6 +8,8 @@
 
 #include "support/Error.h"
 #include "support/Logging.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace psg;
 
@@ -33,6 +35,17 @@ EngineReport
 BatchEngine::runParameterizations(const ReactionNetwork &Net,
                                   std::vector<Parameterization> Params) {
   assert(!Params.empty() && "engine run without parameterizations");
+  TraceSpan RunSpan("engine.run", "engine");
+  MetricsRegistry &M = metrics();
+  Counter &SubBatchCount = M.counter("psg.engine.sub_batches");
+  Counter &Simulations = M.counter("psg.engine.simulations");
+  Counter &FailureCount = M.counter("psg.engine.failures");
+  Histogram &PrepareSeconds = M.histogram("psg.engine.sub_batch.prepare_s");
+  Histogram &DispatchSeconds = M.histogram("psg.engine.sub_batch.dispatch_s");
+  Histogram &SubBatchSims = M.histogram("psg.engine.sub_batch.simulations");
+  Gauge &ModeledSimSeconds = M.gauge("psg.engine.modeled_simulation_s");
+  Gauge &ModeledIntSeconds = M.gauge("psg.engine.modeled_integration_s");
+
   EngineReport Report;
   Report.Outcomes.reserve(Params.size());
 
@@ -40,6 +53,8 @@ BatchEngine::runParameterizations(const ReactionNetwork &Net,
   for (size_t Offset = 0; Offset < Params.size(); Offset += SubBatch) {
     const uint64_t Count =
         std::min<uint64_t>(SubBatch, Params.size() - Offset);
+    // Queue phase: assemble the sub-batch spec from the point queue.
+    WallTimer PrepareTimer;
     BatchSpec Spec;
     Spec.Model = &Net;
     Spec.Batch = Count;
@@ -55,8 +70,22 @@ BatchEngine::runParameterizations(const ReactionNetwork &Net,
       Spec.InitialStates.push_back(
           std::move(Params[Offset + I].InitialState));
     }
+    PrepareSeconds.record(PrepareTimer.seconds());
 
-    BatchResult Result = Sim->run(Spec);
+    // Dispatch phase: run the sub-batch through the simulator.
+    BatchResult Result;
+    {
+      TraceSpan SubBatchSpan("engine.sub_batch", "engine");
+      WallTimer DispatchTimer;
+      Result = Sim->run(Spec);
+      DispatchSeconds.record(DispatchTimer.seconds());
+      SubBatchSpan.setModeledSeconds(Result.SimulationTime.total());
+    }
+    SubBatchCount.add();
+    Simulations.add(Count);
+    FailureCount.add(Result.Failures);
+    SubBatchSims.record(static_cast<double>(Count));
+
     logMessage(LogLevel::Info,
                "engine sub-batch %llu/%zu: %llu sims, %zu failures, "
                "modeled %.3gs",
@@ -81,5 +110,9 @@ BatchEngine::runParameterizations(const ReactionNetwork &Net,
     accumulate(Report.IntegrationTime, Result.IntegrationTime);
     accumulate(Report.SimulationTime, Result.SimulationTime);
   }
+  ModeledSimSeconds.add(Report.SimulationTime.total());
+  ModeledIntSeconds.add(Report.IntegrationTime.total());
+  RunSpan.setModeledSeconds(Report.SimulationTime.total());
+  Report.Metrics = M.snapshot();
   return Report;
 }

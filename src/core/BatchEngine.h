@@ -18,6 +18,7 @@
 
 #include "core/ParameterSpace.h"
 #include "sim/Simulator.h"
+#include "support/Metrics.h"
 
 #include <memory>
 
@@ -47,6 +48,11 @@ struct EngineReport {
   double HostWallSeconds = 0.0;
   size_t Failures = 0;
   uint64_t SubBatches = 0;
+  /// Frozen process-wide metrics taken when the run finished: solver
+  /// step counters, per-sub-batch timings, vgpu launch counts, pool
+  /// utilization. Serialized by io/ResultsIo and `psg-cli
+  /// --metrics-json`.
+  MetricsSnapshot Metrics;
 
   /// Modeled simulations per hour on the target architecture.
   double modeledThroughputPerHour() const {

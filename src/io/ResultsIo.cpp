@@ -8,6 +8,8 @@
 
 #include "support/StringUtils.h"
 
+#include <cstdio>
+
 using namespace psg;
 
 CsvWriter psg::trajectoryToCsv(const Trajectory &Traj,
@@ -63,4 +65,35 @@ CsvWriter psg::engineReportToCsv(const EngineReport &Report) {
               formatString("%.6g", Report.SimulationTime.total()),
               formatString("%.6g", Report.HostWallSeconds)});
   return Csv;
+}
+
+CsvWriter psg::metricsSnapshotToCsv(const MetricsSnapshot &Snapshot) {
+  CsvWriter Csv({"kind", "name", "value", "count", "sum", "min", "max"});
+  for (const CounterSample &C : Snapshot.Counters)
+    Csv.addRow({std::string("counter"), C.Name,
+                formatString("%llu", (unsigned long long)C.Value), "", "",
+                "", ""});
+  for (const GaugeSample &G : Snapshot.Gauges)
+    Csv.addRow({std::string("gauge"), G.Name,
+                formatString("%.10g", G.Value), "", "", "", ""});
+  for (const HistogramSample &H : Snapshot.Histograms)
+    Csv.addRow({std::string("histogram"), H.Name,
+                formatString("%.10g", H.mean()),
+                formatString("%llu", (unsigned long long)H.Count),
+                formatString("%.10g", H.Sum), formatString("%.10g", H.Min),
+                formatString("%.10g", H.Max)});
+  return Csv;
+}
+
+Status psg::saveMetricsJson(const MetricsSnapshot &Snapshot,
+                            const std::string &Path) {
+  const std::string Body = metricsSnapshotToJson(Snapshot);
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return Status::failure("cannot open '" + Path + "' for writing");
+  const size_t Written = std::fwrite(Body.data(), 1, Body.size(), File);
+  std::fclose(File);
+  if (Written != Body.size())
+    return Status::failure("short write to '" + Path + "'");
+  return Status::success();
 }

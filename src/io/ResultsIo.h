@@ -19,6 +19,7 @@
 #include "ode/Trajectory.h"
 #include "rbm/ReactionNetwork.h"
 #include "support/Csv.h"
+#include "support/Metrics.h"
 
 namespace psg {
 
@@ -37,6 +38,15 @@ CsvWriter sobolToCsv(const SobolResult &Result);
 
 /// Renders an engine report summary as a one-row CSV.
 CsvWriter engineReportToCsv(const EngineReport &Report);
+
+/// Renders a metrics snapshot as CSV rows
+/// (kind, name, value, count, sum, min, max); counters and gauges leave
+/// the histogram columns empty.
+CsvWriter metricsSnapshotToCsv(const MetricsSnapshot &Snapshot);
+
+/// Writes \p Snapshot to \p Path as the psg-metrics-v1 JSON document.
+Status saveMetricsJson(const MetricsSnapshot &Snapshot,
+                       const std::string &Path);
 
 } // namespace psg
 

@@ -13,8 +13,74 @@
 #include "ode/Rkf45.h"
 #include "ode/RungeKutta4.h"
 #include "ode/Vode.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace psg;
+
+namespace {
+/// Transparent decorator metering every integrate() call into the
+/// process-wide registry under "psg.ode.<name>.*". Registry lookups
+/// happen once at construction; the per-call cost is relaxed atomics
+/// plus one wall-clock read pair.
+class MeteredSolver final : public OdeSolver {
+public:
+  explicit MeteredSolver(std::unique_ptr<OdeSolver> Wrapped)
+      : Inner(std::move(Wrapped)), SpanName("ode.integrate." + Inner->name()) {
+    const std::string Prefix = "psg.ode." + Inner->name();
+    MetricsRegistry &M = metrics();
+    Integrations = &M.counter(Prefix + ".integrations");
+    AcceptedSteps = &M.counter(Prefix + ".accepted_steps");
+    RejectedSteps = &M.counter(Prefix + ".rejected_steps");
+    RhsEvaluations = &M.counter(Prefix + ".rhs_evaluations");
+    JacobianEvaluations = &M.counter(Prefix + ".jacobian_evaluations");
+    Failures = &M.counter(Prefix + ".failures");
+    StiffnessDetections = &M.counter(Prefix + ".stiffness_detections");
+    MethodSwitches = &M.counter(Prefix + ".method_switches");
+    WallSeconds = &M.histogram(Prefix + ".integrate_wall_s");
+  }
+
+  std::string name() const override { return Inner->name(); }
+  bool isImplicit() const override { return Inner->isImplicit(); }
+
+  IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
+                              std::vector<double> &Y,
+                              const SolverOptions &Opts,
+                              StepObserver *Observer) override {
+    TraceSpan Span(SpanName, "ode");
+    WallTimer Timer;
+    IntegrationResult Result =
+        Inner->integrate(Sys, T0, TEnd, Y, Opts, Observer);
+    WallSeconds->record(Timer.seconds());
+    Integrations->add();
+    AcceptedSteps->add(Result.Stats.AcceptedSteps);
+    RejectedSteps->add(Result.Stats.RejectedSteps);
+    RhsEvaluations->add(Result.Stats.RhsEvaluations);
+    JacobianEvaluations->add(Result.Stats.JacobianEvaluations);
+    if (Result.Stats.SolverSwitches)
+      MethodSwitches->add(Result.Stats.SolverSwitches);
+    if (Result.Status == IntegrationStatus::StiffnessDetected)
+      StiffnessDetections->add();
+    if (!Result.ok())
+      Failures->add();
+    return Result;
+  }
+
+private:
+  std::unique_ptr<OdeSolver> Inner;
+  std::string SpanName;
+  Counter *Integrations = nullptr;
+  Counter *AcceptedSteps = nullptr;
+  Counter *RejectedSteps = nullptr;
+  Counter *RhsEvaluations = nullptr;
+  Counter *JacobianEvaluations = nullptr;
+  Counter *Failures = nullptr;
+  Counter *StiffnessDetections = nullptr;
+  Counter *MethodSwitches = nullptr;
+  Histogram *WallSeconds = nullptr;
+};
+} // namespace
 
 ErrorOr<std::unique_ptr<OdeSolver>>
 psg::createSolver(const std::string &Name) {
@@ -38,7 +104,8 @@ psg::createSolver(const std::string &Name) {
   else
     return ErrorOr<std::unique_ptr<OdeSolver>>::failure(
         "unknown solver '" + Name + "'");
-  return Solver;
+  return std::unique_ptr<OdeSolver>(
+      std::make_unique<MeteredSolver>(std::move(Solver)));
 }
 
 std::vector<std::string> psg::solverNames() {

@@ -24,6 +24,11 @@ namespace psg {
 
 /// Creates the solver registered under \p Name; fails on unknown names.
 /// Known names: rk4, rkf45, dopri5, radau5, adams, bdf, lsoda, vode.
+///
+/// Registry-created solvers are metered: every integrate() call records
+/// step/Jacobian/switch counters and wall-time histograms under
+/// "psg.ode.<name>.*" in the process-wide MetricsRegistry, and emits an
+/// "ode.integrate.<name>" trace span when tracing is enabled.
 ErrorOr<std::unique_ptr<OdeSolver>> createSolver(const std::string &Name);
 
 /// All registered solver names, in a stable order.

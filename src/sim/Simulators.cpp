@@ -7,13 +7,9 @@
 #include "sim/Simulators.h"
 
 #include "linalg/Eigen.h"
-#include "ode/Dopri5.h"
-#include "ode/Lsoda.h"
-#include "ode/Multistep.h"
-#include "ode/Radau5.h"
-#include "ode/Rkf45.h"
 #include "ode/SolverRegistry.h"
 #include "sim/WorkProfile.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <mutex>
@@ -21,6 +17,14 @@
 using namespace psg;
 
 namespace {
+/// Builds a metered solver from the registry; the names are built-ins,
+/// so failure is programmatic.
+std::unique_ptr<OdeSolver> makeSolver(const char *Name) {
+  auto Solver = createSolver(Name);
+  assert(Solver && "registry is missing a built-in solver");
+  return std::move(*Solver);
+}
+
 /// Applies the Index-th parameterization of \p Spec to \p Sys and returns
 /// the matching initial state.
 std::vector<double> configureSimulation(const BatchSpec &Spec,
@@ -118,9 +122,10 @@ BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
                         CompiledOdeSystem Sys(*Spec.Model);
                         std::vector<double> Y =
                             configureSimulation(Spec, Sys, I);
-                        LsodaSolver Solver;
+                        std::unique_ptr<OdeSolver> Solver =
+                            makeSolver("lsoda");
                         Outcomes[I] =
-                            runOne(Spec, Sys, Solver, std::move(Y));
+                            runOne(Spec, Sys, *Solver, std::move(Y));
                       });
   return finalizeBatch(Spec, Model, Backend::GpuCoarse, std::move(Outcomes),
                        Timer.seconds());
@@ -147,13 +152,14 @@ BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
           if (Ctx.threadIndex() != 0)
             return; // The numerics run once; threads model ODE lanes.
           std::vector<double> Y = configureSimulation(Spec, Sys, I);
-          Rkf45Solver Explicit;
-          Outcomes[I] = runOne(Spec, Sys, Explicit, Y);
+          std::unique_ptr<OdeSolver> Explicit = makeSolver("rkf45");
+          Outcomes[I] = runOne(Spec, Sys, *Explicit, Y);
           if (!Outcomes[I].Result.ok()) {
             // LASSIE switches to first-order BDF under stiffness.
             const IntegrationStats ExplicitCost = Outcomes[I].Result.Stats;
-            BdfSolver Implicit;
-            Outcomes[I] = runOne(Spec, Sys, Implicit,
+            metrics().counter("psg.engine.stiffness_reroutes").add();
+            std::unique_ptr<OdeSolver> Implicit = makeSolver("bdf");
+            Outcomes[I] = runOne(Spec, Sys, *Implicit,
                                  configureSimulation(Spec, Sys, I));
             Outcomes[I].Result.Stats.merge(ExplicitCost);
             ++Outcomes[I].Result.Stats.SolverSwitches;
@@ -175,6 +181,10 @@ BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
   std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  MetricsRegistry &M = metrics();
+  Counter &RoutedExplicit = M.counter("psg.engine.routed_explicit");
+  Counter &RoutedImplicit = M.counter("psg.engine.routed_implicit");
+  Counter &StiffnessReroutes = M.counter("psg.engine.stiffness_reroutes");
 
   // P1 happens in CompiledOdeSystem's constructor; each logical thread
   // holds its own parameterized copy. P2-P4 run inside one parent grid:
@@ -202,21 +212,25 @@ BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
 
     if (!UseImplicit) {
       // P3: DOPRI5 with stiffness detection enabled.
-      Dopri5Solver Explicit;
-      Outcomes[I] = runOne(Spec, Sys, Explicit, Y);
+      RoutedExplicit.add();
+      std::unique_ptr<OdeSolver> Explicit = makeSolver("dopri5");
+      Outcomes[I] = runOne(Spec, Sys, *Explicit, Y);
       if (!Outcomes[I].Result.ok()) {
         // Re-dispatch to P4 from the initial state, keeping the cost of
         // the failed explicit attempt.
         RoutingCost.merge(Outcomes[I].Result.Stats);
         ++RoutingCost.SolverSwitches;
+        StiffnessReroutes.add();
         UseImplicit = true;
         Y = configureSimulation(Spec, Sys, I);
       }
+    } else {
+      RoutedImplicit.add();
     }
     if (UseImplicit) {
       // P4: Radau IIA.
-      Radau5Solver Implicit;
-      Outcomes[I] = runOne(Spec, Sys, Implicit, std::move(Y));
+      std::unique_ptr<OdeSolver> Implicit = makeSolver("radau5");
+      Outcomes[I] = runOne(Spec, Sys, *Implicit, std::move(Y));
     }
     Outcomes[I].Result.Stats.merge(RoutingCost);
   });

@@ -1,0 +1,441 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace psg;
+
+//===----------------------------------------------------------------------===//
+// Histogram.
+//===----------------------------------------------------------------------===//
+
+double Histogram::bucketUpperBound(size_t Index) {
+  return std::ldexp(1.0, static_cast<int>(Index) - ExponentOffset);
+}
+
+size_t Histogram::bucketIndex(double Sample) {
+  if (!(Sample > 0.0) || !std::isfinite(Sample))
+    return 0;
+  int Exponent = 0;
+  const double Mantissa = std::frexp(Sample, &Exponent);
+  // frexp: Sample = Mantissa * 2^Exponent with Mantissa in [0.5, 1), so
+  // the inclusive upper bound is 2^Exponent unless Sample is an exact
+  // power of two (Mantissa == 0.5), which belongs one bucket lower.
+  if (Mantissa == 0.5)
+    --Exponent;
+  const int Index = Exponent + ExponentOffset;
+  if (Index < 0)
+    return 0;
+  if (Index >= static_cast<int>(NumBuckets))
+    return NumBuckets - 1;
+  return static_cast<size_t>(Index);
+}
+
+void Histogram::record(double Sample) {
+  const uint64_t Seen = Count.fetch_add(1, std::memory_order_relaxed);
+  Buckets[bucketIndex(Sample)].fetch_add(1, std::memory_order_relaxed);
+
+  double OldSum = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(OldSum, OldSum + Sample,
+                                    std::memory_order_relaxed)) {
+  }
+  // First sample seeds min and max; later samples CAS them monotonically.
+  if (Seen == 0) {
+    Min.store(Sample, std::memory_order_relaxed);
+    Max.store(Sample, std::memory_order_relaxed);
+    return;
+  }
+  double OldMin = Min.load(std::memory_order_relaxed);
+  while (Sample < OldMin &&
+         !Min.compare_exchange_weak(OldMin, Sample,
+                                    std::memory_order_relaxed)) {
+  }
+  double OldMax = Max.load(std::memory_order_relaxed);
+  while (Sample > OldMax &&
+         !Max.compare_exchange_weak(OldMax, Sample,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+  Min.store(0.0, std::memory_order_relaxed);
+  Max.store(0.0, std::memory_order_relaxed);
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot lookups.
+//===----------------------------------------------------------------------===//
+
+uint64_t MetricsSnapshot::counterValue(const std::string &Name) const {
+  for (const CounterSample &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+double MetricsSnapshot::gaugeValue(const std::string &Name) const {
+  for (const GaugeSample &G : Gauges)
+    if (G.Name == Name)
+      return G.Value;
+  return 0.0;
+}
+
+const HistogramSample *
+MetricsSnapshot::histogram(const std::string &Name) const {
+  for (const HistogramSample &H : Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.push_back({Name, C->value()});
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.push_back({Name, G->value()});
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSample Sample;
+    Sample.Name = Name;
+    Sample.Count = H->Count.load(std::memory_order_relaxed);
+    Sample.Sum = H->Sum.load(std::memory_order_relaxed);
+    Sample.Min = H->Min.load(std::memory_order_relaxed);
+    Sample.Max = H->Max.load(std::memory_order_relaxed);
+    for (size_t I = 0; I < Histogram::NumBuckets; ++I) {
+      const uint64_t N = H->Buckets[I].load(std::memory_order_relaxed);
+      if (N > 0)
+        Sample.Buckets.push_back({static_cast<uint32_t>(I), N});
+    }
+    S.Histograms.push_back(std::move(Sample));
+  }
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+MetricsRegistry &psg::metrics() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON serialization (psg-metrics-v1).
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Escapes \p S for a JSON string literal (metric names are plain
+/// identifiers, but be safe).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Formats a double so it parses back bit-exactly.
+std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  return formatString("%.17g", V);
+}
+} // namespace
+
+std::string psg::metricsSnapshotToJson(const MetricsSnapshot &Snapshot) {
+  std::string Out = "{\n  \"schema\": \"psg-metrics-v1\",\n  \"counters\": {";
+  bool First = true;
+  for (const CounterSample &C : Snapshot.Counters) {
+    Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
+                        jsonEscape(C.Name).c_str(),
+                        (unsigned long long)C.Value);
+    First = false;
+  }
+  Out += Snapshot.Counters.empty() ? "},\n" : "\n  },\n";
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const GaugeSample &G : Snapshot.Gauges) {
+    Out += formatString("%s\n    \"%s\": %s", First ? "" : ",",
+                        jsonEscape(G.Name).c_str(),
+                        jsonNumber(G.Value).c_str());
+    First = false;
+  }
+  Out += Snapshot.Gauges.empty() ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const HistogramSample &H : Snapshot.Histograms) {
+    Out += formatString(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"buckets\": [",
+        First ? "" : ",", jsonEscape(H.Name).c_str(),
+        (unsigned long long)H.Count, jsonNumber(H.Sum).c_str(),
+        jsonNumber(H.Min).c_str(), jsonNumber(H.Max).c_str());
+    for (size_t I = 0; I < H.Buckets.size(); ++I)
+      Out += formatString("%s[%u, %llu]", I ? ", " : "", H.Buckets[I].first,
+                          (unsigned long long)H.Buckets[I].second);
+    Out += "]}";
+    First = false;
+  }
+  Out += Snapshot.Histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return Out;
+}
+
+namespace {
+/// Minimal recursive-descent reader for the psg-metrics-v1 schema.
+class JsonCursor {
+public:
+  explicit JsonCursor(const std::string &Text) : Text(Text) {}
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        const char Esc = Text[Pos++];
+        switch (Esc) {
+        case 'n':
+          C = '\n';
+          break;
+        case 't':
+          C = '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return false;
+          C = static_cast<char>(
+              std::strtoul(Text.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          break;
+        }
+        default:
+          C = Esc;
+        }
+      }
+      Out += C;
+    }
+    return Pos < Text.size() && Text[Pos++] == '"';
+  }
+
+  bool parseNumber(double &Out) {
+    skipWs();
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    Out = std::strtod(Begin, &End);
+    if (End == Begin)
+      return false;
+    Pos += static_cast<size_t>(End - Begin);
+    return true;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Text.size();
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+using ParseError = ErrorOr<MetricsSnapshot>;
+
+ParseError malformed(const char *What) {
+  return ParseError::failure(formatString("malformed metrics JSON: %s", What));
+}
+} // namespace
+
+ErrorOr<MetricsSnapshot> psg::metricsSnapshotFromJson(const std::string &Json) {
+  JsonCursor Cursor(Json);
+  MetricsSnapshot Snapshot;
+  if (!Cursor.consume('{'))
+    return malformed("expected top-level object");
+
+  bool FirstKey = true;
+  while (!Cursor.peek('}')) {
+    if (!FirstKey && !Cursor.consume(','))
+      return malformed("expected ',' between sections");
+    FirstKey = false;
+    std::string Section;
+    if (!Cursor.parseString(Section) || !Cursor.consume(':'))
+      return malformed("expected section name");
+
+    if (Section == "schema") {
+      std::string Schema;
+      if (!Cursor.parseString(Schema))
+        return malformed("expected schema string");
+      if (Schema != "psg-metrics-v1")
+        return ParseError::failure("unsupported metrics schema '" + Schema +
+                                   "'");
+      continue;
+    }
+
+    if (!Cursor.consume('{'))
+      return malformed("expected section object");
+    bool FirstEntry = true;
+    while (!Cursor.peek('}')) {
+      if (!FirstEntry && !Cursor.consume(','))
+        return malformed("expected ',' between entries");
+      FirstEntry = false;
+      std::string Name;
+      if (!Cursor.parseString(Name) || !Cursor.consume(':'))
+        return malformed("expected metric name");
+
+      if (Section == "counters") {
+        double Value = 0;
+        if (!Cursor.parseNumber(Value))
+          return malformed("expected counter value");
+        Snapshot.Counters.push_back({Name, static_cast<uint64_t>(Value)});
+      } else if (Section == "gauges") {
+        double Value = 0;
+        if (!Cursor.parseNumber(Value))
+          return malformed("expected gauge value");
+        Snapshot.Gauges.push_back({Name, Value});
+      } else if (Section == "histograms") {
+        HistogramSample H;
+        H.Name = Name;
+        if (!Cursor.consume('{'))
+          return malformed("expected histogram object");
+        bool FirstField = true;
+        while (!Cursor.peek('}')) {
+          if (!FirstField && !Cursor.consume(','))
+            return malformed("expected ',' between histogram fields");
+          FirstField = false;
+          std::string Field;
+          if (!Cursor.parseString(Field) || !Cursor.consume(':'))
+            return malformed("expected histogram field");
+          if (Field == "buckets") {
+            if (!Cursor.consume('['))
+              return malformed("expected bucket array");
+            bool FirstBucket = true;
+            while (!Cursor.peek(']')) {
+              if (!FirstBucket && !Cursor.consume(','))
+                return malformed("expected ',' between buckets");
+              FirstBucket = false;
+              double Index = 0, BucketCount = 0;
+              if (!Cursor.consume('[') || !Cursor.parseNumber(Index) ||
+                  !Cursor.consume(',') || !Cursor.parseNumber(BucketCount) ||
+                  !Cursor.consume(']'))
+                return malformed("expected [index, count] bucket");
+              H.Buckets.push_back({static_cast<uint32_t>(Index),
+                                   static_cast<uint64_t>(BucketCount)});
+            }
+            Cursor.consume(']');
+          } else {
+            double Value = 0;
+            if (!Cursor.parseNumber(Value))
+              return malformed("expected histogram field value");
+            if (Field == "count")
+              H.Count = static_cast<uint64_t>(Value);
+            else if (Field == "sum")
+              H.Sum = Value;
+            else if (Field == "min")
+              H.Min = Value;
+            else if (Field == "max")
+              H.Max = Value;
+          }
+        }
+        Cursor.consume('}');
+        Snapshot.Histograms.push_back(std::move(H));
+      } else {
+        return ParseError::failure("unknown metrics section '" + Section +
+                                   "'");
+      }
+    }
+    Cursor.consume('}');
+  }
+  if (!Cursor.consume('}'))
+    return malformed("unterminated top-level object");
+  return Snapshot;
+}

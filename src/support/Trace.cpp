@@ -1,0 +1,177 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+using namespace psg;
+
+namespace {
+uint64_t monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Thread ids are assigned densely on first use so traces stay readable.
+std::atomic<uint32_t> NextThreadId{1};
+thread_local uint32_t CachedThreadId = 0;
+
+thread_local unsigned ActiveSpanDepth = 0;
+} // namespace
+
+TraceCollector::TraceCollector() : EpochNs(monotonicNowNs()) {}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Events.clear();
+  Dropped = 0;
+}
+
+void TraceCollector::record(TraceEvent Event) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (Events.size() >= MaxEvents) {
+    ++Dropped;
+    return;
+  }
+  Events.push_back(std::move(Event));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Events;
+}
+
+size_t TraceCollector::numEvents() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Events.size();
+}
+
+size_t TraceCollector::droppedEvents() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Dropped;
+}
+
+double TraceCollector::nowUs() const {
+  return static_cast<double>(monotonicNowNs() - EpochNs) / 1000.0;
+}
+
+uint32_t TraceCollector::currentThreadId() {
+  if (CachedThreadId == 0)
+    CachedThreadId = NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return CachedThreadId;
+}
+
+namespace {
+std::string chromeEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatString("\\u%04x", C);
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+} // namespace
+
+std::string TraceCollector::toChromeJson() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::string Out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    Out += I ? ",\n" : "\n";
+    const bool Complete = E.DurationUs >= 0.0;
+    Out += formatString(
+        "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
+        "\"ts\": %.3f, %s\"pid\": 1, \"tid\": %u",
+        chromeEscape(E.Name).c_str(), chromeEscape(E.Category).c_str(),
+        Complete ? "X" : "i", E.TimestampUs,
+        Complete ? formatString("\"dur\": %.3f, ", E.DurationUs).c_str()
+                 : "\"s\": \"t\", ",
+        E.ThreadId);
+    if (E.ModeledSeconds >= 0.0)
+      Out += formatString(", \"args\": {\"modeled_s\": %.9g}",
+                          E.ModeledSeconds);
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+Status TraceCollector::saveToFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return Status::failure("cannot open '" + Path + "' for writing");
+  const std::string Body = toChromeJson();
+  const size_t Written = std::fwrite(Body.data(), 1, Body.size(), File);
+  std::fclose(File);
+  if (Written != Body.size())
+    return Status::failure("short write to '" + Path + "'");
+  return Status::success();
+}
+
+TraceCollector &psg::trace() {
+  static TraceCollector Collector;
+  return Collector;
+}
+
+//===----------------------------------------------------------------------===//
+// Spans.
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(std::string SpanName, std::string SpanCategory) {
+  TraceCollector &Collector = trace();
+  if (!Collector.enabled())
+    return;
+  Active = true;
+  Name = std::move(SpanName);
+  Category = std::move(SpanCategory);
+  StartUs = Collector.nowUs();
+  ++ActiveSpanDepth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Active)
+    return;
+  --ActiveSpanDepth;
+  TraceCollector &Collector = trace();
+  TraceEvent Event;
+  Event.Name = std::move(Name);
+  Event.Category = std::move(Category);
+  Event.TimestampUs = StartUs;
+  Event.DurationUs = Collector.nowUs() - StartUs;
+  Event.ThreadId = TraceCollector::currentThreadId();
+  Event.ModeledSeconds = Modeled;
+  Collector.record(std::move(Event));
+}
+
+unsigned TraceSpan::currentDepth() { return ActiveSpanDepth; }
+
+void psg::traceInstant(const std::string &Name,
+                       const std::string &Category) {
+  TraceCollector &Collector = trace();
+  if (!Collector.enabled())
+    return;
+  TraceEvent Event;
+  Event.Name = Name;
+  Event.Category = Category;
+  Event.TimestampUs = Collector.nowUs();
+  Event.ThreadId = TraceCollector::currentThreadId();
+  Collector.record(std::move(Event));
+}

@@ -1,0 +1,122 @@
+//===- support/Trace.h - Lightweight tracing spans --------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight tracing: RAII scoped spans recording begin/end wall times
+/// (plus optional modeled-device seconds) into a process-wide collector,
+/// exported in the Chrome chrome://tracing event format. Collection is
+/// off by default; when disabled a span costs one relaxed atomic load
+/// and no clock reads, so instrumentation can stay in hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SUPPORT_TRACE_H
+#define PSG_SUPPORT_TRACE_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psg {
+
+/// One recorded event, timestamped in microseconds since the collector
+/// epoch (process start).
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  double TimestampUs = 0.0;
+  double DurationUs = -1.0;     ///< < 0 marks an instant event.
+  uint32_t ThreadId = 0;        ///< Small stable per-thread id.
+  double ModeledSeconds = -1.0; ///< Modeled device time; < 0 = absent.
+};
+
+/// The process-wide event sink. Access through trace().
+class TraceCollector {
+public:
+  /// Hard cap on buffered events; later events are counted as dropped.
+  static constexpr size_t MaxEvents = 1u << 20;
+
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Discards all buffered events (and the dropped count).
+  void clear();
+
+  /// Appends \p Event if enabled and under the cap.
+  void record(TraceEvent Event);
+
+  /// Copies out the buffered events.
+  std::vector<TraceEvent> events() const;
+
+  size_t numEvents() const;
+  size_t droppedEvents() const;
+
+  /// Microseconds since the collector epoch.
+  double nowUs() const;
+
+  /// Small stable id of the calling thread (assigned on first use).
+  static uint32_t currentThreadId();
+
+  /// Renders the buffer as a chrome://tracing-compatible JSON document.
+  std::string toChromeJson() const;
+
+  /// Writes toChromeJson() to \p Path.
+  Status saveToFile(const std::string &Path) const;
+
+private:
+  friend TraceCollector &trace();
+  TraceCollector();
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  size_t Dropped = 0;
+  uint64_t EpochNs = 0;
+};
+
+/// The process-wide collector instance.
+TraceCollector &trace();
+
+/// RAII span: records one complete ("X") event from construction to
+/// destruction when the collector is enabled at construction time.
+class TraceSpan {
+public:
+  explicit TraceSpan(std::string Name, std::string Category = "psg");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches modeled device seconds to the emitted event.
+  void setModeledSeconds(double Seconds) { Modeled = Seconds; }
+
+  /// True when this span will emit an event on destruction.
+  bool active() const { return Active; }
+
+  /// Nesting depth of active spans on the calling thread (this span
+  /// included while alive).
+  static unsigned currentDepth();
+
+private:
+  std::string Name;
+  std::string Category;
+  double StartUs = 0.0;
+  double Modeled = -1.0;
+  bool Active = false;
+};
+
+/// Records an instant event (a point-in-time marker) when enabled.
+void traceInstant(const std::string &Name,
+                  const std::string &Category = "psg");
+
+} // namespace psg
+
+#endif // PSG_SUPPORT_TRACE_H

@@ -6,6 +6,10 @@
 
 #include "vgpu/ThreadPool.h"
 
+#include "support/Metrics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace psg;
@@ -35,9 +39,12 @@ void ThreadPool::runChunks(std::unique_lock<std::mutex> &Lock) {
   while (Current.Next < Current.Count) {
     const size_t Index = Current.Next++;
     Lock.unlock();
+    WallTimer BodyTimer;
     (*Current.Body)(Index);
+    const double Busy = BodyTimer.seconds();
     Lock.lock();
     ++Current.Done;
+    Current.BusySeconds += Busy;
   }
 }
 
@@ -59,13 +66,30 @@ void ThreadPool::parallelFor(size_t Count,
                              const std::function<void(size_t)> &Body) {
   if (Count == 0)
     return;
-  std::unique_lock<std::mutex> Lock(Mutex);
-  assert(!HasJob && "nested parallelFor is not supported");
-  Current = Job{&Body, Count, 0, 0};
-  HasJob = true;
-  WorkReady.notify_all();
-  // The caller participates too, then waits for stragglers.
-  runChunks(Lock);
-  JobDone.wait(Lock, [this] { return Current.Done == Current.Count; });
-  HasJob = false;
+  WallTimer JobTimer;
+  double BusySeconds = 0.0;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!HasJob && "nested parallelFor is not supported");
+    Current = Job{&Body, Count, 0, 0, 0.0};
+    HasJob = true;
+    WorkReady.notify_all();
+    // The caller participates too, then waits for stragglers.
+    runChunks(Lock);
+    JobDone.wait(Lock, [this] { return Current.Done == Current.Count; });
+    HasJob = false;
+    BusySeconds = Current.BusySeconds;
+  }
+  // Worker-utilization accounting, recorded outside the pool lock.
+  const double WallSeconds = JobTimer.seconds();
+  MetricsRegistry &M = metrics();
+  M.counter("psg.vgpu.pool.jobs").add();
+  M.counter("psg.vgpu.pool.tasks").add(Count);
+  M.gauge("psg.vgpu.pool.busy_s").add(BusySeconds);
+  M.gauge("psg.vgpu.pool.wall_s").add(WallSeconds);
+  if (WallSeconds > 0.0) {
+    const double Capacity = WallSeconds * numWorkers();
+    M.gauge("psg.vgpu.pool.utilization")
+        .set(std::min(1.0, BusySeconds / Capacity));
+  }
 }

@@ -47,6 +47,7 @@ private:
     size_t Count = 0;
     size_t Next = 0;
     size_t Done = 0;
+    double BusySeconds = 0.0; ///< Summed body execution time (all workers).
   };
 
   std::vector<std::thread> Workers;

@@ -6,6 +6,10 @@
 
 #include "vgpu/VirtualDevice.h"
 
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace psg;
@@ -15,6 +19,9 @@ VirtualDevice::launchKernel(const std::string &Name, uint64_t Threads,
                             unsigned BlockDim,
                             const std::function<void(KernelContext &)> &Body) {
   assert(Threads > 0 && BlockDim > 0 && "empty kernel launch");
+  MetricsRegistry &M = metrics();
+  TraceSpan Span("vgpu.kernel." + Name, "vgpu");
+  WallTimer Timer;
   std::atomic<uint64_t> ChildGrids{0};
 
   Pool.parallelFor(Threads, [&](size_t Index) {
@@ -34,5 +41,10 @@ VirtualDevice::launchKernel(const std::string &Name, uint64_t Threads,
   Counters.LogicalThreadsRun += Threads;
   if (Record.ChildGrids > Counters.MaxConcurrentChildren)
     Counters.MaxConcurrentChildren = Record.ChildGrids;
+
+  M.counter("psg.vgpu.kernel_launches").add();
+  M.counter("psg.vgpu.child_grid_launches").add(Record.ChildGrids);
+  M.counter("psg.vgpu.logical_threads").add(Threads);
+  M.histogram("psg.vgpu.kernel_wall_s").record(Timer.seconds());
   return Record;
 }

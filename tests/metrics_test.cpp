@@ -1,0 +1,272 @@
+//===- tests/metrics_test.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the support-layer metrics registry and tracing spans:
+// registration semantics, histogram bucketing, concurrent updates driven
+// through ThreadPool::parallelFor, span nesting, and JSON round-trips of
+// MetricsSnapshot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+#include "vgpu/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace psg;
+
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge G;
+  G.set(2.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  G.add(-1.0);
+  EXPECT_DOUBLE_EQ(G.value(), 1.5);
+  G.reset();
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+}
+
+TEST(Histogram, BucketIndexMatchesBounds) {
+  // Every sample must land in a bucket whose bounds bracket it:
+  // lower (exclusive) < sample <= upper (inclusive).
+  for (int Exp = -32; Exp <= 32; ++Exp) {
+    const double Sample = std::ldexp(1.0, Exp);
+    const size_t Index = Histogram::bucketIndex(Sample);
+    EXPECT_LE(Sample, Histogram::bucketUpperBound(Index))
+        << "sample 2^" << Exp;
+    if (Index > 0) {
+      EXPECT_GT(Sample, Histogram::bucketUpperBound(Index - 1))
+          << "sample 2^" << Exp;
+    }
+  }
+  // Degenerate and out-of-range samples clamp to the end buckets.
+  EXPECT_EQ(Histogram::bucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1e300), Histogram::NumBuckets - 1);
+}
+
+TEST(Histogram, RecordTracksStats) {
+  Histogram H;
+  H.record(1.0);
+  H.record(4.0);
+  H.record(0.25);
+  EXPECT_EQ(H.count(), 3u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+}
+
+TEST(MetricsRegistry, RegistrationReturnsStableReferences) {
+  MetricsRegistry &M = metrics();
+  Counter &A = M.counter("test.registry.counter");
+  Counter &B = M.counter("test.registry.counter");
+  EXPECT_EQ(&A, &B);
+  A.reset();
+  A.add(7);
+
+  Gauge &G = M.gauge("test.registry.gauge");
+  G.set(3.25);
+  Histogram &H = M.histogram("test.registry.histogram");
+  H.reset();
+  H.record(0.5);
+
+  MetricsSnapshot Snap = M.snapshot();
+  EXPECT_EQ(Snap.counterValue("test.registry.counter"), 7u);
+  EXPECT_DOUBLE_EQ(Snap.gaugeValue("test.registry.gauge"), 3.25);
+  const HistogramSample *HS = Snap.histogram("test.registry.histogram");
+  ASSERT_NE(HS, nullptr);
+  EXPECT_EQ(HS->Count, 1u);
+  EXPECT_DOUBLE_EQ(HS->Sum, 0.5);
+  EXPECT_DOUBLE_EQ(HS->Min, 0.5);
+  EXPECT_DOUBLE_EQ(HS->Max, 0.5);
+
+  // Absent names read as empty, not errors.
+  EXPECT_EQ(Snap.counterValue("test.registry.missing"), 0u);
+  EXPECT_DOUBLE_EQ(Snap.gaugeValue("test.registry.missing"), 0.0);
+  EXPECT_EQ(Snap.histogram("test.registry.missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesFromThreadPool) {
+  MetricsRegistry &M = metrics();
+  Counter &C = M.counter("test.concurrent.counter");
+  Gauge &G = M.gauge("test.concurrent.gauge");
+  Histogram &H = M.histogram("test.concurrent.histogram");
+  C.reset();
+  G.reset();
+  H.reset();
+
+  constexpr size_t N = 10000;
+  ThreadPool Pool(4);
+  Pool.parallelFor(N, [&](size_t I) {
+    C.add();
+    G.add(1.0);
+    H.record(static_cast<double>(I % 8 + 1));
+  });
+
+  EXPECT_EQ(C.value(), N);
+  EXPECT_DOUBLE_EQ(G.value(), static_cast<double>(N));
+  MetricsSnapshot Snap = M.snapshot();
+  const HistogramSample *HS = Snap.histogram("test.concurrent.histogram");
+  ASSERT_NE(HS, nullptr);
+  EXPECT_EQ(HS->Count, N);
+  EXPECT_DOUBLE_EQ(HS->Min, 1.0);
+  EXPECT_DOUBLE_EQ(HS->Max, 8.0);
+  uint64_t BucketTotal = 0;
+  for (const auto &[Index, Count] : HS->Buckets)
+    BucketTotal += Count;
+  EXPECT_EQ(BucketTotal, N);
+}
+
+TEST(Trace, SpanNestingAndEvents) {
+  TraceCollector &T = trace();
+  T.clear();
+  T.enable();
+  EXPECT_EQ(TraceSpan::currentDepth(), 0u);
+  {
+    TraceSpan Outer("test.outer", "test");
+    EXPECT_TRUE(Outer.active());
+    EXPECT_EQ(TraceSpan::currentDepth(), 1u);
+    {
+      TraceSpan Inner("test.inner", "test");
+      Inner.setModeledSeconds(0.125);
+      EXPECT_EQ(TraceSpan::currentDepth(), 2u);
+    }
+    EXPECT_EQ(TraceSpan::currentDepth(), 1u);
+    traceInstant("test.marker", "test");
+  }
+  EXPECT_EQ(TraceSpan::currentDepth(), 0u);
+  T.disable();
+
+  std::vector<TraceEvent> Events = T.events();
+  ASSERT_EQ(Events.size(), 3u);
+  // Spans emit on destruction, so inner completes before outer.
+  const TraceEvent &Inner = Events[0];
+  const TraceEvent &Marker = Events[1];
+  const TraceEvent &Outer = Events[2];
+  EXPECT_EQ(Inner.Name, "test.inner");
+  EXPECT_EQ(Outer.Name, "test.outer");
+  EXPECT_EQ(Marker.Name, "test.marker");
+  EXPECT_LT(Marker.DurationUs, 0.0) << "instant events carry no duration";
+  EXPECT_GE(Inner.DurationUs, 0.0);
+  EXPECT_GE(Outer.DurationUs, 0.0);
+  EXPECT_DOUBLE_EQ(Inner.ModeledSeconds, 0.125);
+  // The inner span is contained within the outer span.
+  EXPECT_GE(Inner.TimestampUs, Outer.TimestampUs);
+  EXPECT_LE(Inner.TimestampUs + Inner.DurationUs,
+            Outer.TimestampUs + Outer.DurationUs + 1e-6);
+
+  const std::string Json = T.toChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"modeled_s\""), std::string::npos);
+  T.clear();
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceCollector &T = trace();
+  T.clear();
+  T.disable();
+  {
+    TraceSpan Span("test.disabled", "test");
+    EXPECT_FALSE(Span.active());
+    EXPECT_EQ(TraceSpan::currentDepth(), 0u);
+  }
+  traceInstant("test.disabled.marker", "test");
+  EXPECT_EQ(T.numEvents(), 0u);
+}
+
+TEST(MetricsJson, RoundTripPreservesEverything) {
+  MetricsSnapshot Snap;
+  Snap.Counters.push_back({"psg.engine.simulations", 1234567890123ull});
+  Snap.Counters.push_back({"weird \"name\"\\with\nescapes", 7});
+  Snap.Gauges.push_back({"psg.pool.utilization", 0.1 + 0.2});
+  Snap.Gauges.push_back({"negative", -1.5e-17});
+  HistogramSample H;
+  H.Name = "psg.engine.sub_batch.dispatch_s";
+  H.Count = 3;
+  H.Sum = 0.875;
+  H.Min = 0.125;
+  H.Max = 0.5;
+  H.Buckets = {{27, 1}, {28, 1}, {29, 1}};
+  Snap.Histograms.push_back(H);
+
+  const std::string Json = metricsSnapshotToJson(Snap);
+  ErrorOr<MetricsSnapshot> Parsed = metricsSnapshotFromJson(Json);
+  ASSERT_TRUE(Parsed) << Parsed.message();
+
+  ASSERT_EQ(Parsed->Counters.size(), 2u);
+  EXPECT_EQ(Parsed->counterValue("psg.engine.simulations"),
+            1234567890123ull);
+  EXPECT_EQ(Parsed->counterValue("weird \"name\"\\with\nescapes"), 7u);
+  ASSERT_EQ(Parsed->Gauges.size(), 2u);
+  EXPECT_EQ(Parsed->gaugeValue("psg.pool.utilization"), 0.1 + 0.2)
+      << "doubles must round-trip bit-exactly";
+  EXPECT_EQ(Parsed->gaugeValue("negative"), -1.5e-17);
+  ASSERT_EQ(Parsed->Histograms.size(), 1u);
+  const HistogramSample *PH =
+      Parsed->histogram("psg.engine.sub_batch.dispatch_s");
+  ASSERT_NE(PH, nullptr);
+  EXPECT_EQ(PH->Count, 3u);
+  EXPECT_EQ(PH->Sum, 0.875);
+  EXPECT_EQ(PH->Min, 0.125);
+  EXPECT_EQ(PH->Max, 0.5);
+  ASSERT_EQ(PH->Buckets.size(), 3u);
+  EXPECT_EQ(PH->Buckets[0], (std::pair<uint32_t, uint64_t>{27, 1}));
+  EXPECT_EQ(PH->Buckets[2], (std::pair<uint32_t, uint64_t>{29, 1}));
+}
+
+TEST(MetricsJson, EmptySnapshotRoundTrips) {
+  MetricsSnapshot Empty;
+  ErrorOr<MetricsSnapshot> Parsed =
+      metricsSnapshotFromJson(metricsSnapshotToJson(Empty));
+  ASSERT_TRUE(Parsed);
+  EXPECT_TRUE(Parsed->Counters.empty());
+  EXPECT_TRUE(Parsed->Gauges.empty());
+  EXPECT_TRUE(Parsed->Histograms.empty());
+}
+
+TEST(MetricsJson, MalformedInputReportsErrors) {
+  EXPECT_FALSE(metricsSnapshotFromJson(""));
+  EXPECT_FALSE(metricsSnapshotFromJson("{"));
+  EXPECT_FALSE(metricsSnapshotFromJson("[]"));
+  EXPECT_FALSE(
+      metricsSnapshotFromJson("{\"schema\":\"something-else\"}"));
+  EXPECT_FALSE(metricsSnapshotFromJson(
+      "{\"schema\":\"psg-metrics-v1\",\"counters\":{\"x\":}}"));
+}
+
+TEST(MetricsJson, SnapshotOfLiveRegistryRoundTrips) {
+  MetricsRegistry &M = metrics();
+  M.counter("test.roundtrip.counter").add(5);
+  M.gauge("test.roundtrip.gauge").set(1.0 / 3.0);
+  M.histogram("test.roundtrip.histogram").record(2.0e-6);
+
+  MetricsSnapshot Snap = M.snapshot();
+  ErrorOr<MetricsSnapshot> Parsed =
+      metricsSnapshotFromJson(metricsSnapshotToJson(Snap));
+  ASSERT_TRUE(Parsed) << Parsed.message();
+  EXPECT_EQ(Parsed->Counters.size(), Snap.Counters.size());
+  EXPECT_EQ(Parsed->Gauges.size(), Snap.Gauges.size());
+  EXPECT_EQ(Parsed->Histograms.size(), Snap.Histograms.size());
+  EXPECT_GE(Parsed->counterValue("test.roundtrip.counter"), 5u);
+  EXPECT_EQ(Parsed->gaugeValue("test.roundtrip.gauge"), 1.0 / 3.0);
+}
+
+} // namespace

@@ -22,6 +22,7 @@
 #include "core/BatchEngine.h"
 #include "io/ResultsIo.h"
 #include "rbm/Conservation.h"
+#include "rbm/CuratedModels.h"
 #include "rbm/ModelIo.h"
 #include "rbm/SbmlIo.h"
 #include "rbm/SyntheticGenerator.h"
@@ -29,6 +30,7 @@
 #include "linalg/Eigen.h"
 #include "ode/Radau5.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -90,9 +92,35 @@ bool isSbmlPath(const std::string &Path) {
   return endsWith(Path, ".xml") || endsWith(Path, ".sbml");
 }
 
+/// Resolves a "curated:<name>" pseudo-path to a built-in network.
+ErrorOr<ReactionNetwork> loadCuratedModel(const std::string &Name) {
+  if (Name == "robertson")
+    return makeRobertsonNetwork();
+  if (Name == "brusselator")
+    return makeBrusselatorNetwork();
+  if (Name == "lotka-volterra")
+    return makeLotkaVolterraNetwork();
+  if (Name == "decay-chain")
+    return makeDecayChainNetwork();
+  if (Name == "saturating-toy")
+    return makeSaturatingToyNetwork();
+  if (Name == "repressilator")
+    return makeRepressilatorNetwork();
+  if (Name == "metabolic")
+    return makeMetabolicSurrogate().Net;
+  if (Name == "autophagy-small")
+    return makeAutophagySurrogate(/*Units=*/8, /*ChainLength=*/8).Net;
+  return ErrorOr<ReactionNetwork>::failure(
+      "unknown curated model '" + Name +
+      "' (known: robertson, brusselator, lotka-volterra, decay-chain, "
+      "saturating-toy, repressilator, metabolic, autophagy-small)");
+}
+
 ReactionNetwork loadModelOrDie(const std::string &Path) {
-  ErrorOr<ReactionNetwork> Net = isSbmlPath(Path) ? loadSbmlFile(Path)
-                                                  : loadModelFile(Path);
+  ErrorOr<ReactionNetwork> Net =
+      Path.rfind("curated:", 0) == 0 ? loadCuratedModel(Path.substr(8))
+      : isSbmlPath(Path)             ? loadSbmlFile(Path)
+                                     : loadModelFile(Path);
   if (!Net)
     fatalError("cannot load model '" + Path + "': " + Net.message());
   return std::move(*Net);
@@ -128,6 +156,18 @@ int usage() {
       "      emit a synthetic mass-action model\n"
       "  convert <in> <out>\n"
       "      convert between the text format and the SBML subset\n"
+      "\n"
+      "global options (any command):\n"
+      "  --metrics-json F.json   write the process metrics snapshot\n"
+      "                          (psg-metrics-v1: solver step counters,\n"
+      "                          sub-batch timings, vgpu launch counts)\n"
+      "  --trace-json F.json     record spans and write a\n"
+      "                          chrome://tracing-compatible event file\n"
+      "\n"
+      "model paths: a .txt model, an .xml/.sbml file, or curated:<name>\n"
+      "             (robertson, brusselator, lotka-volterra, decay-chain,\n"
+      "             saturating-toy, repressilator, metabolic,\n"
+      "             autophagy-small)\n"
       "\n"
       "simulators: psg-engine (default), cpu-lsoda, cpu-vode,\n"
       "            gpu-coarse, gpu-fine\n");
@@ -353,13 +393,8 @@ int cmdConvert(const Options &O) {
               Net.numSpecies(), Net.numReactions());
   return 0;
 }
-} // namespace
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage();
-  const std::string Command = Argv[1];
-  Options O = Options::parse(Argc, Argv, 2);
+int runCommand(const std::string &Command, const Options &O) {
   if (Command == "info")
     return cmdInfo(O);
   if (Command == "simulate")
@@ -373,4 +408,32 @@ int main(int Argc, char **Argv) {
   if (Command == "convert")
     return cmdConvert(O);
   return usage();
+}
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const std::string Command = Argv[1];
+  Options O = Options::parse(Argc, Argv, 2);
+
+  const std::string MetricsPath = O.get("metrics-json", "");
+  const std::string TracePath = O.get("trace-json", "");
+  if (!TracePath.empty())
+    trace().enable();
+
+  const int Rc = runCommand(Command, O);
+
+  if (!MetricsPath.empty()) {
+    if (Status S = saveMetricsJson(metrics().snapshot(), MetricsPath); !S)
+      fatalError(S.message());
+    std::fprintf(stderr, "metrics snapshot:   %s\n", MetricsPath.c_str());
+  }
+  if (!TracePath.empty()) {
+    if (Status S = trace().saveToFile(TracePath); !S)
+      fatalError(S.message());
+    std::fprintf(stderr, "trace events:       %s (%zu events)\n",
+                 TracePath.c_str(), trace().numEvents());
+  }
+  return Rc;
 }
