@@ -1,0 +1,265 @@
+//===- bench/bench_micro_dispatch.cpp -------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side dispatch overhead microbenchmark. Measures how many
+/// simulations per second the engine can *dispatch* — model resolution,
+/// per-simulation parameterization, solver acquisition, and outcome
+/// collection — separately from the numerical integration itself:
+///
+/// - "dispatch" rows integrate over an empty time window (TEnd == T0), so
+///   every solver returns immediately and the measured wall time is pure
+///   host dispatch overhead (the `batch x reactions` term of the seed
+///   implementation);
+/// - "short-horizon" rows integrate a tiny window (a few accepted steps)
+///   as a realism check that dispatch savings survive contact with actual
+///   numerics.
+///
+/// Cases: small (repressilator) and large (autophagy surrogate) curated
+/// models, batch in {64, 512, 2048}, through a BatchEngine with the
+/// default 512-point sub-batches (so batch 2048 exercises 4 sub-batch
+/// dispatches and the engine's cross-run compilation cache).
+///
+/// Output: a psg-bench-dispatch-v1 JSON document (default
+/// BENCH_dispatch.json) holding the measured cases plus the reuse
+/// counters proving shared-compilation behaviour. `--baseline FILE`
+/// embeds a previously saved run object verbatim so the committed file
+/// carries before/after numbers across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "rbm/CuratedModels.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  size_t Species = 0;
+  size_t Reactions = 0;
+  uint64_t Batch = 0;
+  uint64_t SubBatches = 0;
+  std::string Mode; ///< "dispatch" or "short-horizon".
+  double BestWallSeconds = 0.0;
+  double MeanWallSeconds = 0.0;
+  double SimsPerSecond = 0.0;
+  size_t Failures = 0;
+};
+
+/// Perturbed full-batch parameterizations (the per-rep copies are taken
+/// outside the timed region).
+std::vector<Parameterization> makeParams(const ReactionNetwork &Net,
+                                         uint64_t Batch, uint64_t Seed) {
+  std::vector<double> Defaults;
+  Defaults.reserve(Net.numReactions());
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Defaults.push_back(Net.reaction(R).RateConstant);
+  const std::vector<double> Y0 = Net.initialState();
+
+  Rng Generator(Seed);
+  std::vector<Parameterization> Params(Batch);
+  for (uint64_t I = 0; I < Batch; ++I) {
+    Params[I].RateConstants = Defaults;
+    for (double &K : Params[I].RateConstants)
+      K *= 0.9 + 0.2 * Generator.uniform();
+    Params[I].InitialState = Y0;
+  }
+  return Params;
+}
+
+CaseResult measureCase(const ReactionNetwork &Net, const std::string &Name,
+                       uint64_t Batch, bool ShortHorizon,
+                       const std::string &SimName, unsigned Reps) {
+  EngineOptions Opts;
+  Opts.SimulatorName = SimName;
+  Opts.SubBatchSize = 512;
+  Opts.OutputSamples = 0;
+  Opts.StartTime = 0.0;
+  Opts.EndTime = ShortHorizon ? 1e-4 : 0.0;
+  Opts.Solver.RelTol = 1e-4;
+  Opts.Solver.AbsTol = 1e-9;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  const std::vector<Parameterization> Base = makeParams(Net, Batch, 42);
+
+  // Warmup dispatch: brings the engine to its steady state (compilation
+  // cache warm, per-worker solver pools populated).
+  {
+    std::vector<Parameterization> Warm(
+        Base.begin(), Base.begin() + std::min<uint64_t>(Batch, 64));
+    Engine.runParameterizations(Net, std::move(Warm));
+  }
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Species = Net.numSpecies();
+  R.Reactions = Net.numReactions();
+  R.Batch = Batch;
+  R.Mode = ShortHorizon ? "short-horizon" : "dispatch";
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    std::vector<Parameterization> Params = Base;
+    WallTimer Timer;
+    EngineReport Report = Engine.runParameterizations(Net, std::move(Params));
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best)
+      Best = Wall;
+    R.SubBatches = Report.SubBatches;
+    R.Failures = Report.Failures;
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.SimsPerSecond =
+      Best > 0.0 ? static_cast<double>(Batch) / Best : 0.0;
+  std::printf("  %-20s batch %5llu %-13s %10.0f sims/s (best of %u, "
+              "%zu failures)\n",
+              Name.c_str(), (unsigned long long)Batch, R.Mode.c_str(),
+              R.SimsPerSecond, Reps, R.Failures);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"species\": %zu, \"reactions\": %zu, "
+      "\"batch\": %llu, \"sub_batches\": %llu, \"mode\": \"%s\", "
+      "\"best_wall_s\": %.6e, \"mean_wall_s\": %.6e, "
+      "\"sims_per_sec\": %.1f, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Species, R.Reactions,
+      (unsigned long long)R.Batch, (unsigned long long)R.SubBatches,
+      R.Mode.c_str(), R.BestWallSeconds, R.MeanWallSeconds, R.SimsPerSecond,
+      R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"simulator\": \"gpu-coarse\",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_dispatch.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-dispatch: host-side batch dispatch overhead ==\n");
+  const ReactionNetwork Small = makeRepressilatorNetwork();
+  const AutophagySurrogate Large = makeAutophagySurrogate();
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const uint64_t Batches[] = {64, 512, 2048};
+  for (const auto &[Net, Name] :
+       {std::pair<const ReactionNetwork &, const char *>{Small,
+                                                         "repressilator"},
+        std::pair<const ReactionNetwork &, const char *>{
+            Large.Net, "autophagy-surrogate"}}) {
+    for (uint64_t Batch : Batches) {
+      Results.push_back(
+          measureCase(Net, Name, Batch, /*ShortHorizon=*/false, "gpu-coarse",
+                      Reps));
+      Results.push_back(
+          measureCase(Net, Name, Batch, /*ShortHorizon=*/true, "gpu-coarse",
+                      Reps));
+    }
+  }
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-dispatch-v1\",\n";
+    std::string Baseline =
+        BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.rbm.compilations\": %llu, "
+        "\"psg.rbm.compile_reuses\": %llu, "
+        "\"psg.ode.workspace_reuses\": %llu, "
+        "\"psg.engine.sub_batches\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.rbm.compilations"),
+        (unsigned long long)Snapshot.counterValue("psg.rbm.compile_reuses"),
+        (unsigned long long)Snapshot.counterValue("psg.ode.workspace_reuses"),
+        (unsigned long long)Snapshot.counterValue("psg.engine.sub_batches"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

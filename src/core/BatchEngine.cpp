@@ -21,6 +21,16 @@ BatchEngine::BatchEngine(const CostModel &Model, EngineOptions Options)
   Sim = std::move(*SimOrErr);
 }
 
+std::shared_ptr<const CompiledModel>
+BatchEngine::compiled(const ReactionNetwork &Net) {
+  const uint64_t Fingerprint = networkFingerprint(Net);
+  if (!CachedModel || CachedFingerprint != Fingerprint) {
+    CachedModel = compileModel(Net);
+    CachedFingerprint = Fingerprint;
+  }
+  return CachedModel;
+}
+
 EngineReport
 BatchEngine::run(const ParameterSpace &Space,
                  const std::vector<std::vector<double>> &Points) {
@@ -49,6 +59,10 @@ BatchEngine::runParameterizations(const ReactionNetwork &Net,
   EngineReport Report;
   Report.Outcomes.reserve(Params.size());
 
+  // One compile per distinct network: every sub-batch below dispatches
+  // against this shared compilation.
+  std::shared_ptr<const CompiledModel> Compiled = compiled(Net);
+
   const uint64_t SubBatch = Opts.SubBatchSize ? Opts.SubBatchSize : 512;
   for (size_t Offset = 0; Offset < Params.size(); Offset += SubBatch) {
     const uint64_t Count =
@@ -57,6 +71,7 @@ BatchEngine::runParameterizations(const ReactionNetwork &Net,
     WallTimer PrepareTimer;
     BatchSpec Spec;
     Spec.Model = &Net;
+    Spec.Compiled = Compiled;
     Spec.Batch = Count;
     Spec.StartTime = Opts.StartTime;
     Spec.EndTime = Opts.EndTime;

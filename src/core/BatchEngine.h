@@ -80,6 +80,17 @@ public:
 private:
   EngineOptions Opts;
   std::unique_ptr<Simulator> Sim;
+
+  /// Compilation cache: the last network's compiled model, keyed by its
+  /// structural fingerprint. Every sub-batch of a run — and every later
+  /// run over the same network — shares this one compilation, so an
+  /// engine performs exactly one compile per distinct network.
+  std::shared_ptr<const CompiledModel> CachedModel;
+  uint64_t CachedFingerprint = 0;
+
+  /// Returns the compiled form of \p Net, reusing the cache on a
+  /// fingerprint match.
+  std::shared_ptr<const CompiledModel> compiled(const ReactionNetwork &Net);
 };
 
 } // namespace psg

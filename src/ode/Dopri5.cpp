@@ -10,6 +10,7 @@
 #include "ode/Dopri5.h"
 
 #include "linalg/VectorOps.h"
+#include "ode/SolverWorkspace.h"
 #include "ode/StepControl.h"
 
 #include <cmath>
@@ -39,10 +40,12 @@ constexpr double D1 = -12715105075.0 / 11282082432.0,
                  D6 = -1453857185.0 / 822651844.0,
                  D7 = 69997945.0 / 29380423.0;
 
+} // namespace
+
 /// 4th-order continuous extension of a DOPRI5 step.
-class Dopri5Interpolant : public StepInterpolant {
+class Dopri5Solver::Interpolant : public StepInterpolant {
 public:
-  explicit Dopri5Interpolant(size_t N)
+  explicit Interpolant(size_t N)
       : N(N), Cont1(N), Cont2(N), Cont3(N), Cont4(N), Cont5(N) {}
 
   /// Rebuilds the polynomial for the step [T, T + H].
@@ -80,7 +83,32 @@ private:
   double TBegin = 0.0, TEnd = 0.0;
   std::vector<double> Cont1, Cont2, Cont3, Cont4, Cont5;
 };
-} // namespace
+
+/// Per-solver working storage, reused across integrate() calls. Every
+/// vector is fully written before it is read within a step, so stale
+/// contents from a previous simulation cannot leak into the numerics.
+struct Dopri5Solver::Workspace {
+  size_t N = 0;
+  std::vector<double> K1, K2, K3, K4, K5, K6, K7;
+  std::vector<double> YStage, YNew, ErrVec, Stage6;
+  Interpolant Interp{0};
+
+  /// Sizes the buffers for \p Dim; returns true when already sized.
+  bool prepare(size_t Dim) {
+    if (Dim == N)
+      return true;
+    N = Dim;
+    for (std::vector<double> *V :
+         {&K1, &K2, &K3, &K4, &K5, &K6, &K7, &YStage, &YNew, &ErrVec,
+          &Stage6})
+      V->assign(Dim, 0.0);
+    Interp = Interpolant(Dim);
+    return false;
+  }
+};
+
+Dopri5Solver::Dopri5Solver() : Ws(std::make_unique<Workspace>()) {}
+Dopri5Solver::~Dopri5Solver() = default;
 
 IntegrationResult Dopri5Solver::integrate(const OdeSystem &Sys, double T0,
                                           double TEnd, std::vector<double> &Y,
@@ -94,8 +122,12 @@ IntegrationResult Dopri5Solver::integrate(const OdeSystem &Sys, double T0,
     return Result;
   const double Direction = TEnd > T0 ? 1.0 : -1.0;
 
-  std::vector<double> K1(N), K2(N), K3(N), K4(N), K5(N), K6(N), K7(N);
-  std::vector<double> YStage(N), YNew(N), ErrVec(N), Stage6(N);
+  if (Ws->prepare(N))
+    noteSolverWorkspaceReuse();
+  std::vector<double> &K1 = Ws->K1, &K2 = Ws->K2, &K3 = Ws->K3, &K4 = Ws->K4,
+                      &K5 = Ws->K5, &K6 = Ws->K6, &K7 = Ws->K7;
+  std::vector<double> &YStage = Ws->YStage, &YNew = Ws->YNew,
+                      &ErrVec = Ws->ErrVec, &Stage6 = Ws->Stage6;
 
   Sys.rhs(T0, Y.data(), K1.data());
   ++Result.Stats.RhsEvaluations;
@@ -105,7 +137,7 @@ IntegrationResult Dopri5Solver::integrate(const OdeSystem &Sys, double T0,
       Opts.MaxStep > 0 ? Opts.MaxStep : std::abs(TEnd - T0);
   PiController Controller(/*Order=*/5, Opts.Safety, Opts.MinScale,
                           Opts.MaxScale, /*Beta=*/0.04);
-  Dopri5Interpolant Interp(N);
+  auto &Interp = Ws->Interp;
 
   // Hairer's stiffness counters.
   unsigned StiffHits = 0, NonStiffHits = 0;

@@ -17,6 +17,8 @@
 
 #include "ode/OdeSolver.h"
 
+#include <memory>
+
 namespace psg {
 
 /// Adaptive DOPRI5. If Opts.EnableStiffnessDetection is set, persistent
@@ -25,12 +27,21 @@ namespace psg {
 /// method.
 class Dopri5Solver : public OdeSolver {
 public:
+  Dopri5Solver();
+  ~Dopri5Solver() override;
+
   std::string name() const override { return "dopri5"; }
 
   IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  /// Stage vectors and dense-output buffers, reused across integrations.
+  class Interpolant;
+  struct Workspace;
+  std::unique_ptr<Workspace> Ws;
 };
 
 } // namespace psg

@@ -6,7 +6,7 @@
 
 #include "ode/Lsoda.h"
 
-#include "ode/Multistep.h"
+#include "ode/SolverWorkspace.h"
 
 using namespace psg;
 
@@ -22,7 +22,8 @@ IntegrationResult LsodaSolver::integrate(const OdeSystem &Sys, double T0,
   if (T0 == TEnd)
     return Result;
 
-  MultistepDriver Driver(Sys, Opts, MultistepMethod::Adams);
+  if (Driver.reset(Sys, Opts, MultistepMethod::Adams))
+    noteSolverWorkspaceReuse();
   Driver.begin(T0, Y.data(), TEnd);
 
   uint64_t LastProbeStep = 0;

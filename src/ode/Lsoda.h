@@ -18,6 +18,7 @@
 #ifndef PSG_ODE_LSODA_H
 #define PSG_ODE_LSODA_H
 
+#include "ode/Multistep.h"
 #include "ode/OdeSolver.h"
 
 namespace psg {
@@ -35,6 +36,9 @@ public:
 
   /// Steps between stiffness probes (tunable for tests/ablations).
   unsigned ProbeInterval = 20;
+
+private:
+  MultistepDriver Driver; ///< History/scratch reused across integrations.
 };
 
 } // namespace psg

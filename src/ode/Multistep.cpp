@@ -8,6 +8,7 @@
 
 #include "linalg/Eigen.h"
 #include "linalg/VectorOps.h"
+#include "ode/SolverWorkspace.h"
 #include "ode/StepControl.h"
 
 #include <algorithm>
@@ -65,12 +66,28 @@ double binomial(unsigned N, unsigned K) {
 
 MultistepDriver::MultistepDriver(const OdeSystem &System,
                                  const SolverOptions &Options,
-                                 MultistepMethod InitialMethod)
-    : Sys(System), Opts(Options), Method(InitialMethod), N(System.dimension()),
-      Y(N), PrevY(N), PrevF(N), CurrF(N), YPred(N), FPred(N), YCorr(N),
-      Delta(N), Scratch(N) {
+                                 MultistepMethod InitialMethod) {
+  reset(System, Options, InitialMethod);
+}
+
+bool MultistepDriver::reset(const OdeSystem &System,
+                            const SolverOptions &Options,
+                            MultistepMethod InitialMethod) {
+  Sys = &System;
+  Opts = Options;
+  Method = InitialMethod;
+  const size_t Dim = System.dimension();
+  // All per-run state is (re)initialized by begin(); only the buffer
+  // shapes matter here.
+  if (Dim == N && !YHist.empty())
+    return true;
+  N = Dim;
+  for (std::vector<double> *V :
+       {&Y, &PrevY, &PrevF, &CurrF, &YPred, &FPred, &YCorr, &Delta, &Scratch})
+    V->assign(N, 0.0);
   YHist.assign(MaxHistory, std::vector<double>(N));
   FHist.assign(MaxHistory, std::vector<double>(N));
+  return false;
 }
 
 void MultistepDriver::begin(double T0, const double *Y0, double TEndIn) {
@@ -87,12 +104,12 @@ void MultistepDriver::begin(double T0, const double *Y0, double TEndIn) {
   Stats = IntegrationStats();
   Interp.reset();
 
-  Sys.rhs(T, Y.data(), CurrF.data());
+  Sys->rhs(T, Y.data(), CurrF.data());
   ++Stats.RhsEvaluations;
   YHist[0] = Y;
   FHist[0] = CurrF;
   HistCount = 1;
-  H = selectInitialStep(Sys, T, Y.data(), CurrF.data(), TEnd, Opts,
+  H = selectInitialStep(*Sys, T, Y.data(), CurrF.data(), TEnd, Opts,
                         /*Order=*/1, Stats.RhsEvaluations);
   Spacing = Direction * H;
 }
@@ -175,7 +192,7 @@ bool MultistepDriver::solveBdfCorrector(double Hs, double TNew,
   const double Beta = BdfBeta[Q];
 
   if (!HaveJacobian || StepsSinceJacobian > 25) {
-    Stats.RhsEvaluations += Sys.jacobian(T, Y.data(), FHist[0].data(), J);
+    Stats.RhsEvaluations += Sys->jacobian(T, Y.data(), FHist[0].data(), J);
     ++Stats.JacobianEvaluations;
     HaveJacobian = true;
     HaveFactorization = false;
@@ -204,7 +221,7 @@ bool MultistepDriver::solveBdfCorrector(double Hs, double TNew,
   YCorr = YPred;
   double DeltaNormOld = 0.0;
   for (unsigned Iter = 0; Iter < 4; ++Iter) {
-    Sys.rhs(TNew, YCorr.data(), FPred.data());
+    Sys->rhs(TNew, YCorr.data(), FPred.data());
     ++Stats.RhsEvaluations;
     ++Stats.NewtonIterations;
     for (size_t I = 0; I < N; ++I)
@@ -281,7 +298,7 @@ IntegrationStatus MultistepDriver::advance() {
       YPred = Y;
       for (unsigned JJ = 0; JJ < Q; ++JJ)
         axpy(Hs * AB[Q][JJ], FHist[JJ].data(), YPred.data(), N);
-      Sys.rhs(TNew, YPred.data(), FPred.data());
+      Sys->rhs(TNew, YPred.data(), FPred.data());
       ++Stats.RhsEvaluations;
       YCorr = Y;
       axpy(Hs * AM[Q][0], FPred.data(), YCorr.data(), N);
@@ -350,7 +367,7 @@ IntegrationStatus MultistepDriver::advance() {
     }
 
     // Accepted: final function value at the new point.
-    Sys.rhs(TNew, YCorr.data(), FPred.data());
+    Sys->rhs(TNew, YCorr.data(), FPred.data());
     ++Stats.RhsEvaluations;
     ++Stats.AcceptedSteps;
     ++StepsSinceJacobian;
@@ -381,12 +398,22 @@ IntegrationStatus MultistepDriver::advance() {
 
 double MultistepDriver::estimateSpectralRadius() {
   Matrix Jac;
-  Stats.RhsEvaluations += Sys.jacobian(T, Y.data(), CurrF.data(), Jac);
+  Stats.RhsEvaluations += Sys->jacobian(T, Y.data(), CurrF.data(), Jac);
   ++Stats.JacobianEvaluations;
   return powerIterationSpectralRadius(Jac);
 }
 
 IntegrationResult psg::runMultistep(const OdeSystem &Sys, double T0,
+                                    double TEnd, std::vector<double> &Y,
+                                    const SolverOptions &Opts,
+                                    MultistepMethod Method,
+                                    StepObserver *Observer) {
+  MultistepDriver Driver;
+  return runMultistep(Driver, Sys, T0, TEnd, Y, Opts, Method, Observer);
+}
+
+IntegrationResult psg::runMultistep(MultistepDriver &Driver,
+                                    const OdeSystem &Sys, double T0,
                                     double TEnd, std::vector<double> &Y,
                                     const SolverOptions &Opts,
                                     MultistepMethod Method,
@@ -399,7 +426,8 @@ IntegrationResult psg::runMultistep(const OdeSystem &Sys, double T0,
   if (T0 == TEnd)
     return Result;
 
-  MultistepDriver Driver(Sys, Opts, Method);
+  if (Driver.reset(Sys, Opts, Method))
+    noteSolverWorkspaceReuse();
   Driver.begin(T0, Y.data(), TEnd);
   while (!Driver.done()) {
     IntegrationStatus St = Driver.advance();
@@ -421,7 +449,7 @@ IntegrationResult AdamsSolver::integrate(const OdeSystem &Sys, double T0,
                                          double TEnd, std::vector<double> &Y,
                                          const SolverOptions &Opts,
                                          StepObserver *Observer) {
-  return runMultistep(Sys, T0, TEnd, Y, Opts, MultistepMethod::Adams,
+  return runMultistep(Driver, Sys, T0, TEnd, Y, Opts, MultistepMethod::Adams,
                       Observer);
 }
 
@@ -429,5 +457,6 @@ IntegrationResult BdfSolver::integrate(const OdeSystem &Sys, double T0,
                                        double TEnd, std::vector<double> &Y,
                                        const SolverOptions &Opts,
                                        StepObserver *Observer) {
-  return runMultistep(Sys, T0, TEnd, Y, Opts, MultistepMethod::Bdf, Observer);
+  return runMultistep(Driver, Sys, T0, TEnd, Y, Opts, MultistepMethod::Bdf,
+                      Observer);
 }

@@ -36,8 +36,18 @@ class MultistepDriver {
 public:
   static constexpr unsigned MaxOrder = 5;
 
+  /// An unbound driver; call reset() before begin().
+  MultistepDriver() = default;
+
   MultistepDriver(const OdeSystem &Sys, const SolverOptions &Opts,
                   MultistepMethod Method);
+
+  /// (Re)binds the driver to a system/options/method, keeping the history
+  /// and scratch buffers when the dimension is unchanged so one driver
+  /// serves a whole batch of simulations. Returns true when the buffers
+  /// were reused (no allocation). Call begin() afterwards.
+  bool reset(const OdeSystem &Sys, const SolverOptions &Opts,
+             MultistepMethod Method);
 
   /// Initializes at (T0, Y0) heading for TEnd. Resets order to 1.
   void begin(double T0, const double *Y0, double TEnd);
@@ -74,10 +84,10 @@ public:
   double estimateSpectralRadius();
 
 private:
-  const OdeSystem &Sys;
+  const OdeSystem *Sys = nullptr;
   SolverOptions Opts;
-  MultistepMethod Method;
-  size_t N;
+  MultistepMethod Method = MultistepMethod::Adams;
+  size_t N = 0;
 
   double T = 0.0, TEnd = 0.0, Direction = 1.0;
   double H = 0.0;        ///< Magnitude of the current step.
@@ -124,6 +134,9 @@ public:
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  MultistepDriver Driver; ///< History/scratch reused across integrations.
 };
 
 /// BDF solver ("bdf"), orders 1-5 with simplified Newton.
@@ -135,11 +148,24 @@ public:
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  MultistepDriver Driver; ///< History/scratch reused across integrations.
 };
 
-/// Shared driver loop used by the plain Adams/BDF solvers.
+/// Shared driver loop used by the plain Adams/BDF solvers; allocates a
+/// fresh driver per call.
 IntegrationResult runMultistep(const OdeSystem &Sys, double T0, double TEnd,
                                std::vector<double> &Y,
+                               const SolverOptions &Opts,
+                               MultistepMethod Method,
+                               StepObserver *Observer);
+
+/// Shared driver loop over a caller-owned (reusable) driver: \p Driver is
+/// reset onto (Sys, Opts, Method) — counting a workspace reuse when its
+/// buffers carry over — then stepped to TEnd.
+IntegrationResult runMultistep(MultistepDriver &Driver, const OdeSystem &Sys,
+                               double T0, double TEnd, std::vector<double> &Y,
                                const SolverOptions &Opts,
                                MultistepMethod Method,
                                StepObserver *Observer);

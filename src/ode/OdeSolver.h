@@ -5,9 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The solver interface. Solvers are stateless between integrate() calls;
-/// all working storage is local to the call, so one solver object can be
-/// reused across a batch of simulations.
+/// The solver interface. Solvers carry no *numerical* state between
+/// integrate() calls — each call produces the same result as a fresh
+/// instance would — but they keep a reusable workspace (stage vectors,
+/// Newton matrices, multistep history buffers) sized to the last system, so
+/// one solver object amortizes its allocations across a batch of
+/// simulations. A solver instance is therefore not safe to share between
+/// concurrently running integrations: use one instance per worker thread.
 ///
 //===----------------------------------------------------------------------===//
 

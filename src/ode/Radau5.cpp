@@ -12,6 +12,7 @@
 
 #include "linalg/Lu.h"
 #include "linalg/VectorOps.h"
+#include "ode/SolverWorkspace.h"
 #include "ode/StepControl.h"
 
 #include <algorithm>
@@ -73,11 +74,13 @@ const double *addVectors(const std::vector<double> &A,
   return Out.data();
 }
 
+} // namespace
+
 /// Cubic collocation interpolant: the Newton divided-difference polynomial
 /// through (t0, y0) and the three stage values.
-class RadauInterpolant : public StepInterpolant {
+class Radau5Solver::Interpolant : public StepInterpolant {
 public:
-  explicit RadauInterpolant(size_t N)
+  explicit Interpolant(size_t N)
       : N(N), P0(N), P1(N), P2(N), P3(N) {}
 
   /// Builds the polynomial for step [T0, T0 + H] with stage increments Z.
@@ -123,7 +126,42 @@ private:
   double T0 = 0.0, T1 = 0.0;
   std::vector<double> P0, P1, P2, P3;
 };
-} // namespace
+
+/// Per-solver working storage, reused across integrate() calls. Stage and
+/// Newton vectors are fully written before being read in every step; the
+/// iteration matrices and LU factors are rebuilt before their first solve
+/// of each integration (NeedJacobian/NeedFactor start true); interpolant
+/// staleness is guarded by the FirstStep flag.
+struct Radau5Solver::Workspace {
+  size_t N = 0;
+  std::vector<double> F0, F1, F2, F3;
+  std::vector<double> Z1, Z2, Z3;
+  std::vector<double> W1, W2, W3;
+  std::vector<double> DW1, ErrVec, Scratch;
+  std::vector<std::complex<double>> CRhs;
+  Matrix J, E1;
+  ComplexMatrix E2;
+  RealLu RealDecomp;
+  ComplexLu ComplexDecomp;
+  Interpolant Interp{0};
+
+  /// Sizes the buffers for \p Dim; returns true when already sized.
+  bool prepare(size_t Dim) {
+    if (Dim == N)
+      return true;
+    N = Dim;
+    for (std::vector<double> *V :
+         {&F0, &F1, &F2, &F3, &Z1, &Z2, &Z3, &W1, &W2, &W3, &DW1, &ErrVec,
+          &Scratch})
+      V->assign(Dim, 0.0);
+    CRhs.assign(Dim, {});
+    Interp = Interpolant(Dim);
+    return false;
+  }
+};
+
+Radau5Solver::Radau5Solver() : Ws(std::make_unique<Workspace>()) {}
+Radau5Solver::~Radau5Solver() = default;
 
 Matrix psg::radau5detail::butcherMatrix() {
   Matrix A(3, 3);
@@ -190,16 +228,19 @@ IntegrationResult Radau5Solver::integrate(const OdeSystem &Sys, double T0,
   const double FNewt = std::max(10.0 * Uround / Opts.RelTol,
                                 std::min(0.03, std::sqrt(Opts.RelTol)));
 
-  std::vector<double> F0(N), F1(N), F2(N), F3(N);
-  std::vector<double> Z1(N), Z2(N), Z3(N);
-  std::vector<double> W1(N), W2(N), W3(N);
-  std::vector<double> DW1(N), ErrVec(N), Scratch(N);
-  std::vector<std::complex<double>> CRhs(N);
-  Matrix J, E1;
-  ComplexMatrix E2;
-  RealLu RealDecomp;
-  ComplexLu ComplexDecomp;
-  RadauInterpolant Interp(N);
+  if (Ws->prepare(N))
+    noteSolverWorkspaceReuse();
+  std::vector<double> &F0 = Ws->F0, &F1 = Ws->F1, &F2 = Ws->F2, &F3 = Ws->F3;
+  std::vector<double> &Z1 = Ws->Z1, &Z2 = Ws->Z2, &Z3 = Ws->Z3;
+  std::vector<double> &W1 = Ws->W1, &W2 = Ws->W2, &W3 = Ws->W3;
+  std::vector<double> &DW1 = Ws->DW1, &ErrVec = Ws->ErrVec,
+                      &Scratch = Ws->Scratch;
+  std::vector<std::complex<double>> &CRhs = Ws->CRhs;
+  Matrix &J = Ws->J, &E1 = Ws->E1;
+  ComplexMatrix &E2 = Ws->E2;
+  RealLu &RealDecomp = Ws->RealDecomp;
+  ComplexLu &ComplexDecomp = Ws->ComplexDecomp;
+  auto &Interp = Ws->Interp;
 
   Sys.rhs(T0, Y.data(), F0.data());
   ++Result.Stats.RhsEvaluations;

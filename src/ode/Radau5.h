@@ -18,12 +18,17 @@
 
 #include "ode/OdeSolver.h"
 
+#include <memory>
+
 namespace psg {
 
 /// Radau IIA(5): A-stable, stiffly accurate; native cubic collocation
 /// dense output through the three stage values.
 class Radau5Solver : public OdeSolver {
 public:
+  Radau5Solver();
+  ~Radau5Solver() override;
+
   std::string name() const override { return "radau5"; }
   bool isImplicit() const override { return true; }
 
@@ -31,6 +36,13 @@ public:
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  /// Stage/Newton vectors, iteration matrices and their LU
+  /// factorizations, reused across integrations.
+  class Interpolant;
+  struct Workspace;
+  std::unique_ptr<Workspace> Ws;
 };
 
 namespace radau5detail {

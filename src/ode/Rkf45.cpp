@@ -7,6 +7,7 @@
 #include "ode/Rkf45.h"
 
 #include "linalg/VectorOps.h"
+#include "ode/SolverWorkspace.h"
 #include "ode/StepControl.h"
 
 #include <cmath>
@@ -32,6 +33,29 @@ constexpr double E1 = B1 - 25.0 / 216, E3 = B3 - 1408.0 / 2565,
                  E4 = B4 - 2197.0 / 4104, E5 = B5 + 1.0 / 5, E6 = B6;
 } // namespace
 
+/// Per-solver working storage, reused across integrate() calls. Every
+/// vector is fully written before it is read within a step, so stale
+/// contents from a previous simulation cannot leak into the numerics.
+struct Rkf45Solver::Workspace {
+  size_t N = 0;
+  std::vector<double> K1, K2, K3, K4, K5, K6;
+  std::vector<double> YStage, YNew, ErrVec, FNew;
+
+  /// Sizes the buffers for \p Dim; returns true when already sized.
+  bool prepare(size_t Dim) {
+    if (Dim == N)
+      return true;
+    N = Dim;
+    for (std::vector<double> *V :
+         {&K1, &K2, &K3, &K4, &K5, &K6, &YStage, &YNew, &ErrVec, &FNew})
+      V->assign(Dim, 0.0);
+    return false;
+  }
+};
+
+Rkf45Solver::Rkf45Solver() : Ws(std::make_unique<Workspace>()) {}
+Rkf45Solver::~Rkf45Solver() = default;
+
 IntegrationResult Rkf45Solver::integrate(const OdeSystem &Sys, double T0,
                                          double TEnd, std::vector<double> &Y,
                                          const SolverOptions &Opts,
@@ -44,8 +68,12 @@ IntegrationResult Rkf45Solver::integrate(const OdeSystem &Sys, double T0,
     return Result;
   const double Direction = TEnd > T0 ? 1.0 : -1.0;
 
-  std::vector<double> K1(N), K2(N), K3(N), K4(N), K5(N), K6(N);
-  std::vector<double> YStage(N), YNew(N), ErrVec(N), FNew(N);
+  if (Ws->prepare(N))
+    noteSolverWorkspaceReuse();
+  std::vector<double> &K1 = Ws->K1, &K2 = Ws->K2, &K3 = Ws->K3, &K4 = Ws->K4,
+                      &K5 = Ws->K5, &K6 = Ws->K6;
+  std::vector<double> &YStage = Ws->YStage, &YNew = Ws->YNew,
+                      &ErrVec = Ws->ErrVec, &FNew = Ws->FNew;
 
   Sys.rhs(T0, Y.data(), K1.data());
   ++Result.Stats.RhsEvaluations;

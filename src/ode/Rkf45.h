@@ -15,18 +15,28 @@
 
 #include "ode/OdeSolver.h"
 
+#include <memory>
+
 namespace psg {
 
 /// Adaptive RKF45 with the tolerance-weighted RMS error norm and a PI
 /// controller. Dense output is cubic Hermite.
 class Rkf45Solver : public OdeSolver {
 public:
+  Rkf45Solver();
+  ~Rkf45Solver() override;
+
   std::string name() const override { return "rkf45"; }
 
   IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  /// Stage vectors, reused across integrations.
+  struct Workspace;
+  std::unique_ptr<Workspace> Ws;
 };
 
 } // namespace psg

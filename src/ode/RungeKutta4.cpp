@@ -7,10 +7,32 @@
 #include "ode/RungeKutta4.h"
 
 #include "linalg/VectorOps.h"
+#include "ode/SolverWorkspace.h"
 
 #include <cmath>
 
 using namespace psg;
+
+/// Per-solver working storage, reused across integrate() calls. Every
+/// vector is fully written before it is read within a step, so stale
+/// contents from a previous simulation cannot leak into the numerics.
+struct RungeKutta4Solver::Workspace {
+  size_t N = 0;
+  std::vector<double> K1, K2, K3, K4, YStage, YPrev;
+
+  /// Sizes the buffers for \p Dim; returns true when already sized.
+  bool prepare(size_t Dim) {
+    if (Dim == N)
+      return true;
+    N = Dim;
+    for (std::vector<double> *V : {&K1, &K2, &K3, &K4, &YStage, &YPrev})
+      V->assign(Dim, 0.0);
+    return false;
+  }
+};
+
+RungeKutta4Solver::RungeKutta4Solver() : Ws(std::make_unique<Workspace>()) {}
+RungeKutta4Solver::~RungeKutta4Solver() = default;
 
 IntegrationResult RungeKutta4Solver::integrate(const OdeSystem &Sys, double T0,
                                                double TEnd,
@@ -30,7 +52,10 @@ IntegrationResult RungeKutta4Solver::integrate(const OdeSystem &Sys, double T0,
                  : std::abs(TEnd - T0) / static_cast<double>(Opts.MaxSteps);
   H *= Direction;
 
-  std::vector<double> K1(N), K2(N), K3(N), K4(N), YStage(N), YPrev(N);
+  if (Ws->prepare(N))
+    noteSolverWorkspaceReuse();
+  std::vector<double> &K1 = Ws->K1, &K2 = Ws->K2, &K3 = Ws->K3, &K4 = Ws->K4,
+                      &YStage = Ws->YStage, &YPrev = Ws->YPrev;
   double T = T0;
   while ((TEnd - T) * Direction > 0) {
     // The automatic step divides the span into exactly MaxSteps pieces, so

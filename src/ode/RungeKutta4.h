@@ -16,18 +16,28 @@
 
 #include "ode/OdeSolver.h"
 
+#include <memory>
+
 namespace psg {
 
 /// Fixed-step classical RK4. The step comes from Opts.InitialStep; when 0,
 /// the interval is divided into Opts.MaxSteps equal steps.
 class RungeKutta4Solver : public OdeSolver {
 public:
+  RungeKutta4Solver();
+  ~RungeKutta4Solver() override;
+
   std::string name() const override { return "rk4"; }
 
   IntegrationResult integrate(const OdeSystem &Sys, double T0, double TEnd,
                               std::vector<double> &Y,
                               const SolverOptions &Opts,
                               StepObserver *Observer = nullptr) override;
+
+private:
+  /// Stage vectors, reused across integrations.
+  struct Workspace;
+  std::unique_ptr<Workspace> Ws;
 };
 
 } // namespace psg

@@ -1,0 +1,18 @@
+//===- ode/SolverWorkspace.cpp --------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/SolverWorkspace.h"
+
+#include "support/Metrics.h"
+
+using namespace psg;
+
+void psg::noteSolverWorkspaceReuse() {
+  // Registry references are stable for the process lifetime, so the
+  // lookup happens once; the per-call cost is one relaxed atomic add.
+  static Counter &Reuses = metrics().counter("psg.ode.workspace_reuses");
+  Reuses.add();
+}

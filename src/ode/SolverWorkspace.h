@@ -1,0 +1,28 @@
+//===- ode/SolverWorkspace.h - Workspace-reuse accounting -------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared accounting for the per-solver reusable workspaces: every solver
+/// keeps its stage vectors, Newton matrices and history buffers alive
+/// across integrate() calls and records a `psg.ode.workspace_reuses` tick
+/// whenever an integrate() found them already sized for the system, so
+/// tests and benches can prove the steady state is allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_SOLVERWORKSPACE_H
+#define PSG_ODE_SOLVERWORKSPACE_H
+
+namespace psg {
+
+/// Records one workspace reuse in the `psg.ode.workspace_reuses` counter.
+/// Called by solvers when an integrate() begins with buffers already
+/// dimensioned for the system (no allocation needed).
+void noteSolverWorkspaceReuse();
+
+} // namespace psg
+
+#endif // PSG_ODE_SOLVERWORKSPACE_H

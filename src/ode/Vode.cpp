@@ -25,10 +25,9 @@ IntegrationResult VodeSolver::integrate(const OdeSystem &Sys, double T0,
     return Result;
 
   // Start-time heuristic: dominant eigenvalue of J times the horizon.
-  std::vector<double> F0(N);
+  F0.assign(N, 0.0);
   Sys.rhs(T0, Y.data(), F0.data());
   ++Result.Stats.RhsEvaluations;
-  Matrix J;
   Result.Stats.RhsEvaluations += Sys.jacobian(T0, Y.data(), F0.data(), J);
   ++Result.Stats.JacobianEvaluations;
   const double Rho = powerIterationSpectralRadius(J);
@@ -38,7 +37,7 @@ IntegrationResult VodeSolver::integrate(const OdeSystem &Sys, double T0,
                                      : MultistepMethod::Adams;
 
   IntegrationResult Inner =
-      runMultistep(Sys, T0, TEnd, Y, Opts, Method, Observer);
+      runMultistep(Driver, Sys, T0, TEnd, Y, Opts, Method, Observer);
   Inner.Stats.merge(Result.Stats);
   Result = Inner;
   return Result;

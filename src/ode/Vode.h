@@ -14,6 +14,8 @@
 #ifndef PSG_ODE_VODE_H
 #define PSG_ODE_VODE_H
 
+#include "linalg/Matrix.h"
+#include "ode/Multistep.h"
 #include "ode/OdeSolver.h"
 
 namespace psg {
@@ -31,6 +33,12 @@ public:
 
   /// Stiffness threshold on rho(J) * (TEnd - T0); above it, BDF is chosen.
   double StiffnessThreshold = 500.0;
+
+private:
+  // Probe scratch and the multistep core, reused across integrations.
+  std::vector<double> F0;
+  Matrix J;
+  MultistepDriver Driver;
 };
 
 } // namespace psg

@@ -7,8 +7,10 @@
 #include "rbm/MassAction.h"
 
 #include "support/Error.h"
+#include "support/Metrics.h"
 
 #include <cmath>
+#include <cstring>
 
 using namespace psg;
 
@@ -20,9 +22,61 @@ double ipow(double X, unsigned E) {
     R *= X;
   return R;
 }
+
+/// FNV-1a over mixed words; doubles hash by bit pattern.
+class Fnv {
+public:
+  void mix(uint64_t V) {
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (V >> (8 * B)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  }
+  void mix(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    mix(Bits);
+  }
+  void mix(const std::string &S) {
+    mix(static_cast<uint64_t>(S.size()));
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001B3ull;
+    }
+  }
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H = 0xCBF29CE484222325ull;
+};
 } // namespace
 
-CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
+uint64_t psg::networkFingerprint(const ReactionNetwork &Net) {
+  Fnv H;
+  H.mix(Net.name());
+  H.mix(static_cast<uint64_t>(Net.numSpecies()));
+  H.mix(static_cast<uint64_t>(Net.numReactions()));
+  for (const Reaction &Rx : Net.allReactions()) {
+    H.mix(static_cast<uint64_t>(Rx.Reactants.size()));
+    for (const auto &[Idx, Coef] : Rx.Reactants) {
+      H.mix(static_cast<uint64_t>(Idx));
+      H.mix(static_cast<uint64_t>(Coef));
+    }
+    H.mix(static_cast<uint64_t>(Rx.Products.size()));
+    for (const auto &[Idx, Coef] : Rx.Products) {
+      H.mix(static_cast<uint64_t>(Idx));
+      H.mix(static_cast<uint64_t>(Coef));
+    }
+    H.mix(static_cast<uint64_t>(Rx.Kind));
+    H.mix(Rx.RateConstant);
+    H.mix(Rx.Km);
+    H.mix(Rx.HillK);
+    H.mix(Rx.HillN);
+  }
+  return H.value();
+}
+
+CompiledModel::CompiledModel(const ReactionNetwork &Net)
     : SystemName(Net.name()), NumSpecies(Net.numSpecies()),
       NumReactions(Net.numReactions()) {
   if (Status S = Net.validate(); !S)
@@ -30,9 +84,10 @@ CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
 
   TermBegin.reserve(NumReactions + 1);
   NetBegin.reserve(NumReactions + 1);
-  RateConstants.reserve(NumReactions);
+  DefaultConstants.reserve(NumReactions);
   Kinetics.reserve(NumReactions);
 
+  std::vector<std::pair<uint32_t, double>> Net0;
   for (size_t R = 0; R < NumReactions; ++R) {
     const Reaction &Rx = Net.reaction(R);
     TermBegin.push_back(static_cast<uint32_t>(TermSpecies.size()));
@@ -42,7 +97,7 @@ CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
     }
     // Net stoichiometry B - A, merged per species.
     NetBegin.push_back(static_cast<uint32_t>(NetSpecies.size()));
-    std::vector<std::pair<uint32_t, double>> Net0;
+    Net0.clear();
     for (const auto &[Idx, Coef] : Rx.Reactants)
       Net0.emplace_back(Idx, -static_cast<double>(Coef));
     for (const auto &[Idx, Coef] : Rx.Products) {
@@ -61,13 +116,15 @@ CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
         NetSpecies.push_back(Idx);
         NetCoef.push_back(Coef);
       }
-    RateConstants.push_back(Rx.RateConstant);
-    Kinetics.push_back({Rx.Kind, Rx.Km, Rx.HillK, Rx.HillN});
+    DefaultConstants.push_back(Rx.RateConstant);
+    const double KnPow = Rx.Kind == KineticsKind::Hill ||
+                                 Rx.Kind == KineticsKind::HillRepression
+                             ? std::pow(Rx.HillK, Rx.HillN)
+                             : 0.0;
+    Kinetics.push_back({Rx.Kind, Rx.Km, Rx.HillK, Rx.HillN, KnPow});
   }
   TermBegin.push_back(static_cast<uint32_t>(TermSpecies.size()));
   NetBegin.push_back(static_cast<uint32_t>(NetSpecies.size()));
-  OriginalConstants = RateConstants;
-  RateScratch.resize(NumReactions);
 
   Profile.RhsMultiplies = TermSpecies.size() + NumReactions;
   Profile.RhsAccumulates = NetSpecies.size();
@@ -75,20 +132,44 @@ CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
   for (size_t R = 0; R < NumReactions; ++R)
     Profile.JacobianEntries +=
         (TermBegin[R + 1] - TermBegin[R]) * (NetBegin[R + 1] - NetBegin[R]);
+
+  Fingerprint = networkFingerprint(Net);
+}
+
+std::shared_ptr<const CompiledModel>
+psg::compileModel(const ReactionNetwork &Net) {
+  auto Model = std::make_shared<const CompiledModel>(Net);
+  static Counter &Compilations = metrics().counter("psg.rbm.compilations");
+  Compilations.add();
+  return Model;
+}
+
+CompiledOdeSystem::CompiledOdeSystem(const ReactionNetwork &Net)
+    : CompiledOdeSystem(compileModel(Net)) {}
+
+CompiledOdeSystem::CompiledOdeSystem(std::shared_ptr<const CompiledModel> Model)
+    : Shared(std::move(Model)), RateConstants(Shared->DefaultConstants),
+      RateScratch(Shared->NumReactions) {}
+
+void CompiledOdeSystem::rebind(std::shared_ptr<const CompiledModel> Model) {
+  Shared = std::move(Model);
+  RateConstants = Shared->DefaultConstants;
+  RateScratch.resize(Shared->NumReactions);
 }
 
 void CompiledOdeSystem::setRateConstants(const std::vector<double> &K) {
-  assert(K.size() == NumReactions && "rate constant vector size mismatch");
+  assert(K.size() == Shared->NumReactions &&
+         "rate constant vector size mismatch");
   RateConstants = K;
 }
 
 double CompiledOdeSystem::saturatingFactor(size_t R, double S) const {
-  const KineticsParams &P = Kinetics[R];
+  const CompiledModel::KineticsParams &P = Shared->Kinetics[R];
   S = std::max(S, 0.0);
   if (P.Kind == KineticsKind::MichaelisMenten)
     return S / (P.Km + S);
   const double Sn = std::pow(S, P.HillN);
-  const double Kn = std::pow(P.HillK, P.HillN);
+  const double Kn = P.KnPow;
   if (P.Kind == KineticsKind::HillRepression)
     return Kn / (Kn + Sn);
   return Sn / (Kn + Sn);
@@ -96,7 +177,7 @@ double CompiledOdeSystem::saturatingFactor(size_t R, double S) const {
 
 double CompiledOdeSystem::saturatingFactorDerivative(size_t R,
                                                      double S) const {
-  const KineticsParams &P = Kinetics[R];
+  const CompiledModel::KineticsParams &P = Shared->Kinetics[R];
   S = std::max(S, 0.0);
   if (P.Kind == KineticsKind::MichaelisMenten) {
     const double Denom = P.Km + S;
@@ -107,72 +188,75 @@ double CompiledOdeSystem::saturatingFactorDerivative(size_t R,
   if (S == 0.0)
     return P.HillN == 1.0 ? Sign / P.HillK : 0.0;
   const double Sn = std::pow(S, P.HillN);
-  const double Kn = std::pow(P.HillK, P.HillN);
+  const double Kn = P.KnPow;
   const double Denom = Kn + Sn;
   return Sign * P.HillN * Kn * Sn / (S * Denom * Denom);
 }
 
 void CompiledOdeSystem::computeRates(const double *Y) const {
-  for (size_t R = 0; R < NumReactions; ++R) {
+  const CompiledModel &M = *Shared;
+  for (size_t R = 0; R < M.NumReactions; ++R) {
     double Rate = RateConstants[R];
-    const uint32_t Begin = TermBegin[R], End = TermBegin[R + 1];
-    const bool Saturating = Kinetics[R].Kind != KineticsKind::MassAction;
+    const uint32_t Begin = M.TermBegin[R], End = M.TermBegin[R + 1];
+    const bool Saturating = M.Kinetics[R].Kind != KineticsKind::MassAction;
     for (uint32_t T = Begin; T < End; ++T) {
-      const double X = Y[TermSpecies[T]];
+      const double X = Y[M.TermSpecies[T]];
       if (Saturating && T == Begin)
         Rate *= saturatingFactor(R, X);
       else
-        Rate *= ipow(X, TermCoef[T]);
+        Rate *= ipow(X, M.TermCoef[T]);
     }
     RateScratch[R] = Rate;
   }
 }
 
 void CompiledOdeSystem::rhs(double, const double *Y, double *DyDt) const {
+  const CompiledModel &M = *Shared;
   computeRates(Y);
-  for (size_t I = 0; I < NumSpecies; ++I)
+  for (size_t I = 0; I < M.NumSpecies; ++I)
     DyDt[I] = 0.0;
-  for (size_t R = 0; R < NumReactions; ++R) {
+  for (size_t R = 0; R < M.NumReactions; ++R) {
     const double Rate = RateScratch[R];
     if (Rate == 0.0)
       continue;
-    for (uint32_t E = NetBegin[R]; E < NetBegin[R + 1]; ++E)
-      DyDt[NetSpecies[E]] += NetCoef[E] * Rate;
+    for (uint32_t E = M.NetBegin[R]; E < M.NetBegin[R + 1]; ++E)
+      DyDt[M.NetSpecies[E]] += M.NetCoef[E] * Rate;
   }
 }
 
 void CompiledOdeSystem::analyticJacobian(double, const double *Y,
                                          Matrix &J) const {
-  J.resize(NumSpecies, NumSpecies);
-  for (size_t R = 0; R < NumReactions; ++R) {
-    const uint32_t Begin = TermBegin[R], End = TermBegin[R + 1];
-    const bool Saturating = Kinetics[R].Kind != KineticsKind::MassAction;
+  const CompiledModel &M = *Shared;
+  J.resize(M.NumSpecies, M.NumSpecies);
+  for (size_t R = 0; R < M.NumReactions; ++R) {
+    const uint32_t Begin = M.TermBegin[R], End = M.TermBegin[R + 1];
+    const bool Saturating = M.Kinetics[R].Kind != KineticsKind::MassAction;
     // d(rate)/d(X_j) for each reactant term j: the term's own factor is
     // differentiated, all other factors multiply through.
     for (uint32_t T = Begin; T < End; ++T) {
-      const uint32_t SpeciesJ = TermSpecies[T];
+      const uint32_t SpeciesJ = M.TermSpecies[T];
       double Partial = RateConstants[R];
       for (uint32_t O = Begin; O < End; ++O) {
-        const double X = Y[TermSpecies[O]];
+        const double X = Y[M.TermSpecies[O]];
         if (O == T) {
           if (Saturating && O == Begin)
             Partial *= saturatingFactorDerivative(R, X);
-          else if (TermCoef[O] == 1)
+          else if (M.TermCoef[O] == 1)
             ; // d(X)/dX = 1.
           else
-            Partial *= static_cast<double>(TermCoef[O]) *
-                       ipow(X, TermCoef[O] - 1);
+            Partial *= static_cast<double>(M.TermCoef[O]) *
+                       ipow(X, M.TermCoef[O] - 1);
         } else {
           if (Saturating && O == Begin)
             Partial *= saturatingFactor(R, X);
           else
-            Partial *= ipow(X, TermCoef[O]);
+            Partial *= ipow(X, M.TermCoef[O]);
         }
       }
       if (Partial == 0.0)
         continue;
-      for (uint32_t E = NetBegin[R]; E < NetBegin[R + 1]; ++E)
-        J(NetSpecies[E], SpeciesJ) += NetCoef[E] * Partial;
+      for (uint32_t E = M.NetBegin[R]; E < M.NetBegin[R + 1]; ++E)
+        J(M.NetSpecies[E], SpeciesJ) += M.NetCoef[E] * Partial;
     }
   }
 }

@@ -12,6 +12,14 @@
 /// arrays), provides the analytic Jacobian, and exposes the per-evaluation
 /// operation profile consumed by the vgpu cost model.
 ///
+/// Compilation is split in two, mirroring the GPU memory model: an
+/// immutable CompiledModel holds everything derived from the network
+/// alone (CSR stoichiometry, kinetics, work profile — the constant-memory
+/// image cupSODA-style codes upload once per batch) and is shared across
+/// every simulation of a batch; a CompiledOdeSystem is the cheap
+/// per-simulation view carrying only the rate constants and the rate
+/// scratch vector (the per-thread state).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSG_RBM_MASSACTION_H
@@ -19,6 +27,8 @@
 
 #include "ode/OdeSystem.h"
 #include "rbm/ReactionNetwork.h"
+
+#include <memory>
 
 namespace psg {
 
@@ -30,52 +40,26 @@ struct EvaluationProfile {
   size_t JacobianEntries = 0; ///< Nonzero structural Jacobian updates.
 };
 
-/// A ReactionNetwork compiled to flat evaluation arrays.
-///
-/// Rate constants are mutable (setRateConstant) so one compiled system can
-/// be re-parameterized across the thousands of simulations of a sweep
-/// without re-deriving the ODEs; the species order matches the network.
-class CompiledOdeSystem : public OdeSystem {
+/// The immutable, shareable compilation of a ReactionNetwork: flat
+/// evaluation arrays plus the per-reaction kinetics parameters. Compiled
+/// once per network (counted by `psg.rbm.compilations`) and shared by
+/// every per-simulation CompiledOdeSystem view of a batch.
+class CompiledModel {
 public:
   /// Compiles \p Net; the network must validate().
-  explicit CompiledOdeSystem(const ReactionNetwork &Net);
+  explicit CompiledModel(const ReactionNetwork &Net);
 
-  size_t dimension() const override { return NumSpecies; }
-  void rhs(double T, const double *Y, double *DyDt) const override;
-  bool hasAnalyticJacobian() const override { return true; }
-  void analyticJacobian(double T, const double *Y, Matrix &J) const override;
-  std::string name() const override { return SystemName; }
-
-  size_t numReactions() const { return NumReactions; }
-
-  /// Reads/writes the kinetic constant of reaction \p R.
-  double rateConstant(size_t R) const { return RateConstants[R]; }
-  void setRateConstant(size_t R, double K) {
-    assert(R < NumReactions && "reaction index out of range");
-    RateConstants[R] = K;
-  }
-
-  /// Replaces all rate constants (size must match numReactions()).
-  void setRateConstants(const std::vector<double> &K);
-
-  /// All current rate constants, in reaction order.
-  const std::vector<double> &rateConstants() const { return RateConstants; }
-
-  /// Restores the constants the network was compiled with.
-  void resetRateConstants() { RateConstants = OriginalConstants; }
-
-  /// Static operation profile of one evaluation.
-  const EvaluationProfile &profile() const { return Profile; }
-
-private:
   struct KineticsParams {
     KineticsKind Kind;
     double Km, HillK, HillN;
+    /// pow(HillK, HillN), precomputed at compile time so the saturating
+    /// factor evaluations avoid one pow() per call.
+    double KnPow;
   };
 
   std::string SystemName;
-  size_t NumSpecies;
-  size_t NumReactions;
+  size_t NumSpecies = 0;
+  size_t NumReactions = 0;
 
   // Reaction terms: for reaction r, terms [TermBegin[r], TermBegin[r+1]).
   std::vector<uint32_t> TermBegin;
@@ -87,11 +71,88 @@ private:
   std::vector<uint32_t> NetSpecies;
   std::vector<double> NetCoef;
 
-  std::vector<double> RateConstants;
-  std::vector<double> OriginalConstants;
+  /// The constants the network was compiled with (per-simulation values
+  /// live in the CompiledOdeSystem views).
+  std::vector<double> DefaultConstants;
   std::vector<KineticsParams> Kinetics;
 
   EvaluationProfile Profile;
+
+  /// Structural + kinetic fingerprint of the source network (see
+  /// networkFingerprint); cache keys compare this instead of recompiling.
+  uint64_t Fingerprint = 0;
+};
+
+/// Compiles \p Net into a shareable immutable model. Increments
+/// `psg.rbm.compilations`.
+std::shared_ptr<const CompiledModel> compileModel(const ReactionNetwork &Net);
+
+/// Deterministic fingerprint of a network's compiled-relevant content:
+/// species/reaction structure, kinetics parameters, and baseline rate
+/// constants. Two networks with equal fingerprints compile to equal
+/// models, so batch engines use it to reuse cached compilations.
+uint64_t networkFingerprint(const ReactionNetwork &Net);
+
+/// A per-simulation view of a CompiledModel: the OdeSystem the solvers
+/// integrate.
+///
+/// Rate constants are mutable (setRateConstant) so one compiled model can
+/// be re-parameterized across the thousands of simulations of a sweep
+/// without re-deriving the ODEs; the species order matches the network.
+/// Views are cheap to construct from a shared model (two vectors of
+/// NumReactions doubles) and reusable across simulations via rebind().
+class CompiledOdeSystem : public OdeSystem {
+public:
+  /// Compiles \p Net and wraps the result; the network must validate().
+  /// Convenience for single-simulation call sites — batch dispatch paths
+  /// share one compileModel() result across views instead.
+  explicit CompiledOdeSystem(const ReactionNetwork &Net);
+
+  /// Wraps an existing compilation; no per-reaction work besides copying
+  /// the default constants.
+  explicit CompiledOdeSystem(std::shared_ptr<const CompiledModel> Model);
+
+  size_t dimension() const override { return Shared->NumSpecies; }
+  void rhs(double T, const double *Y, double *DyDt) const override;
+  bool hasAnalyticJacobian() const override { return true; }
+  void analyticJacobian(double T, const double *Y, Matrix &J) const override;
+  std::string name() const override { return Shared->SystemName; }
+
+  size_t numReactions() const { return Shared->NumReactions; }
+
+  /// The shared immutable compilation backing this view.
+  const CompiledModel &model() const { return *Shared; }
+  const std::shared_ptr<const CompiledModel> &sharedModel() const {
+    return Shared;
+  }
+
+  /// Re-points this view at a different compilation (resetting the rate
+  /// constants to the new model's defaults), or resets it onto the same
+  /// one. Reused per-worker views rebind once per sub-batch.
+  void rebind(std::shared_ptr<const CompiledModel> Model);
+
+  /// Reads/writes the kinetic constant of reaction \p R.
+  double rateConstant(size_t R) const { return RateConstants[R]; }
+  void setRateConstant(size_t R, double K) {
+    assert(R < Shared->NumReactions && "reaction index out of range");
+    RateConstants[R] = K;
+  }
+
+  /// Replaces all rate constants (size must match numReactions()).
+  void setRateConstants(const std::vector<double> &K);
+
+  /// All current rate constants, in reaction order.
+  const std::vector<double> &rateConstants() const { return RateConstants; }
+
+  /// Restores the constants the network was compiled with.
+  void resetRateConstants() { RateConstants = Shared->DefaultConstants; }
+
+  /// Static operation profile of one evaluation.
+  const EvaluationProfile &profile() const { return Shared->Profile; }
+
+private:
+  std::shared_ptr<const CompiledModel> Shared;
+  std::vector<double> RateConstants;
   mutable std::vector<double> RateScratch;
 
   void computeRates(const double *Y) const;

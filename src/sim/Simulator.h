@@ -37,6 +37,11 @@ namespace psg {
 /// grid including both endpoints.
 struct BatchSpec {
   const ReactionNetwork *Model = nullptr;
+  /// Optional pre-compiled form of *Model. When set (it must be the
+  /// compilation of *Model), simulators reuse it instead of compiling the
+  /// network again — the zero-recompile dispatch path batch engines use
+  /// across sub-batches. Counted by `psg.rbm.compile_reuses`.
+  std::shared_ptr<const CompiledModel> Compiled;
   uint64_t Batch = 1;
   double StartTime = 0.0;
   double EndTime = 1.0;

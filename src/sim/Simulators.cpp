@@ -7,31 +7,36 @@
 #include "sim/Simulators.h"
 
 #include "linalg/Eigen.h"
-#include "ode/SolverRegistry.h"
 #include "sim/WorkProfile.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
-#include <mutex>
-
 using namespace psg;
 
 namespace {
-/// Builds a metered solver from the registry; the names are built-ins,
-/// so failure is programmatic.
-std::unique_ptr<OdeSolver> makeSolver(const char *Name) {
-  auto Solver = createSolver(Name);
-  assert(Solver && "registry is missing a built-in solver");
-  return std::move(*Solver);
+/// Resolves the shared compiled model for a batch: reuses the caller's
+/// compilation when the spec carries one (the engine's zero-recompile
+/// path), or compiles the network once for the whole batch.
+std::shared_ptr<const CompiledModel> resolveModel(const BatchSpec &Spec) {
+  if (Spec.Compiled) {
+    static Counter &Reuses = metrics().counter("psg.rbm.compile_reuses");
+    Reuses.add();
+    return Spec.Compiled;
+  }
+  return compileModel(*Spec.Model);
 }
 
 /// Applies the Index-th parameterization of \p Spec to \p Sys and returns
-/// the matching initial state.
+/// the matching initial state. Views persist across simulations, so a
+/// missing rate-constant set must restore the model defaults rather than
+/// inherit whatever the previous simulation wrote.
 std::vector<double> configureSimulation(const BatchSpec &Spec,
                                         CompiledOdeSystem &Sys,
                                         size_t Index) {
   if (Index < Spec.RateConstantSets.size())
     Sys.setRateConstants(Spec.RateConstantSets[Index]);
+  else
+    Sys.resetRateConstants();
   if (Index < Spec.InitialStates.size())
     return Spec.InitialStates[Index];
   return Spec.Model->initialState();
@@ -60,7 +65,8 @@ SimulationOutcome runOne(const BatchSpec &Spec, CompiledOdeSystem &Sys,
 
 /// Assembles the common parts of a BatchResult.
 BatchResult finalizeBatch(const BatchSpec &Spec, const CostModel &Model,
-                          Backend B, std::vector<SimulationOutcome> Outcomes,
+                          Backend B, const CompiledModel &Compiled,
+                          std::vector<SimulationOutcome> Outcomes,
                           double WallSeconds) {
   BatchResult R;
   R.Outcomes = std::move(Outcomes);
@@ -69,8 +75,7 @@ BatchResult finalizeBatch(const BatchSpec &Spec, const CostModel &Model,
     if (!O.Result.ok())
       ++R.Failures;
   }
-  CompiledOdeSystem Profile(*Spec.Model);
-  R.AverageWork = computeSimulationWork(Profile, R.TotalStats, Spec.Batch,
+  R.AverageWork = computeSimulationWork(Compiled, R.TotalStats, Spec.Batch,
                                         Spec.OutputSamples);
   R.IntegrationTime = Model.integrationTime(B, R.AverageWork, Spec.Batch);
   R.SimulationTime = Model.simulationTime(B, R.AverageWork, Spec.Batch);
@@ -94,15 +99,17 @@ BatchResult CpuSolverSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
   std::vector<SimulationOutcome> Outcomes(Spec.Batch);
-  CompiledOdeSystem Sys(*Spec.Model);
-  auto Solver = createSolver(SolverName);
-  assert(Solver && "registry is missing a built-in solver");
+  std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
+  Workers.ensure(1);
+  SimWorkerSlot &Slot = Workers[0];
+  CompiledOdeSystem &Sys = Slot.bind(Shared);
+  OdeSolver &Solver = Slot.solver(SolverName);
   for (uint64_t I = 0; I < Spec.Batch; ++I) {
     std::vector<double> Y = configureSimulation(Spec, Sys, I);
-    Outcomes[I] = runOne(Spec, Sys, **Solver, std::move(Y));
+    Outcomes[I] = runOne(Spec, Sys, Solver, std::move(Y));
   }
-  return finalizeBatch(Spec, Model, Backend::CpuSerial, std::move(Outcomes),
-                       Timer.seconds());
+  return finalizeBatch(Spec, Model, Backend::CpuSerial, *Shared,
+                       std::move(Outcomes), Timer.seconds());
 }
 
 //===----------------------------------------------------------------------===//
@@ -116,19 +123,25 @@ BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
   std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
+  Workers.ensure(Device.hostParallelism());
   Device.launchKernel("cupsoda-batch", Spec.Batch, 32,
                       [&](KernelContext &Ctx) {
                         const size_t I = Ctx.threadIndex();
-                        CompiledOdeSystem Sys(*Spec.Model);
+                        SimWorkerSlot &Slot = Workers[Ctx.workerIndex()];
+                        CompiledOdeSystem &Sys = Slot.bind(Shared);
                         std::vector<double> Y =
                             configureSimulation(Spec, Sys, I);
-                        std::unique_ptr<OdeSolver> Solver =
-                            makeSolver("lsoda");
-                        Outcomes[I] =
-                            runOne(Spec, Sys, *Solver, std::move(Y));
+                        // Build the outcome locally and publish it once:
+                        // neighbouring threads write adjacent Outcomes
+                        // slots, and incremental writes would ping-pong
+                        // the shared cache line.
+                        SimulationOutcome Local = runOne(
+                            Spec, Sys, Slot.solver("lsoda"), std::move(Y));
+                        Outcomes[I] = std::move(Local);
                       });
-  return finalizeBatch(Spec, Model, Backend::GpuCoarse, std::move(Outcomes),
-                       Timer.seconds());
+  return finalizeBatch(Spec, Model, Backend::GpuCoarse, *Shared,
+                       std::move(Outcomes), Timer.seconds());
 }
 
 //===----------------------------------------------------------------------===//
@@ -142,32 +155,35 @@ BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
   std::vector<SimulationOutcome> Outcomes(Spec.Batch);
-  CompiledOdeSystem Sys(*Spec.Model);
+  std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
+  Workers.ensure(Device.hostParallelism());
   // Fine-grained tools process one simulation at a time; each simulation
   // runs as one kernel pipeline whose threads are the ODEs.
   for (uint64_t I = 0; I < Spec.Batch; ++I) {
     Device.launchKernel(
-        "lassie-sim", std::max<uint64_t>(Sys.dimension(), 1), 32,
+        "lassie-sim", std::max<uint64_t>(Shared->NumSpecies, 1), 32,
         [&](KernelContext &Ctx) {
           if (Ctx.threadIndex() != 0)
             return; // The numerics run once; threads model ODE lanes.
+          SimWorkerSlot &Slot = Workers[Ctx.workerIndex()];
+          CompiledOdeSystem &Sys = Slot.bind(Shared);
           std::vector<double> Y = configureSimulation(Spec, Sys, I);
-          std::unique_ptr<OdeSolver> Explicit = makeSolver("rkf45");
-          Outcomes[I] = runOne(Spec, Sys, *Explicit, Y);
-          if (!Outcomes[I].Result.ok()) {
+          SimulationOutcome Local =
+              runOne(Spec, Sys, Slot.solver("rkf45"), Y);
+          if (!Local.Result.ok()) {
             // LASSIE switches to first-order BDF under stiffness.
-            const IntegrationStats ExplicitCost = Outcomes[I].Result.Stats;
+            const IntegrationStats ExplicitCost = Local.Result.Stats;
             metrics().counter("psg.engine.stiffness_reroutes").add();
-            std::unique_ptr<OdeSolver> Implicit = makeSolver("bdf");
-            Outcomes[I] = runOne(Spec, Sys, *Implicit,
-                                 configureSimulation(Spec, Sys, I));
-            Outcomes[I].Result.Stats.merge(ExplicitCost);
-            ++Outcomes[I].Result.Stats.SolverSwitches;
+            Local = runOne(Spec, Sys, Slot.solver("bdf"),
+                           configureSimulation(Spec, Sys, I));
+            Local.Result.Stats.merge(ExplicitCost);
+            ++Local.Result.Stats.SolverSwitches;
           }
+          Outcomes[I] = std::move(Local);
         });
   }
-  return finalizeBatch(Spec, Model, Backend::GpuFine, std::move(Outcomes),
-                       Timer.seconds());
+  return finalizeBatch(Spec, Model, Backend::GpuFine, *Shared,
+                       std::move(Outcomes), Timer.seconds());
 }
 
 //===----------------------------------------------------------------------===//
@@ -186,15 +202,20 @@ BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
   Counter &RoutedImplicit = M.counter("psg.engine.routed_implicit");
   Counter &StiffnessReroutes = M.counter("psg.engine.stiffness_reroutes");
 
-  // P1 happens in CompiledOdeSystem's constructor; each logical thread
-  // holds its own parameterized copy. P2-P4 run inside one parent grid:
-  // the P2 routing heuristic, the explicit path, and the implicit path
-  // with re-dispatch of failed explicit simulations.
+  // P1 happens once per batch in resolveModel (or once per network when
+  // the engine passes a cached compilation down); each host worker holds
+  // a persistent parameterized view of the shared model. P2-P4 run inside
+  // one parent grid: the P2 routing heuristic, the explicit path, and the
+  // implicit path with re-dispatch of failed explicit simulations.
+  std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
+  Workers.ensure(Device.hostParallelism());
   Device.launchKernel("psg-engine-batch", Spec.Batch, 32,
                       [&](KernelContext &Ctx) {
     const size_t I = Ctx.threadIndex();
-    CompiledOdeSystem Sys(*Spec.Model);
+    SimWorkerSlot &Slot = Workers[Ctx.workerIndex()];
+    CompiledOdeSystem &Sys = Slot.bind(Shared);
     std::vector<double> Y = configureSimulation(Spec, Sys, I);
+    SimulationOutcome Local;
 
     bool UseImplicit = ForcedMethod == "radau5";
     IntegrationStats RoutingCost;
@@ -213,12 +234,11 @@ BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
     if (!UseImplicit) {
       // P3: DOPRI5 with stiffness detection enabled.
       RoutedExplicit.add();
-      std::unique_ptr<OdeSolver> Explicit = makeSolver("dopri5");
-      Outcomes[I] = runOne(Spec, Sys, *Explicit, Y);
-      if (!Outcomes[I].Result.ok()) {
+      Local = runOne(Spec, Sys, Slot.solver("dopri5"), Y);
+      if (!Local.Result.ok()) {
         // Re-dispatch to P4 from the initial state, keeping the cost of
         // the failed explicit attempt.
-        RoutingCost.merge(Outcomes[I].Result.Stats);
+        RoutingCost.merge(Local.Result.Stats);
         ++RoutingCost.SolverSwitches;
         StiffnessReroutes.add();
         UseImplicit = true;
@@ -229,13 +249,13 @@ BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
     }
     if (UseImplicit) {
       // P4: Radau IIA.
-      std::unique_ptr<OdeSolver> Implicit = makeSolver("radau5");
-      Outcomes[I] = runOne(Spec, Sys, *Implicit, std::move(Y));
+      Local = runOne(Spec, Sys, Slot.solver("radau5"), std::move(Y));
     }
-    Outcomes[I].Result.Stats.merge(RoutingCost);
+    Local.Result.Stats.merge(RoutingCost);
+    Outcomes[I] = std::move(Local);
   });
   // P5: collection happened through the recorders.
-  return finalizeBatch(Spec, Model, Backend::GpuFineCoarse,
+  return finalizeBatch(Spec, Model, Backend::GpuFineCoarse, *Shared,
                        std::move(Outcomes), Timer.seconds());
 }
 

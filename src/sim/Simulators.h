@@ -25,6 +25,7 @@
 #ifndef PSG_SIM_SIMULATORS_H
 #define PSG_SIM_SIMULATORS_H
 
+#include "sim/SimWorkspace.h"
 #include "sim/Simulator.h"
 #include "vgpu/VirtualDevice.h"
 
@@ -44,6 +45,7 @@ private:
   std::string SolverName;
   std::string DisplayName;
   CostModel Model;
+  SimWorkerPool Workers; ///< Slot 0: the serial loop's reusable state.
 };
 
 /// cupSODA-like: one virtual GPU thread per simulation, LSODA numerics.
@@ -58,6 +60,7 @@ public:
 private:
   CostModel Model;
   VirtualDevice Device;
+  SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 
 /// LASSIE-like: simulations in sequence, each fine-grained; RKF45 with a
@@ -73,6 +76,7 @@ public:
 private:
   CostModel Model;
   VirtualDevice Device;
+  SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 
 /// The paper's engine: fine+coarse with the five-phase pipeline
@@ -97,6 +101,7 @@ public:
 private:
   CostModel Model;
   VirtualDevice Device;
+  SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 
 } // namespace psg

@@ -12,14 +12,21 @@ SimulationWork psg::computeSimulationWork(const CompiledOdeSystem &Sys,
                                           const IntegrationStats &Stats,
                                           uint64_t Batch,
                                           size_t OutputSamples) {
+  return computeSimulationWork(Sys.model(), Stats, Batch, OutputSamples);
+}
+
+SimulationWork psg::computeSimulationWork(const CompiledModel &M,
+                                          const IntegrationStats &Stats,
+                                          uint64_t Batch,
+                                          size_t OutputSamples) {
   assert(Batch > 0 && "empty batch");
-  const double N = static_cast<double>(Sys.dimension());
+  const double N = static_cast<double>(M.NumSpecies);
   const double B = static_cast<double>(Batch);
-  const EvaluationProfile &P = Sys.profile();
+  const EvaluationProfile &P = M.Profile;
 
   SimulationWork W;
-  W.NumSpecies = Sys.dimension();
-  W.NumReactions = Sys.numReactions();
+  W.NumSpecies = M.NumSpecies;
+  W.NumReactions = M.NumReactions;
   W.OutputSamples = OutputSamples;
   W.Steps = Stats.Steps / Batch;
   // A DOPRI5/RADAU5 step issues of the order of 8 fine-grained phases
@@ -46,7 +53,7 @@ SimulationWork psg::computeSimulationWork(const CompiledOdeSystem &Sys,
   // encoding; steps rewrite the state vectors; Jacobian work touches NxN.
   const double EncodingBytes =
       12.0 * static_cast<double>(P.RhsMultiplies) +
-      16.0 * static_cast<double>(Sys.numReactions());
+      16.0 * static_cast<double>(M.NumReactions);
   double Traffic = 0.0;
   Traffic += static_cast<double>(Stats.RhsEvaluations) *
              (16.0 * N + EncodingBytes);

@@ -21,7 +21,12 @@
 namespace psg {
 
 /// Builds the per-simulation work record for \p Stats (averaged over the
-/// batch by the caller) on the compiled system \p Sys.
+/// batch by the caller) on the compiled model \p M.
+SimulationWork computeSimulationWork(const CompiledModel &M,
+                                     const IntegrationStats &Stats,
+                                     uint64_t Batch, size_t OutputSamples);
+
+/// Convenience overload reading the model behind a per-simulation view.
 SimulationWork computeSimulationWork(const CompiledOdeSystem &Sys,
                                      const IntegrationStats &Stats,
                                      uint64_t Batch, size_t OutputSamples);

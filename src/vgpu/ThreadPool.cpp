@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(unsigned WorkerCount) {
   }
   Workers.reserve(WorkerCount);
   for (unsigned I = 0; I < WorkerCount; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -35,35 +35,54 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::runChunks(std::unique_lock<std::mutex> &Lock) {
-  while (Current.Next < Current.Count) {
-    const size_t Index = Current.Next++;
-    Lock.unlock();
+void ThreadPool::runChunks(unsigned Worker, size_t &DoneOut, double &BusyOut) {
+  DoneOut = 0;
+  BusyOut = 0.0;
+  const std::function<void(size_t, unsigned)> &Body = *Current.Body;
+  const size_t Count = Current.Count;
+  const size_t ChunkSize = Current.ChunkSize;
+  const size_t NumChunks = Current.NumChunks;
+  for (;;) {
+    const size_t Chunk =
+        Current.NextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (Chunk >= NumChunks)
+      return;
+    const size_t Begin = Chunk * ChunkSize;
+    const size_t End = std::min(Count, Begin + ChunkSize);
     WallTimer BodyTimer;
-    (*Current.Body)(Index);
-    const double Busy = BodyTimer.seconds();
-    Lock.lock();
-    ++Current.Done;
-    Current.BusySeconds += Busy;
+    for (size_t I = Begin; I < End; ++I)
+      Body(I, Worker);
+    BusyOut += BodyTimer.seconds();
+    DoneOut += End - Begin;
   }
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned Worker) {
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
     WorkReady.wait(Lock, [this] {
-      return Stopping || (HasJob && Current.Next < Current.Count);
+      return Stopping ||
+             (HasJob && Current.NextChunk.load(std::memory_order_relaxed) <
+                            Current.NumChunks);
     });
     if (Stopping)
       return;
-    runChunks(Lock);
-    if (Current.Done == Current.Count)
+    ++ActiveClaimers;
+    Lock.unlock();
+    size_t Done = 0;
+    double Busy = 0.0;
+    runChunks(Worker, Done, Busy);
+    Lock.lock();
+    --ActiveClaimers;
+    Current.Done += Done;
+    Current.BusySeconds += Busy;
+    if (Current.Done == Current.Count && ActiveClaimers == 0)
       JobDone.notify_all();
   }
 }
 
-void ThreadPool::parallelFor(size_t Count,
-                             const std::function<void(size_t)> &Body) {
+void ThreadPool::parallelFor(
+    size_t Count, const std::function<void(size_t, unsigned)> &Body) {
   if (Count == 0)
     return;
   WallTimer JobTimer;
@@ -71,12 +90,30 @@ void ThreadPool::parallelFor(size_t Count,
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     assert(!HasJob && "nested parallelFor is not supported");
-    Current = Job{&Body, Count, 0, 0, 0.0};
+    // Static chunking: a few chunks per participant amortizes the atomic
+    // claim while still balancing uneven per-index costs.
+    Current.Body = &Body;
+    Current.Count = Count;
+    Current.ChunkSize = std::max<size_t>(1, Count / (4 * parallelism()));
+    Current.NumChunks = (Count + Current.ChunkSize - 1) / Current.ChunkSize;
+    Current.NextChunk.store(0, std::memory_order_relaxed);
+    Current.Done = 0;
+    Current.BusySeconds = 0.0;
     HasJob = true;
     WorkReady.notify_all();
-    // The caller participates too, then waits for stragglers.
-    runChunks(Lock);
-    JobDone.wait(Lock, [this] { return Current.Done == Current.Count; });
+    Lock.unlock();
+    // The caller participates as the last worker index, then waits for
+    // stragglers. The job may not be torn down until every participant
+    // has left runChunks (ActiveClaimers drains to zero).
+    size_t CallerDone = 0;
+    double CallerBusy = 0.0;
+    runChunks(numWorkers(), CallerDone, CallerBusy);
+    Lock.lock();
+    Current.Done += CallerDone;
+    Current.BusySeconds += CallerBusy;
+    JobDone.wait(Lock, [this] {
+      return Current.Done == Current.Count && ActiveClaimers == 0;
+    });
     HasJob = false;
     BusySeconds = Current.BusySeconds;
   }
@@ -92,4 +129,9 @@ void ThreadPool::parallelFor(size_t Count,
     M.gauge("psg.vgpu.pool.utilization")
         .set(std::min(1.0, BusySeconds / Capacity));
   }
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  parallelFor(Count, [&Body](size_t Index, unsigned) { Body(Index); });
 }

@@ -10,11 +10,18 @@
 /// single-core host it degenerates to serial execution while preserving
 /// the batch semantics and determinism of the results.
 ///
+/// Indices are claimed in statically sized chunks off an atomic cursor
+/// (one fetch_add per chunk) instead of one mutex round-trip per index,
+/// and each participant is handed a stable worker index so callers can
+/// keep per-worker scratch (solver workspaces, compiled-model views)
+/// without thread-local lookups.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSG_VGPU_THREADPOOL_H
 #define PSG_VGPU_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -37,16 +44,30 @@ public:
   /// Number of worker threads.
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Runs Body(0..Count-1), distributing indices over the workers, and
-  /// blocks until all indices completed. Body must be thread-safe.
+  /// Number of distinct worker indices parallelFor bodies may observe:
+  /// the pool threads (0 .. numWorkers()-1) plus the calling thread,
+  /// which participates as worker numWorkers().
+  unsigned parallelism() const { return numWorkers() + 1; }
+
+  /// Runs Body(0..Count-1, Worker), distributing indices over the workers,
+  /// and blocks until all indices completed. Body must be thread-safe.
+  /// Each invocation's Worker argument is < parallelism() and identifies
+  /// the participant executing it, so Body may index per-worker state
+  /// without synchronization.
+  void parallelFor(size_t Count,
+                   const std::function<void(size_t, unsigned)> &Body);
+
+  /// Worker-index-oblivious convenience overload.
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
 
 private:
   struct Job {
-    const std::function<void(size_t)> *Body = nullptr;
+    const std::function<void(size_t, unsigned)> *Body = nullptr;
     size_t Count = 0;
-    size_t Next = 0;
-    size_t Done = 0;
+    size_t ChunkSize = 1;
+    size_t NumChunks = 0;
+    std::atomic<size_t> NextChunk{0};
+    size_t Done = 0;          ///< Guarded by Mutex.
     double BusySeconds = 0.0; ///< Summed body execution time (all workers).
   };
 
@@ -57,10 +78,14 @@ private:
   Job Current;
   bool HasJob = false;
   bool Stopping = false;
+  /// Participants currently claiming chunks outside the lock; a new job
+  /// may only be installed once this drops to zero.
+  unsigned ActiveClaimers = 0;
 
-  void workerLoop();
-  /// Claims and runs chunks of the current job; returns when exhausted.
-  void runChunks(std::unique_lock<std::mutex> &Lock);
+  void workerLoop(unsigned Worker);
+  /// Claims and runs chunks of the current job without holding the pool
+  /// lock; returns the indices completed and the body execution time.
+  void runChunks(unsigned Worker, size_t &DoneOut, double &BusyOut);
 };
 
 } // namespace psg

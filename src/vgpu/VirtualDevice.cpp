@@ -24,8 +24,8 @@ VirtualDevice::launchKernel(const std::string &Name, uint64_t Threads,
   WallTimer Timer;
   std::atomic<uint64_t> ChildGrids{0};
 
-  Pool.parallelFor(Threads, [&](size_t Index) {
-    KernelContext Ctx(Index, Threads, BlockDim, ChildGrids);
+  Pool.parallelFor(Threads, [&](size_t Index, unsigned Worker) {
+    KernelContext Ctx(Index, Threads, BlockDim, Worker, ChildGrids);
     Body(Ctx);
   });
 

@@ -48,14 +48,18 @@ struct DeviceCounters {
 class KernelContext {
 public:
   KernelContext(uint64_t ThreadIdx, uint64_t GridSize, unsigned BlockDim,
-                std::atomic<uint64_t> &ChildCounter)
+                unsigned WorkerIdx, std::atomic<uint64_t> &ChildCounter)
       : ThreadIdx(ThreadIdx), GridSize(GridSize), BlockDim(BlockDim),
-        ChildCounter(ChildCounter) {}
+        WorkerIdx(WorkerIdx), ChildCounter(ChildCounter) {}
 
   /// Global logical thread index in [0, gridSize()).
   uint64_t threadIndex() const { return ThreadIdx; }
   uint64_t gridSize() const { return GridSize; }
   unsigned blockDim() const { return BlockDim; }
+  /// Host worker executing this logical thread, < hostParallelism().
+  /// Stable for the duration of one logical thread; kernel bodies use it
+  /// to index per-worker scratch (solver workspaces, model views).
+  unsigned workerIndex() const { return WorkerIdx; }
   uint64_t blockIndex() const { return ThreadIdx / BlockDim; }
   unsigned laneInBlock() const {
     return static_cast<unsigned>(ThreadIdx % BlockDim);
@@ -76,6 +80,7 @@ private:
   uint64_t ThreadIdx;
   uint64_t GridSize;
   unsigned BlockDim;
+  unsigned WorkerIdx;
   std::atomic<uint64_t> &ChildCounter;
 };
 
@@ -89,6 +94,9 @@ public:
   const DeviceSpec &spec() const { return Spec; }
   const DeviceCounters &counters() const { return Counters; }
   unsigned hostWorkers() const { return Pool.numWorkers(); }
+  /// Distinct worker indices kernel bodies may observe (pool workers plus
+  /// the participating caller). Simulators size per-worker state to this.
+  unsigned hostParallelism() const { return Pool.parallelism(); }
 
   /// Launches a kernel over \p Threads logical threads with block size
   /// \p BlockDim; Body receives a KernelContext per logical thread.

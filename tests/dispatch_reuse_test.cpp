@@ -1,0 +1,232 @@
+//===- tests/dispatch_reuse_test.cpp - Zero-recompile dispatch tests ------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression tests for the zero-recompile dispatch path: reused compiled
+// models, per-worker views, and pooled solver workspaces must be
+// bit-exact with freshly constructed state, and the batch engine must
+// compile each distinct network exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "ode/SolverRegistry.h"
+#include "ode/Trajectory.h"
+#include "rbm/CuratedModels.h"
+#include "sim/Simulator.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace psg;
+
+namespace {
+
+/// A batch spec with fully specified perturbed parameterizations, so every
+/// simulation both writes the view's rate constants and records output.
+BatchSpec makeSpec(const ReactionNetwork &Net, uint64_t Batch, double TEnd) {
+  BatchSpec Spec;
+  Spec.Model = &Net;
+  Spec.Batch = Batch;
+  Spec.StartTime = 0.0;
+  Spec.EndTime = TEnd;
+  Spec.OutputSamples = 4;
+  Spec.Options.RelTol = 1e-5;
+  Spec.Options.AbsTol = 1e-8;
+
+  const std::vector<double> Defaults =
+      compileModel(Net)->DefaultConstants;
+  const std::vector<double> Y0 = Net.initialState();
+  std::mt19937_64 Rng(7);
+  std::uniform_real_distribution<double> U(0.95, 1.05);
+  for (uint64_t I = 0; I < Batch; ++I) {
+    std::vector<double> K = Defaults;
+    for (double &V : K)
+      V *= U(Rng);
+    Spec.RateConstantSets.push_back(std::move(K));
+    Spec.InitialStates.push_back(Y0);
+  }
+  return Spec;
+}
+
+void expectStatsEqual(const IntegrationStats &A, const IntegrationStats &B,
+                      const std::string &Context) {
+  EXPECT_EQ(A.Steps, B.Steps) << Context;
+  EXPECT_EQ(A.AcceptedSteps, B.AcceptedSteps) << Context;
+  EXPECT_EQ(A.RejectedSteps, B.RejectedSteps) << Context;
+  EXPECT_EQ(A.RhsEvaluations, B.RhsEvaluations) << Context;
+  EXPECT_EQ(A.JacobianEvaluations, B.JacobianEvaluations) << Context;
+  EXPECT_EQ(A.LuFactorizations, B.LuFactorizations) << Context;
+  EXPECT_EQ(A.ComplexLuFactorizations, B.ComplexLuFactorizations) << Context;
+  EXPECT_EQ(A.LuSolves, B.LuSolves) << Context;
+  EXPECT_EQ(A.NewtonIterations, B.NewtonIterations) << Context;
+  EXPECT_EQ(A.SolverSwitches, B.SolverSwitches) << Context;
+}
+
+/// Bitwise comparison of two outcomes: trajectory samples, final time,
+/// status, and operation counts must match exactly.
+void expectOutcomeBitExact(const SimulationOutcome &A,
+                           const SimulationOutcome &B,
+                           const std::string &Context) {
+  EXPECT_EQ(A.SolverUsed, B.SolverUsed) << Context;
+  EXPECT_EQ(static_cast<int>(A.Result.Status),
+            static_cast<int>(B.Result.Status))
+      << Context;
+  // Bitwise: reused workspaces may not perturb a single ulp.
+  EXPECT_EQ(A.Result.FinalTime, B.Result.FinalTime) << Context;
+  EXPECT_EQ(A.Result.LastStepSize, B.Result.LastStepSize) << Context;
+  expectStatsEqual(A.Result.Stats, B.Result.Stats, Context);
+  ASSERT_EQ(A.Dynamics.numSamples(), B.Dynamics.numSamples()) << Context;
+  ASSERT_EQ(A.Dynamics.dimension(), B.Dynamics.dimension()) << Context;
+  for (size_t S = 0; S < A.Dynamics.numSamples(); ++S) {
+    EXPECT_EQ(A.Dynamics.time(S), B.Dynamics.time(S)) << Context;
+    for (size_t V = 0; V < A.Dynamics.dimension(); ++V)
+      EXPECT_EQ(A.Dynamics.value(S, V), B.Dynamics.value(S, V))
+          << Context << " sample " << S << " var " << V;
+  }
+}
+
+void expectBatchBitExact(const BatchResult &A, const BatchResult &B,
+                         const std::string &Context) {
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size()) << Context;
+  EXPECT_EQ(A.Failures, B.Failures) << Context;
+  for (size_t I = 0; I < A.Outcomes.size(); ++I)
+    expectOutcomeBitExact(A.Outcomes[I], B.Outcomes[I],
+                          Context + " sim " + std::to_string(I));
+}
+
+struct NamedModel {
+  const char *Name;
+  ReactionNetwork Net;
+  double TEnd;
+};
+
+std::vector<NamedModel> testModels() {
+  std::vector<NamedModel> Models;
+  Models.push_back({"lotka-volterra", makeLotkaVolterraNetwork(), 2.0});
+  Models.push_back({"robertson", makeRobertsonNetwork(), 0.5});
+  return Models;
+}
+
+} // namespace
+
+// All five personalities must produce bit-identical batches when rerun on
+// a warm simulator (pooled solvers, bound views) — including after an
+// interleaved run on a different network forces every view to rebind.
+TEST(DispatchReuseTest, WarmRerunsAreBitExactAcrossPersonalities) {
+  const CostModel Model = CostModel::paperSetup();
+  const ReactionNetwork Other = makeBrusselatorNetwork();
+  const BatchSpec OtherSpec = makeSpec(Other, 2, 0.5);
+  for (const char *Name : {"cpu-lsoda", "cpu-vode", "gpu-coarse", "gpu-fine",
+                           "psg-engine"}) {
+    for (const NamedModel &M : testModels()) {
+      const BatchSpec Spec = makeSpec(M.Net, 6, M.TEnd);
+      auto SimOrErr = createSimulator(Name, Model);
+      ASSERT_TRUE(SimOrErr);
+      Simulator &Sim = **SimOrErr;
+      const std::string Context = std::string(Name) + " on " + M.Name;
+
+      const BatchResult Cold = Sim.run(Spec);
+      const BatchResult Warm = Sim.run(Spec);
+      expectBatchBitExact(Cold, Warm, Context + " (warm rerun)");
+
+      Sim.run(OtherSpec); // Forces a rebind of every per-worker view.
+      const BatchResult Rebound = Sim.run(Spec);
+      expectBatchBitExact(Cold, Rebound, Context + " (after rebind)");
+    }
+  }
+}
+
+// The pooled path must match the pre-pool reference exactly: a fresh
+// compilation and a fresh registry solver per simulation.
+TEST(DispatchReuseTest, PooledPathMatchesFreshPerSimulationPath) {
+  const CostModel Model = CostModel::paperSetup();
+  for (const auto &[SimName, SolverName] :
+       {std::pair<const char *, const char *>{"cpu-lsoda", "lsoda"},
+        std::pair<const char *, const char *>{"cpu-vode", "vode"},
+        std::pair<const char *, const char *>{"gpu-coarse", "lsoda"}}) {
+    for (const NamedModel &M : testModels()) {
+      const BatchSpec Spec = makeSpec(M.Net, 6, M.TEnd);
+      auto SimOrErr = createSimulator(SimName, Model);
+      ASSERT_TRUE(SimOrErr);
+      const BatchResult Batch = (*SimOrErr)->run(Spec);
+      ASSERT_EQ(Batch.Outcomes.size(), Spec.Batch);
+
+      for (uint64_t I = 0; I < Spec.Batch; ++I) {
+        // The seed path: per-simulation compile + per-simulation solver.
+        CompiledOdeSystem Sys(M.Net);
+        Sys.setRateConstants(Spec.RateConstantSets[I]);
+        std::vector<double> Y = Spec.InitialStates[I];
+        auto Solver = createSolver(SolverName);
+        ASSERT_TRUE(Solver);
+        SimulationOutcome Ref;
+        Ref.SolverUsed = (*Solver)->name();
+        TrajectoryRecorder Recorder(
+            uniformGrid(Spec.StartTime, Spec.EndTime, Spec.OutputSamples),
+            Sys.dimension());
+        Recorder.recordInitial(Spec.StartTime, Y.data());
+        Ref.Result = (*Solver)->integrate(Sys, Spec.StartTime, Spec.EndTime,
+                                          Y, Spec.Options, &Recorder);
+        Ref.Dynamics = Recorder.trajectory();
+        expectOutcomeBitExact(Batch.Outcomes[I], Ref,
+                              std::string(SimName) + " on " + M.Name +
+                                  " sim " + std::to_string(I));
+      }
+    }
+  }
+}
+
+// A multi-sub-batch engine run compiles the network exactly once and
+// reuses the compilation for every sub-batch; a second network compiles
+// exactly once more.
+TEST(DispatchReuseTest, EngineCompilesOncePerDistinctNetwork) {
+  const ReactionNetwork Net = makeLotkaVolterraNetwork();
+  const ReactionNetwork Other = makeBrusselatorNetwork();
+  const std::vector<double> Defaults = compileModel(Net)->DefaultConstants;
+  const std::vector<double> OtherDefaults =
+      compileModel(Other)->DefaultConstants;
+
+  EngineOptions Opts;
+  Opts.SimulatorName = "gpu-coarse";
+  Opts.SubBatchSize = 2;
+  Opts.EndTime = 0.5;
+  Opts.Solver.RelTol = 1e-4;
+  Opts.Solver.AbsTol = 1e-7;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+
+  std::vector<Parameterization> Params(8);
+  for (Parameterization &P : Params) {
+    P.RateConstants = Defaults;
+    P.InitialState = Net.initialState();
+  }
+
+  metrics().reset();
+  EngineReport Report = Engine.runParameterizations(Net, Params);
+  EXPECT_EQ(Report.SubBatches, 8u / Opts.SubBatchSize);
+  MetricsSnapshot Snap = metrics().snapshot();
+  EXPECT_EQ(Snap.counterValue("psg.rbm.compilations"), 1u);
+  EXPECT_EQ(Snap.counterValue("psg.rbm.compile_reuses"),
+            8u / Opts.SubBatchSize);
+  EXPECT_GT(Snap.counterValue("psg.ode.workspace_reuses"), 0u);
+
+  // Same network again: still the one compilation.
+  Engine.runParameterizations(Net, Params);
+  Snap = metrics().snapshot();
+  EXPECT_EQ(Snap.counterValue("psg.rbm.compilations"), 1u);
+  EXPECT_EQ(Snap.counterValue("psg.rbm.compile_reuses"),
+            2u * (8u / Opts.SubBatchSize));
+
+  // A structurally different network: exactly one more compile.
+  std::vector<Parameterization> OtherParams(4);
+  for (Parameterization &P : OtherParams) {
+    P.RateConstants = OtherDefaults;
+    P.InitialState = Other.initialState();
+  }
+  Engine.runParameterizations(Other, OtherParams);
+  Snap = metrics().snapshot();
+  EXPECT_EQ(Snap.counterValue("psg.rbm.compilations"), 2u);
+}

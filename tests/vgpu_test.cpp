@@ -92,6 +92,45 @@ TEST(ThreadPoolTest, WorkerCountDefaultsPositive) {
   EXPECT_GE(Pool.numWorkers(), 1u);
 }
 
+TEST(ThreadPoolTest, WorkerIndexedOverloadRunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  // Mixed chunk sizes: tiny counts exercise the one-index-per-chunk path,
+  // large counts the static chunking.
+  for (size_t Count : {size_t(1), size_t(7), size_t(64), size_t(1000),
+                       size_t(4097)}) {
+    std::vector<std::atomic<int>> Hits(Count);
+    std::atomic<bool> WorkerInRange{true};
+    Pool.parallelFor(Count, [&](size_t I, unsigned Worker) {
+      ++Hits[I];
+      if (Worker >= Pool.parallelism())
+        WorkerInRange = false;
+    });
+    for (size_t I = 0; I < Count; ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "count " << Count << " index " << I;
+    EXPECT_TRUE(WorkerInRange.load());
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreStableWithinOneBodyCall) {
+  // A body never migrates between workers mid-call, so per-worker slots
+  // indexed by the reported worker index must not be written concurrently.
+  ThreadPool Pool(4);
+  const size_t Count = 2000;
+  std::vector<std::atomic<int>> InBody(Pool.parallelism());
+  std::atomic<bool> Overlap{false};
+  Pool.parallelFor(Count, [&](size_t, unsigned Worker) {
+    if (InBody[Worker].fetch_add(1) != 0)
+      Overlap = true;
+    InBody[Worker].fetch_sub(1);
+  });
+  EXPECT_FALSE(Overlap.load());
+}
+
+TEST(ThreadPoolTest, ParallelismCountsCallerThread) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.parallelism(), Pool.numWorkers() + 1);
+}
+
 //===----------------------------------------------------------------------===//
 // Virtual device accounting.
 //===----------------------------------------------------------------------===//
