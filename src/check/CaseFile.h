@@ -1,0 +1,54 @@
+//===- check/CaseFile.h - Fuzz repro case files -----------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-contained `.psg` repro case files emitted by the differential
+/// fuzzer when a divergence survives minimization. A case file is the
+/// standard model text format (rbm/ModelIo.h) prefixed with
+/// `check <key> <values...>` metadata lines carrying the seed, time
+/// window, tolerances, and (on failure) the diverging simulator and a
+/// one-line diagnosis. Replaying a case file re-runs exactly the
+/// comparison that failed: `psg-check replay <file.psg>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_CHECK_CASEFILE_H
+#define PSG_CHECK_CASEFILE_H
+
+#include "ode/SolverOptions.h"
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// One differential-testing case: a model plus the simulation window and
+/// tolerances it is integrated under.
+struct CheckCase {
+  ReactionNetwork Model;
+  uint64_t Seed = 0;        ///< Fuzz seed that generated the case.
+  double StartTime = 0.0;
+  double EndTime = 1.0;
+  size_t OutputSamples = 0; ///< Trajectory grid points (>= 2 when sampled).
+  SolverOptions Options;    ///< AbsTol/RelTol/MaxSteps used by every sim.
+  std::string Simulator;    ///< Diverging simulator ("" before divergence).
+  std::string Detail;       ///< One-line diagnosis ("" before divergence).
+};
+
+/// Serializes \p Case to the `.psg` case-file text (round-trips with
+/// parseCaseText).
+std::string writeCaseText(const CheckCase &Case);
+
+/// Parses a case file; fails with a line-numbered message.
+ErrorOr<CheckCase> parseCaseText(const std::string &Text);
+
+/// Saves \p Case to \p Path.
+Status saveCaseFile(const CheckCase &Case, const std::string &Path);
+
+/// Loads a case from \p Path.
+ErrorOr<CheckCase> loadCaseFile(const std::string &Path);
+
+} // namespace psg
+
+#endif // PSG_CHECK_CASEFILE_H

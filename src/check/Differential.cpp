@@ -1,0 +1,204 @@
+//===- check/Differential.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Differential.h"
+
+#include "check/Golden.h"
+#include "ode/Richardson.h"
+#include "rbm/MassAction.h"
+#include "sim/Simulators.h"
+#include "support/Metrics.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace psg;
+
+namespace {
+
+/// Worst mixed-relative deviation of one simulator trajectory against
+/// the reference trajectory (shared grid, compared by sample index).
+/// Each component is scaled by max(|ref|, 1e-3 * its own trajectory
+/// peak): a species that decays from O(1) to 1e-10 is compared on the
+/// scale it actually lived at, not at its vanishing tail, where the
+/// solvers only promise absolute (not relative) accuracy.
+double worstSampleError(const Trajectory &Got, const Trajectory &Ref) {
+  if (Got.numSamples() != Ref.numSamples() ||
+      Got.dimension() != Ref.dimension())
+    return std::numeric_limits<double>::infinity();
+  std::vector<double> Peak(Ref.dimension(), 0.0);
+  for (size_t S = 0; S < Ref.numSamples(); ++S)
+    for (size_t V = 0; V < Ref.dimension(); ++V)
+      Peak[V] = std::max(Peak[V], std::abs(Ref.value(S, V)));
+  double Worst = 0.0;
+  for (size_t S = 0; S < Ref.numSamples(); ++S) {
+    for (size_t V = 0; V < Ref.dimension(); ++V) {
+      const double Val = Got.value(S, V);
+      if (!std::isfinite(Val))
+        return std::numeric_limits<double>::infinity();
+      const double Want = Ref.value(S, V);
+      const double Scale = std::max(std::abs(Want), 1e-3 * Peak[V]);
+      if (Scale == 0.0)
+        continue;
+      Worst = std::max(Worst, std::abs(Val - Want) / Scale);
+    }
+  }
+  return Worst;
+}
+
+/// Computes the Richardson reference of \p Case on the simulators'
+/// output grid. Fails when the extrapolant does not stabilize.
+ErrorOr<RichardsonReference> referenceFor(const CheckCase &Case) {
+  CompiledOdeSystem Sys(Case.Model);
+  const std::vector<double> Grid =
+      uniformGrid(Case.StartTime, Case.EndTime,
+                  std::max<size_t>(2, Case.OutputSamples));
+  RichardsonOptions Opts;
+  RichardsonReference Ref =
+      richardsonReference(Sys, Case.StartTime, Case.EndTime,
+                          Case.Model.initialState(), Opts, &Grid);
+  if (!Ref.Converged)
+    return Status::failure(formatString(
+        "reference did not converge within %llu steps (estimate %.3g)",
+        (unsigned long long)Ref.StepsPerPass, Ref.ErrorEstimate));
+  return Ref;
+}
+
+} // namespace
+
+Status psg::checkCaseAgainstReference(const CheckCase &Case,
+                                      double CompareTol,
+                                      std::string *OutSimulator) {
+  auto RefOr = referenceFor(Case);
+  if (!RefOr) {
+    if (OutSimulator)
+      *OutSimulator = "reference";
+    return RefOr.status();
+  }
+  const RichardsonReference &Ref = *RefOr;
+
+  BatchSpec Spec;
+  Spec.Model = &Case.Model;
+  Spec.Batch = 1;
+  Spec.StartTime = Case.StartTime;
+  Spec.EndTime = Case.EndTime;
+  Spec.OutputSamples = std::max<size_t>(2, Case.OutputSamples);
+  Spec.Options = Case.Options;
+
+  for (auto &Sim : createAllSimulators(CostModel::paperSetup())) {
+    if (!Case.Simulator.empty() && Sim->name() != Case.Simulator)
+      continue;
+    BatchResult Result = Sim->run(Spec);
+    if (OutSimulator)
+      *OutSimulator = Sim->name();
+    if (Result.Outcomes.size() != 1)
+      return Status::failure(Sim->name() + ": batch produced " +
+                             formatString("%zu", Result.Outcomes.size()) +
+                             " outcomes for 1 simulation");
+    const SimulationOutcome &Outcome = Result.Outcomes[0];
+    if (!Outcome.Result.ok())
+      return Status::failure(formatString(
+          "%s (%s): integration failed: %s", Sim->name().c_str(),
+          Outcome.SolverUsed.c_str(),
+          integrationStatusName(Outcome.Result.Status)));
+    const double Worst = worstSampleError(Outcome.Dynamics, Ref.Dynamics);
+    if (Worst > CompareTol)
+      return Status::failure(formatString(
+          "%s (%s): worst mixed-relative sample error %.3g exceeds %.3g",
+          Sim->name().c_str(), Outcome.SolverUsed.c_str(), Worst,
+          CompareTol));
+  }
+  if (OutSimulator)
+    OutSimulator->clear();
+  return Status::success();
+}
+
+FuzzReport psg::runDifferentialFuzz(const FuzzOptions &Opts) {
+  static Counter &CasesCounter = metrics().counter("psg.check.fuzz.cases");
+  static Counter &DivergenceCounter =
+      metrics().counter("psg.check.fuzz.divergences");
+  static Counter &SkippedCounter =
+      metrics().counter("psg.check.fuzz.skipped");
+
+  FuzzReport Report;
+  Rng Master(Opts.Seed);
+  WallTimer Timer;
+  for (size_t I = 0; I < Opts.Cases; ++I) {
+    if (Opts.TimeBudgetSeconds > 0.0 &&
+        Timer.seconds() > Opts.TimeBudgetSeconds) {
+      Report.TimeBudgetExhausted = true;
+      break;
+    }
+    CheckCase Case;
+    RandomRbmOptions Gen = Opts.Generator;
+    Gen.Seed = Master.nextU64();
+    Case.Model = generateRandomRbm(Gen);
+    Case.Seed = Gen.Seed;
+    Case.StartTime = 0.0;
+    Case.EndTime = Opts.EndTime;
+    Case.OutputSamples = Opts.OutputSamples;
+    Case.Options.AbsTol = Opts.SolverAbsTol;
+    Case.Options.RelTol = Opts.SolverRelTol;
+    // Generous budget: random stiff networks can legitimately cost the
+    // multistep solvers several hundred thousand steps over the window,
+    // and a spurious max-steps failure would read as a divergence.
+    Case.Options.MaxSteps = 1000000;
+
+    std::string Simulator;
+    Status Verdict =
+        checkCaseAgainstReference(Case, Opts.CompareTol, &Simulator);
+    ++Report.CasesRun;
+    CasesCounter.add();
+    if (Verdict.ok())
+      continue;
+    if (Simulator == "reference") {
+      // No trustworthy oracle for this model: not a solver divergence.
+      ++Report.CasesSkipped;
+      SkippedCounter.add();
+      continue;
+    }
+
+    // Minimize: isolate the diverging personality, then halve the
+    // horizon while the divergence persists.
+    Case.Simulator = Simulator;
+    while (true) {
+      CheckCase Shorter = Case;
+      Shorter.EndTime = 0.5 * (Case.StartTime + Case.EndTime);
+      if (Shorter.EndTime - Shorter.StartTime < 1e-3)
+        break;
+      // Keep halving only while the same personality still diverges
+      // (the reference may also stop converging on the shorter window).
+      std::string ShortSim;
+      Status S =
+          checkCaseAgainstReference(Shorter, Opts.CompareTol, &ShortSim);
+      if (S.ok() || ShortSim != Simulator)
+        break;
+      Case = Shorter;
+      Case.Detail = S.message();
+    }
+    if (Case.Detail.empty())
+      Case.Detail = Verdict.message();
+
+    FuzzDivergence Divergence;
+    Divergence.Case = Case;
+    const std::string Dir = Opts.ReproDir.empty() ? "." : Opts.ReproDir;
+    const std::string Path =
+        Dir + formatString("/fuzz-case-seed%llu.psg",
+                           (unsigned long long)Case.Seed);
+    if (saveCaseFile(Case, Path).ok())
+      Divergence.ReproPath = Path;
+    Report.Divergences.push_back(std::move(Divergence));
+    DivergenceCounter.add();
+  }
+  return Report;
+}
+
+Status psg::replayCase(const CheckCase &Case, double CompareTol) {
+  return checkCaseAgainstReference(Case, CompareTol);
+}

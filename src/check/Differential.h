@@ -1,0 +1,82 @@
+//===- check/Differential.h - Randomized differential fuzzing ---*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzer: seeded random reaction networks
+/// (rbm/SyntheticGenerator.h) are integrated by every registered
+/// simulator personality and compared — on a shared uniform output grid —
+/// against a Richardson-extrapolated fixed-step reference that shares no
+/// adaptive-stepping code with the production solvers. A personality
+/// counts as diverged when its worst mixed-relative sample error exceeds
+/// the comparison tolerance or its integration fails outright. Diverging
+/// cases are minimized (the failing simulator is isolated and the time
+/// horizon repeatedly halved while the divergence persists) and dumped
+/// as replayable `.psg` case files (check/CaseFile.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_CHECK_DIFFERENTIAL_H
+#define PSG_CHECK_DIFFERENTIAL_H
+
+#include "check/CaseFile.h"
+#include "rbm/SyntheticGenerator.h"
+
+namespace psg {
+
+/// Controls for a fuzz run.
+struct FuzzOptions {
+  uint64_t Seed = 1;   ///< Master seed; per-case seeds derive from it.
+  size_t Cases = 50;   ///< Random models to generate and compare.
+  /// Model-shape knobs (species/reaction bounds, Hill fraction,
+  /// stiffness spread). The Seed field is overridden per case.
+  RandomRbmOptions Generator;
+  double EndTime = 5.0;      ///< Simulation horizon of every case.
+  size_t OutputSamples = 17; ///< Shared comparison grid (both endpoints).
+  double SolverAbsTol = 1e-9; ///< Absolute tolerance given to every sim.
+  double SolverRelTol = 1e-6; ///< Relative tolerance given to every sim.
+  /// Divergence threshold on the worst mixed-relative sample error. The
+  /// slack over SolverRelTol absorbs dense-output interpolation error
+  /// and tolerance-proportional global error growth.
+  double CompareTol = 5e-3;
+  double TimeBudgetSeconds = 0.0; ///< Stop generating after this (0: off).
+  std::string ReproDir;           ///< Where minimized cases go ("": cwd).
+};
+
+/// One minimized divergence.
+struct FuzzDivergence {
+  CheckCase Case;        ///< Minimized repro (Simulator/Detail filled in).
+  std::string ReproPath; ///< Written case file ("" when saving failed).
+};
+
+/// Outcome of a fuzz run.
+struct FuzzReport {
+  size_t CasesRun = 0;
+  size_t CasesSkipped = 0; ///< Reference did not converge; not compared.
+  std::vector<FuzzDivergence> Divergences;
+  bool TimeBudgetExhausted = false;
+
+  bool ok() const { return Divergences.empty(); }
+};
+
+/// Integrates \p Case with every personality (or only Case.Simulator
+/// when set) and compares against the Richardson reference. Success
+/// means agreement within \p CompareTol; a divergence is reported as a
+/// failure Status naming the personality in \p OutSimulator (may be
+/// null). A non-converging reference fails with OutSimulator set to
+/// "reference".
+Status checkCaseAgainstReference(const CheckCase &Case, double CompareTol,
+                                 std::string *OutSimulator = nullptr);
+
+/// Runs \p Opts.Cases seeded random cases; minimizes and dumps every
+/// divergence. Records `psg.check.fuzz.{cases,divergences,skipped}`.
+FuzzReport runDifferentialFuzz(const FuzzOptions &Opts);
+
+/// Replays a loaded case file exactly as the fuzzer compared it.
+Status replayCase(const CheckCase &Case, double CompareTol = 5e-3);
+
+} // namespace psg
+
+#endif // PSG_CHECK_DIFFERENTIAL_H

@@ -1,0 +1,56 @@
+//===- check/Golden.h - Analytic golden-problem library ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conformance harness's golden library: a fixed set of reference
+/// problems (linear decay, harmonic oscillator, 2-species mass action,
+/// Robertson, Brusselator, split-eigenvalue linear system) each paired
+/// with the most trustworthy reference available — the closed form when
+/// one exists, a literature end-state or a Richardson-extrapolated
+/// solution otherwise. Every registered solver is expected to reproduce
+/// these references; the smooth closed-form entries additionally anchor
+/// the empirical convergence-order probes (check/OrderProbe.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_CHECK_GOLDEN_H
+#define PSG_CHECK_GOLDEN_H
+
+#include "ode/TestProblems.h"
+#include "support/Error.h"
+
+namespace psg {
+
+/// One golden-library entry.
+struct GoldenProblem {
+  std::string Name;
+  TestProblem Problem;
+  /// True for smooth problems with a closed form, where the global error
+  /// at EndTime can be measured exactly — the order-probe anchors.
+  bool UsableForOrderProbe = false;
+};
+
+/// The golden library, in a stable order.
+std::vector<GoldenProblem> goldenLibrary();
+
+/// Returns the entry named \p Name, or fails listing the known names.
+ErrorOr<GoldenProblem> goldenProblem(const std::string &Name);
+
+/// The reference end state of \p G: the closed form when available, the
+/// stored literature reference otherwise, and a Richardson-extrapolated
+/// solution as the last resort (computed on demand).
+std::vector<double> goldenEndReference(const GoldenProblem &G);
+
+/// Mixed relative error of \p Got against \p Want: per-component error
+/// scaled by max(|want_i|, 1e-3 * ||want||_inf), the comparison norm
+/// used throughout the conformance harness so near-zero components do
+/// not explode the measure.
+double mixedRelativeError(const std::vector<double> &Got,
+                          const std::vector<double> &Want);
+
+} // namespace psg
+
+#endif // PSG_CHECK_GOLDEN_H

@@ -1,0 +1,162 @@
+//===- check/OrderProbe.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/OrderProbe.h"
+
+#include "ode/SolverRegistry.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+
+/// One refinement point: mean accepted step vs end-time error.
+struct RefinementPoint {
+  double MeanStep = 0.0;
+  double Error = 0.0;
+};
+
+/// Errors below this are treated as roundoff-dominated and discarded:
+/// slopes flatten there and would drag the estimate down.
+constexpr double ErrorFloor = 5e-13;
+
+/// Integrates \p G once with the step pinned to Span/Steps and reports
+/// the realized mean step and the mixed-relative end-time error against
+/// the closed form. Pinning (InitialStep + MinScale = MaxScale = 1 +
+/// tolerances loose enough that no step is ever rejected) freezes the
+/// controller, so the measured error is the pure fixed-step global
+/// error of the underlying formula — no ramp-up or PI-gain artifacts.
+bool probeOnce(OdeSolver &Solver, const GoldenProblem &G, uint64_t Steps,
+               RefinementPoint &Point) {
+  const double Span = std::abs(G.Problem.EndTime - G.Problem.StartTime);
+  SolverOptions Opts;
+  Opts.RelTol = 0.5;
+  Opts.AbsTol = 1.0;
+  Opts.InitialStep = Span / static_cast<double>(Steps);
+  Opts.MinScale = 1.0;
+  Opts.MaxScale = 1.0;
+  Opts.MaxSteps = Steps + 16;
+  Opts.EnableStiffnessDetection = false; // Probe the pure method.
+  std::vector<double> Y = G.Problem.InitialState;
+  IntegrationResult Result = Solver.integrate(
+      *G.Problem.System, G.Problem.StartTime, G.Problem.EndTime, Y, Opts);
+  if (!Result.ok() || Result.Stats.AcceptedSteps == 0)
+    return false;
+  Point.MeanStep =
+      Span / static_cast<double>(Result.Stats.AcceptedSteps);
+  Point.Error = mixedRelativeError(Y, G.Problem.Exact(G.Problem.EndTime));
+  return std::isfinite(Point.Error);
+}
+
+/// Median of pairwise slopes log(err_i/err_j) / log(h_i/h_j) over
+/// consecutive refinement points. Points whose error sits at the
+/// roundoff floor or whose step barely changed are skipped.
+ErrorOr<OrderEstimate> fitOrder(std::vector<RefinementPoint> Points,
+                                const std::string &SolverName,
+                                const GoldenProblem &G) {
+  std::vector<double> Slopes;
+  for (size_t I = 0; I + 1 < Points.size(); ++I) {
+    const RefinementPoint &A = Points[I], &B = Points[I + 1];
+    if (A.Error < ErrorFloor || B.Error < ErrorFloor)
+      continue;
+    const double StepRatio = A.MeanStep / B.MeanStep;
+    if (!(StepRatio > 1.2)) // Step barely changed: slope is noise.
+      continue;
+    Slopes.push_back(std::log(A.Error / B.Error) / std::log(StepRatio));
+  }
+  if (Slopes.size() < 2)
+    return Status::failure(formatString(
+        "order probe for %s on %s: only %zu usable refinement slopes",
+        SolverName.c_str(), G.Name.c_str(), Slopes.size()));
+  std::sort(Slopes.begin(), Slopes.end());
+  OrderEstimate Estimate;
+  Estimate.Solver = SolverName;
+  Estimate.Problem = G.Name;
+  Estimate.Measured = Slopes.size() % 2 == 1
+                          ? Slopes[Slopes.size() / 2]
+                          : 0.5 * (Slopes[Slopes.size() / 2 - 1] +
+                                   Slopes[Slopes.size() / 2]);
+  Estimate.Theoretical = theoreticalOrder(SolverName);
+  Estimate.PointsUsed = Slopes.size() + 1;
+  return Estimate;
+}
+
+} // namespace
+
+double psg::theoreticalOrder(const std::string &SolverName) {
+  if (SolverName == "rk4")
+    return 4.0;
+  if (SolverName == "rkf45") // Propagates the 5th-order B weights.
+    return 5.0;
+  if (SolverName == "dopri5")
+    return 5.0;
+  if (SolverName == "radau5")
+    return 5.0;
+  return 0.0; // Variable-order multistep methods: no single order.
+}
+
+ErrorOr<OrderEstimate>
+psg::measureConvergenceOrder(const std::string &SolverName,
+                             const GoldenProblem &G) {
+  if (!G.Problem.Exact)
+    return Status::failure("problem '" + G.Name +
+                           "' has no closed form; cannot probe order");
+  if (theoreticalOrder(SolverName) == 0.0)
+    return Status::failure("solver '" + SolverName +
+                           "' is variable-order; nothing to probe");
+  auto SolverOr = createSolver(SolverName);
+  if (!SolverOr)
+    return SolverOr.status();
+  OdeSolver &Solver = **SolverOr;
+
+  // Halve the pinned step from Span/16 down to Span/512. The coarse end
+  // stays out of the pre-asymptotic regime on the library's smooth
+  // problems; the fine end stops before 5th-order errors sink into
+  // roundoff (the ErrorFloor filter in fitOrder drops any that do).
+  std::vector<RefinementPoint> Points;
+  for (uint64_t Steps = 16; Steps <= 512; Steps *= 2) {
+    RefinementPoint Point;
+    if (probeOnce(Solver, G, Steps, Point))
+      Points.push_back(Point);
+  }
+  return fitOrder(std::move(Points), SolverName, G);
+}
+
+ErrorOr<std::vector<OrderEstimate>>
+psg::measureConvergenceOrders(const std::string &SolverName) {
+  std::vector<OrderEstimate> Estimates;
+  std::string FirstFailure;
+  for (const GoldenProblem &G : goldenLibrary()) {
+    if (!G.UsableForOrderProbe)
+      continue;
+    auto EstimateOr = measureConvergenceOrder(SolverName, G);
+    if (EstimateOr)
+      Estimates.push_back(*EstimateOr);
+    else if (FirstFailure.empty())
+      FirstFailure = EstimateOr.status().message();
+  }
+  if (Estimates.empty())
+    return Status::failure("order probe produced no estimates for '" +
+                           SolverName + "': " + FirstFailure);
+  return Estimates;
+}
+
+double psg::medianMeasuredOrder(const std::vector<OrderEstimate> &Estimates) {
+  if (Estimates.empty())
+    return 0.0;
+  std::vector<double> Orders;
+  Orders.reserve(Estimates.size());
+  for (const OrderEstimate &E : Estimates)
+    Orders.push_back(E.Measured);
+  std::sort(Orders.begin(), Orders.end());
+  return Orders.size() % 2 == 1
+             ? Orders[Orders.size() / 2]
+             : 0.5 * (Orders[Orders.size() / 2 - 1] +
+                      Orders[Orders.size() / 2]);
+}

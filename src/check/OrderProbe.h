@@ -1,0 +1,60 @@
+//===- check/OrderProbe.h - Empirical convergence orders --------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Empirical convergence-order measurement. Every fixed-order solver —
+/// adaptive or not — is probed with its step PINNED (initial step set,
+/// growth/shrink scale clamped to 1, tolerances loosened so no step is
+/// rejected), then the step is halved and the global end-time error
+/// against the closed form is regressed on log-log axes. Pinning
+/// removes every controller artifact (ramp-up, PI gains, tolerance-to-
+/// step mapping), so the slope is the order of the propagated formula
+/// itself. A solver conforms when the median slope on the golden
+/// library's order-probe problems lands within a window of its
+/// theoretical order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_CHECK_ORDERPROBE_H
+#define PSG_CHECK_ORDERPROBE_H
+
+#include "check/Golden.h"
+
+namespace psg {
+
+/// One (solver, problem) order measurement.
+struct OrderEstimate {
+  std::string Solver;
+  std::string Problem;
+  double Measured = 0.0;    ///< Median pairwise slope of log err vs log h.
+  double Theoretical = 0.0; ///< Expected order (theoreticalOrder()).
+  size_t PointsUsed = 0;    ///< Refinement points that survived filtering.
+};
+
+/// The theoretical convergence order of the method registered under
+/// \p SolverName, or 0 for variable-order methods (adams, bdf, lsoda,
+/// vode) that have no single order to verify.
+double theoreticalOrder(const std::string &SolverName);
+
+/// Measures the empirical order of \p SolverName on \p G, which must be
+/// an order-probe golden problem (smooth, closed form). Fails when the
+/// solver is unknown, the problem lacks an exact solution, or too few
+/// refinement points produce a measurable error.
+ErrorOr<OrderEstimate> measureConvergenceOrder(const std::string &SolverName,
+                                               const GoldenProblem &G);
+
+/// Measures \p SolverName on every order-probe golden problem and
+/// returns the per-problem estimates (problems where the probe fails
+/// are skipped; fails only when every problem fails).
+ErrorOr<std::vector<OrderEstimate>>
+measureConvergenceOrders(const std::string &SolverName);
+
+/// Median of the measured orders in \p Estimates (0 when empty).
+double medianMeasuredOrder(const std::vector<OrderEstimate> &Estimates);
+
+} // namespace psg
+
+#endif // PSG_CHECK_ORDERPROBE_H

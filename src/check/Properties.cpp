@@ -1,0 +1,136 @@
+//===- check/Properties.cpp -----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Properties.h"
+
+#include "ode/SolverRegistry.h"
+#include "rbm/CuratedModels.h"
+#include "rbm/MassAction.h"
+#include "sim/Oracle.h"
+#include "sim/Simulators.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+
+/// Below this error the ladder sits on roundoff and tightening cannot
+/// be expected to help further.
+constexpr double RoundoffFloor = 1e-11;
+
+/// A fully parameterized batch over \p Net: every simulation perturbs
+/// the rate constants, so warm reruns exercise the view-rebinding and
+/// constant-rewriting paths.
+BatchSpec makeWarmColdSpec(const ReactionNetwork &Net,
+                           std::vector<std::vector<double>> &Rates,
+                           std::vector<std::vector<double>> &States,
+                           uint64_t Batch, double EndTime) {
+  BatchSpec Spec;
+  Spec.Model = &Net;
+  Spec.Batch = Batch;
+  Spec.EndTime = EndTime;
+  Spec.OutputSamples = 4;
+  Spec.Options.RelTol = 1e-5;
+  Spec.Options.AbsTol = 1e-8;
+
+  const std::vector<double> Defaults = compileModel(Net)->DefaultConstants;
+  const std::vector<double> Y0 = Net.initialState();
+  Rng Generator(0xC0FFEEull);
+  for (uint64_t I = 0; I < Batch; ++I) {
+    std::vector<double> K = Defaults;
+    for (double &V : K)
+      V *= Generator.uniform(0.95, 1.05);
+    Rates.push_back(std::move(K));
+    States.push_back(Y0);
+  }
+  Spec.RateConstantSets = Rates;
+  Spec.InitialStates = States;
+  return Spec;
+}
+
+} // namespace
+
+ErrorOr<ToleranceScalingResult>
+psg::checkToleranceScaling(const std::string &SolverName,
+                           const GoldenProblem &G, double Slack) {
+  auto SolverOr = createSolver(SolverName);
+  if (!SolverOr)
+    return SolverOr.status();
+  OdeSolver &Solver = **SolverOr;
+  const std::vector<double> Reference = goldenEndReference(G);
+  if (Reference.empty())
+    return Status::failure("problem '" + G.Name + "' has no reference");
+
+  ToleranceScalingResult Ladder;
+  for (double RelTol = 1e-3; RelTol >= 0.99e-9; RelTol *= 1e-2) {
+    SolverOptions Opts;
+    Opts.RelTol = RelTol;
+    Opts.AbsTol = RelTol * 1e-4;
+    Opts.MaxSteps = 500000;
+    std::vector<double> Y = G.Problem.InitialState;
+    IntegrationResult Result = Solver.integrate(
+        *G.Problem.System, G.Problem.StartTime, G.Problem.EndTime, Y, Opts);
+    if (!Result.ok())
+      return Status::failure(formatString(
+          "%s on %s at rtol %.0e: integration failed: %s",
+          SolverName.c_str(), G.Name.c_str(), RelTol,
+          integrationStatusName(Result.Status)));
+    Ladder.RelTols.push_back(RelTol);
+    Ladder.Errors.push_back(mixedRelativeError(Y, Reference));
+  }
+  for (size_t I = 0; I + 1 < Ladder.Errors.size(); ++I) {
+    const double Loose = Ladder.Errors[I], Tight = Ladder.Errors[I + 1];
+    if (Tight <= RoundoffFloor)
+      continue; // Both sit on roundoff; ordering is noise.
+    if (Tight > Loose * Slack)
+      return Status::failure(formatString(
+          "%s on %s: tightening rtol %.0e -> %.0e grew the error "
+          "%.3g -> %.3g",
+          SolverName.c_str(), G.Name.c_str(), Ladder.RelTols[I],
+          Ladder.RelTols[I + 1], Loose, Tight));
+  }
+  return Ladder;
+}
+
+Status psg::checkWarmColdInvariance(const std::string &SimulatorName,
+                                    const ReactionNetwork &Model,
+                                    const ReactionNetwork &RebindModel,
+                                    uint64_t Batch, double EndTime) {
+  auto SimOr = createSimulator(SimulatorName, CostModel::paperSetup());
+  if (!SimOr)
+    return SimOr.status();
+  Simulator &Sim = **SimOr;
+
+  std::vector<std::vector<double>> Rates, States;
+  const BatchSpec Spec =
+      makeWarmColdSpec(Model, Rates, States, Batch, EndTime);
+  std::vector<std::vector<double>> OtherRates, OtherStates;
+  const BatchSpec RebindSpec = makeWarmColdSpec(
+      RebindModel, OtherRates, OtherStates, /*Batch=*/2, /*EndTime=*/0.5);
+
+  const BatchResult Cold = Sim.run(Spec);
+  const BatchResult Warm = Sim.run(Spec);
+  if (Status S = compareBatchesBitExact(Cold, Warm); !S)
+    return Status::failure(SimulatorName + " warm rerun: " + S.message());
+
+  Sim.run(RebindSpec); // Forces every per-worker view to rebind.
+  const BatchResult Rebound = Sim.run(Spec);
+  if (Status S = compareBatchesBitExact(Cold, Rebound); !S)
+    return Status::failure(SimulatorName + " after rebind: " + S.message());
+  return Status::success();
+}
+
+Status psg::checkWarmColdInvarianceAllPersonalities() {
+  const ReactionNetwork Model = makeLotkaVolterraNetwork();
+  const ReactionNetwork Rebind = makeBrusselatorNetwork();
+  for (auto &Sim : createAllSimulators(CostModel::paperSetup()))
+    if (Status S = checkWarmColdInvariance(Sim->name(), Model, Rebind); !S)
+      return S;
+  return Status::success();
+}

@@ -1,0 +1,61 @@
+//===- check/Properties.h - Solver/dispatch invariants ----------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-cutting properties of the numerical stack, checked as
+/// executable invariants rather than pointwise regressions:
+///
+///  - Tolerance scaling: tightening the relative tolerance must
+///    (monotonically, up to a small slack and a roundoff floor) reduce
+///    the error against a golden problem's reference solution.
+///  - Warm/cold invariance: rerunning a batch on a warm simulator
+///    (pooled solver workspaces, bound per-worker views, reused
+///    compilations) must reproduce the cold run bit-for-bit, including
+///    after an interleaved batch on a different network forces every
+///    view to rebind (the PR 2 zero-recompile dispatch contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_CHECK_PROPERTIES_H
+#define PSG_CHECK_PROPERTIES_H
+
+#include "check/Golden.h"
+#include "rbm/ReactionNetwork.h"
+
+namespace psg {
+
+/// The measured tolerance-error ladder of one solver on one problem.
+struct ToleranceScalingResult {
+  std::vector<double> RelTols; ///< The swept tolerances, loosest first.
+  std::vector<double> Errors;  ///< Mixed-relative end-state errors.
+};
+
+/// Sweeps \p SolverName over a tolerance ladder (1e-3 .. 1e-9, two
+/// decades apart) on \p G and verifies each tightening reduces the
+/// error against the problem's reference: Errors[k+1] <= Slack *
+/// Errors[k], waived below a roundoff floor. Fails on a violated step
+/// or a failed integration; returns the measured ladder otherwise.
+ErrorOr<ToleranceScalingResult>
+checkToleranceScaling(const std::string &SolverName, const GoldenProblem &G,
+                      double Slack = 1.2);
+
+/// Cold-vs-warm bit-exactness of \p SimulatorName on \p Model: a batch
+/// of \p Batch perturbed parameterizations is run on a fresh simulator,
+/// rerun warm, then rerun again after an interleaved batch on
+/// \p RebindModel. Both reruns must match the cold run bit-for-bit
+/// (sim/Oracle.h).
+Status checkWarmColdInvariance(const std::string &SimulatorName,
+                               const ReactionNetwork &Model,
+                               const ReactionNetwork &RebindModel,
+                               uint64_t Batch = 4, double EndTime = 1.0);
+
+/// Runs checkWarmColdInvariance for every personality on the curated
+/// Lotka-Volterra / Brusselator pair; fails on the first violation.
+Status checkWarmColdInvarianceAllPersonalities();
+
+} // namespace psg
+
+#endif // PSG_CHECK_PROPERTIES_H

@@ -1,0 +1,142 @@
+//===- ode/Richardson.cpp -------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Richardson.h"
+
+#include "linalg/VectorOps.h"
+
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+
+/// One fixed-step RK4 pass: \p StepsPerSegment uniform steps inside each
+/// grid segment, recording the state at every segment boundary into
+/// \p Rows (segment count rows, excluding the initial state). Returns
+/// false when the state stops being finite.
+bool rk4Pass(const OdeSystem &Sys, const std::vector<double> &Times,
+             const std::vector<double> &Y0, uint64_t StepsPerSegment,
+             std::vector<std::vector<double>> &Rows, uint64_t &RhsEvals) {
+  const size_t N = Sys.dimension();
+  std::vector<double> Y = Y0, K1(N), K2(N), K3(N), K4(N), YStage(N);
+  Rows.clear();
+  for (size_t Seg = 0; Seg + 1 < Times.size(); ++Seg) {
+    const double H =
+        (Times[Seg + 1] - Times[Seg]) / static_cast<double>(StepsPerSegment);
+    double T = Times[Seg];
+    for (uint64_t S = 0; S < StepsPerSegment; ++S) {
+      Sys.rhs(T, Y.data(), K1.data());
+      for (size_t I = 0; I < N; ++I)
+        YStage[I] = Y[I] + 0.5 * H * K1[I];
+      Sys.rhs(T + 0.5 * H, YStage.data(), K2.data());
+      for (size_t I = 0; I < N; ++I)
+        YStage[I] = Y[I] + 0.5 * H * K2[I];
+      Sys.rhs(T + 0.5 * H, YStage.data(), K3.data());
+      for (size_t I = 0; I < N; ++I)
+        YStage[I] = Y[I] + H * K3[I];
+      Sys.rhs(T + H, YStage.data(), K4.data());
+      for (size_t I = 0; I < N; ++I)
+        Y[I] += H / 6.0 * (K1[I] + 2.0 * K2[I] + 2.0 * K3[I] + K4[I]);
+      RhsEvals += 4;
+      T = Times[Seg] + static_cast<double>(S + 1) * H;
+    }
+    if (!allFinite(Y))
+      return false;
+    Rows.push_back(Y);
+  }
+  return true;
+}
+
+/// Mixed absolute/relative deviation between two row sets.
+double maxDeviation(const std::vector<std::vector<double>> &A,
+                    const std::vector<std::vector<double>> &B, double AbsTol,
+                    double RelTol) {
+  double Max = 0.0;
+  for (size_t R = 0; R < A.size(); ++R)
+    for (size_t I = 0; I < A[R].size(); ++I) {
+      const double Scale =
+          AbsTol + RelTol * std::max(std::abs(A[R][I]), std::abs(B[R][I]));
+      Max = std::max(Max, std::abs(A[R][I] - B[R][I]) / Scale);
+    }
+  return Max;
+}
+
+} // namespace
+
+RichardsonReference psg::richardsonReference(const OdeSystem &Sys, double T0,
+                                             double TEnd,
+                                             const std::vector<double> &Y0,
+                                             const RichardsonOptions &Opts,
+                                             const std::vector<double> *Grid) {
+  assert(Y0.size() == Sys.dimension() && "state size mismatch");
+  RichardsonReference Ref;
+
+  std::vector<double> Times;
+  if (Grid) {
+    assert(Grid->size() >= 2 && Grid->front() == T0 && Grid->back() == TEnd &&
+           "grid must span [T0, TEnd]");
+    Times = *Grid;
+  } else {
+    Times = {T0, TEnd};
+  }
+  const uint64_t Segments = Times.size() - 1;
+
+  if (T0 == TEnd) {
+    Ref.FinalState = Y0;
+    Ref.Converged = true;
+    return Ref;
+  }
+
+  uint64_t Steps = std::max<uint64_t>(1, Opts.InitialSteps / Segments);
+  std::vector<std::vector<double>> Coarse, Fine, Extrapolated, Previous;
+  bool CoarseOk =
+      rk4Pass(Sys, Times, Y0, Steps, Coarse, Ref.RhsEvaluations);
+  bool HavePrevious = false;
+
+  while (true) {
+    bool FineOk =
+        rk4Pass(Sys, Times, Y0, 2 * Steps, Fine, Ref.RhsEvaluations);
+    if (CoarseOk && FineOk) {
+      // Y* = Y_2N + (Y_2N - Y_N) / (2^4 - 1): the RK4 error term cancels.
+      Extrapolated = Fine;
+      for (size_t R = 0; R < Fine.size(); ++R)
+        for (size_t I = 0; I < Fine[R].size(); ++I)
+          Extrapolated[R][I] += (Fine[R][I] - Coarse[R][I]) / 15.0;
+      if (HavePrevious) {
+        Ref.ErrorEstimate =
+            maxDeviation(Extrapolated, Previous, Opts.AbsTol, Opts.RelTol);
+        if (Ref.ErrorEstimate <= 1.0) {
+          Ref.Converged = true;
+          break;
+        }
+      }
+      Previous = Extrapolated;
+      HavePrevious = true;
+    } else {
+      // Unstable or overflowing pass: nothing to extrapolate yet.
+      HavePrevious = false;
+    }
+    if (2 * Steps * Segments >= Opts.MaxSteps)
+      break; // Budget exhausted; report the finest extrapolant we have.
+    Coarse = Fine;
+    CoarseOk = FineOk;
+    Steps *= 2;
+  }
+
+  Ref.StepsPerPass = 2 * Steps * Segments;
+  if (Extrapolated.empty())
+    return Ref; // Never produced a finite pass pair.
+
+  Ref.FinalState = Extrapolated.back();
+  Ref.Dynamics = Trajectory(Sys.dimension());
+  if (Grid) {
+    Ref.Dynamics.addSample(T0, Y0.data());
+    for (size_t R = 0; R < Extrapolated.size(); ++R)
+      Ref.Dynamics.addSample(Times[R + 1], Extrapolated[R].data());
+  }
+  return Ref;
+}

@@ -1,0 +1,62 @@
+//===- ode/Richardson.h - Extrapolated reference solutions ------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fixed-step Richardson-extrapolated reference integrator. Two
+/// classical RK4 passes with N and 2N uniform steps are combined as
+/// Y* = Y_2N + (Y_2N - Y_N) / 15, cancelling the leading O(h^4) error
+/// term; N doubles until the extrapolant stabilizes. The result is an
+/// adaptivity-free oracle: it shares no step-control, tolerance, or
+/// workspace code with the production solvers, which makes it a suitable
+/// independent reference for differential testing (psg::check).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_RICHARDSON_H
+#define PSG_ODE_RICHARDSON_H
+
+#include "ode/OdeSystem.h"
+#include "ode/Trajectory.h"
+
+#include <cstdint>
+
+namespace psg {
+
+/// Controls for the reference driver.
+struct RichardsonOptions {
+  uint64_t InitialSteps = 64;   ///< Steps of the first coarse pass.
+  uint64_t MaxSteps = 1 << 21;  ///< Per-pass step budget (refinement stops).
+  double AbsTol = 1e-10;        ///< Absolute stabilization tolerance.
+  double RelTol = 1e-9;         ///< Relative stabilization tolerance.
+};
+
+/// Outcome of one reference computation.
+struct RichardsonReference {
+  std::vector<double> FinalState; ///< Extrapolated state at TEnd.
+  Trajectory Dynamics;     ///< Extrapolated grid samples (grid calls only).
+  double ErrorEstimate = 0.0; ///< Max mixed-norm change of the last doubling.
+  uint64_t StepsPerPass = 0;  ///< Steps of the finest accepted pass.
+  uint64_t RhsEvaluations = 0; ///< Total rhs work across all passes.
+  bool Converged = false;      ///< False when MaxSteps hit first.
+};
+
+/// Computes the reference solution of \p Sys from \p T0 to \p TEnd
+/// starting at \p Y0. When \p Grid is non-null it must be strictly
+/// increasing from T0 to TEnd; every grid time is hit exactly by the
+/// fixed-step passes (no interpolation) and reported in Dynamics.
+/// Non-finite passes (e.g. RK4 outside its stability region on a stiff
+/// system) are discarded and refinement continues, so stiff systems
+/// converge once the step clears the stability bound.
+RichardsonReference richardsonReference(const OdeSystem &Sys, double T0,
+                                        double TEnd,
+                                        const std::vector<double> &Y0,
+                                        const RichardsonOptions &Opts = {},
+                                        const std::vector<double> *Grid =
+                                            nullptr);
+
+} // namespace psg
+
+#endif // PSG_ODE_RICHARDSON_H

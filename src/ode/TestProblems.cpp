@@ -50,6 +50,7 @@ TestProblem psg::makeExponentialDecay() {
   P.InitialState = {1.0};
   P.EndTime = 5.0;
   P.Reference = {std::exp(-5.0)};
+  P.Exact = [](double T) { return std::vector<double>{std::exp(-T)}; };
   return P;
 }
 
@@ -70,6 +71,9 @@ TestProblem psg::makeHarmonicOscillator() {
   P.InitialState = {1.0, 0.0};
   P.EndTime = 2.0 * M_PI;
   P.Reference = {1.0, 0.0};
+  P.Exact = [](double T) {
+    return std::vector<double>{std::cos(T), -std::sin(T)};
+  };
   return P;
 }
 
@@ -226,12 +230,91 @@ TestProblem psg::makeLinearStiff(double Lambda) {
   P.InitialState = {1.0, 1.0};
   P.EndTime = 2.0;
   P.Reference = {std::exp(-2.0), std::exp(-2.0 * Lambda)};
+  P.Exact = [Lambda](double T) {
+    return std::vector<double>{std::exp(-T), std::exp(-Lambda * T)};
+  };
   P.Stiff = Lambda > 100.0;
   return P;
 }
 
+TestProblem psg::makeLogistic(double R) {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      1, "logistic",
+      [R](double, const double *Y, double *D) {
+        D[0] = R * Y[0] * (1.0 - Y[0]);
+      },
+      [R](double, const double *Y, Matrix &J) {
+        J(0, 0) = R * (1.0 - 2.0 * Y[0]);
+      });
+  const double Y0 = 0.1;
+  P.InitialState = {Y0};
+  P.EndTime = 4.0;
+  P.Exact = [R, Y0](double T) {
+    const double E = std::exp(R * T);
+    return std::vector<double>{Y0 * E / (1.0 + Y0 * (E - 1.0))};
+  };
+  P.Reference = P.Exact(P.EndTime);
+  return P;
+}
+
+TestProblem psg::makeReversibleIsomerization(double Kf, double Kr) {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      2, "reversible-iso",
+      [Kf, Kr](double, const double *Y, double *D) {
+        const double Flux = Kf * Y[0] - Kr * Y[1];
+        D[0] = -Flux;
+        D[1] = Flux;
+      },
+      [Kf, Kr](double, const double *, Matrix &J) {
+        J(0, 0) = -Kf;
+        J(0, 1) = Kr;
+        J(1, 0) = Kf;
+        J(1, 1) = -Kr;
+      });
+  const double A0 = 1.0, B0 = 0.0, Total = A0 + B0;
+  P.InitialState = {A0, B0};
+  P.EndTime = 3.0;
+  // a(t) = a_inf + (a0 - a_inf) e^{-(kf+kr)t} with a_inf = kr/(kf+kr) total.
+  P.Exact = [Kf, Kr, A0, Total](double T) {
+    const double AInf = Kr / (Kf + Kr) * Total;
+    const double A = AInf + (A0 - AInf) * std::exp(-(Kf + Kr) * T);
+    return std::vector<double>{A, Total - A};
+  };
+  P.Reference = P.Exact(P.EndTime);
+  return P;
+}
+
+TestProblem psg::makeBrusselatorOde(double A, double B) {
+  TestProblem P;
+  P.System = std::make_shared<CallbackSystem>(
+      2, "brusselator-ode",
+      [A, B](double, const double *Y, double *D) {
+        D[0] = A + Y[0] * Y[0] * Y[1] - (B + 1.0) * Y[0];
+        D[1] = B * Y[0] - Y[0] * Y[0] * Y[1];
+      },
+      [B](double, const double *Y, Matrix &J) {
+        J(0, 0) = 2.0 * Y[0] * Y[1] - (B + 1.0);
+        J(0, 1) = Y[0] * Y[0];
+        J(1, 0) = B - 2.0 * Y[0] * Y[1];
+        J(1, 1) = -Y[0] * Y[0];
+      });
+  P.InitialState = {1.5, 3.0};
+  P.EndTime = 10.0;
+  return P;
+}
+
 std::vector<TestProblem> psg::allTestProblems() {
-  return {makeExponentialDecay(), makeHarmonicOscillator(), makeRobertson(),
-          makeVanDerPolMild(),    makeVanDerPolStiff(),     makeOregonator(),
-          makeHires(),            makeLinearStiff()};
+  return {makeExponentialDecay(),
+          makeHarmonicOscillator(),
+          makeRobertson(),
+          makeVanDerPolMild(),
+          makeVanDerPolStiff(),
+          makeOregonator(),
+          makeHires(),
+          makeLinearStiff(),
+          makeLogistic(),
+          makeReversibleIsomerization(),
+          makeBrusselatorOde()};
 }

@@ -16,9 +16,13 @@
 
 #include "ode/OdeSystem.h"
 
+#include <functional>
 #include <memory>
 
 namespace psg {
+
+/// Closed-form solution of a test problem at an arbitrary time.
+using ExactSolution = std::function<std::vector<double>(double T)>;
 
 /// A named problem with an initial condition, horizon, and (optionally)
 /// a high-accuracy reference solution at the end time.
@@ -28,6 +32,10 @@ struct TestProblem {
   double StartTime = 0.0;
   double EndTime = 1.0;
   std::vector<double> Reference; ///< Empty when no reference is available.
+  /// Analytic solution (null when the problem has no closed form). When
+  /// set, Exact(EndTime) == Reference; the conformance harness uses it to
+  /// measure global errors at arbitrary times.
+  ExactSolution Exact;
   bool Stiff = false;
 };
 
@@ -58,6 +66,24 @@ TestProblem makeHires();
 /// Linear 2x2 system with widely separated eigenvalues (-1, -Lambda);
 /// exact solution available for any time. Stiffness grows with Lambda.
 TestProblem makeLinearStiff(double Lambda = 1e4);
+
+/// Logistic growth y' = r y (1 - y) with y(0)=0.1 on [0, 4]; closed form
+/// y(t) = y0 e^{rt} / (1 + y0 (e^{rt} - 1)). Nonlinear but non-stiff, so
+/// it probes the genuinely nonlinear order conditions of a method —
+/// linear problems can flatter a solver whose stability polynomial has
+/// accidentally small leading error coefficients.
+TestProblem makeLogistic(double R = 1.5);
+
+/// Reversible isomerization A <-> B (2-species mass action) with rates
+/// kf, kr on [0, 3]; closed form: relaxation to equilibrium at rate
+/// kf + kr with the total A + B conserved.
+TestProblem makeReversibleIsomerization(double Kf = 1.2, double Kr = 0.4);
+
+/// The Brusselator in its classic nondimensional ODE form
+/// (x' = A + x^2 y - (B+1) x, y' = B x - x^2 y) with A=1, B=3 on one
+/// limit-cycle horizon [0, 10]. No closed form; conformance runs compare
+/// against a Richardson-extrapolated reference.
+TestProblem makeBrusselatorOde(double A = 1.0, double B = 3.0);
 
 /// All problems above, for parameterized sweeps.
 std::vector<TestProblem> allTestProblems();

@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace psg;
@@ -70,6 +71,114 @@ psg::generateSyntheticModel(const SyntheticModelOptions &Opts) {
     }
     Net.addReaction(std::move(Rx));
   }
+  return Net;
+}
+
+ReactionNetwork psg::generateRandomRbm(const RandomRbmOptions &Opts) {
+  assert(Opts.MinSpecies >= 1 && Opts.MaxSpecies >= Opts.MinSpecies &&
+         Opts.MinReactions >= 1 && Opts.MaxReactions >= Opts.MinReactions &&
+         "degenerate random-RBM size bounds");
+  assert(Opts.StiffnessSpread >= 1.0 && Opts.MidRate > 0.0 &&
+         "rate spread must be a factor >= 1 around a positive midpoint");
+  Rng Generator(Opts.Seed);
+  const size_t NumSpecies =
+      Opts.MinSpecies +
+      Generator.uniformInt(Opts.MaxSpecies - Opts.MinSpecies + 1);
+  const size_t NumReactions =
+      Opts.MinReactions +
+      Generator.uniformInt(Opts.MaxReactions - Opts.MinReactions + 1);
+  ReactionNetwork Net(formatString("random-rbm-seed%llu",
+                                   (unsigned long long)Opts.Seed));
+
+  for (size_t I = 0; I < NumSpecies; ++I)
+    Net.addSpecies(formatString("S%zu", I),
+                   Generator.uniform(Opts.MinInitialConcentration,
+                                     Opts.MaxInitialConcentration));
+
+  const double LoRate = Opts.MidRate / Opts.StiffnessSpread;
+  const double HiRate = Opts.MidRate * Opts.StiffnessSpread;
+  auto pickSpecies = [&](size_t ReactionIdx, bool Cycle) -> unsigned {
+    if (Cycle && ReactionIdx < NumSpecies)
+      return static_cast<unsigned>(ReactionIdx);
+    return static_cast<unsigned>(Generator.uniformInt(NumSpecies));
+  };
+
+  for (size_t R = 0; R < NumReactions; ++R) {
+    Reaction Rx;
+    Rx.RateConstant = Generator.logUniform(LoRate, HiRate);
+
+    const bool Hill = Generator.uniform() < Opts.HillFraction;
+    const bool Repress = Hill && Generator.uniform() < Opts.RepressionFraction;
+    // Hill rate laws need a substrate, so their order is at least one;
+    // mass action draws order 0/1/2 with weights 0.1/0.5/0.4.
+    const double Draw = Generator.uniform();
+    const unsigned Order =
+        Hill ? 1 + (Draw < 0.3 ? 1 : 0) : (Draw < 0.1 ? 0 : Draw < 0.6 ? 1 : 2);
+    if (Order >= 1)
+      Rx.Reactants.emplace_back(pickSpecies(R, /*Cycle=*/true), 1);
+    if (Order == 2) {
+      const unsigned Other = pickSpecies(R, /*Cycle=*/false);
+      if (Rx.Reactants[0].first == Other) {
+        // A repressor must keep coefficient one (it is restored as a
+        // product below); for plain kinetics fold into `2 S`.
+        if (!Repress)
+          Rx.Reactants[0].second = 2;
+      } else {
+        Rx.Reactants.emplace_back(Other, 1);
+      }
+    }
+
+    if (Hill) {
+      Rx.Kind = Repress ? KineticsKind::HillRepression : KineticsKind::Hill;
+      Rx.HillK = Generator.logUniform(0.1, 2.0);
+      Rx.HillN = 1.0 + static_cast<double>(Generator.uniformInt(4));
+    }
+
+    // At most two product molecules, so a second-order reaction never
+    // creates net molecules (no superlinear autocatalysis, hence no
+    // finite-time blow-up); one reaction in four is a pure sink. A
+    // repressed reaction's rate does NOT vanish as its first substrate
+    // (the repressor) is depleted, so the repressor must be catalytic:
+    // it is re-emitted as a product (net stoichiometry zero), which is
+    // also the physical motif — repression gates the synthesis or
+    // conversion of OTHER species. Without this the repressor is driven
+    // below zero and a bimolecular sink involving it turns into an
+    // exponential amplifier, producing hypersensitive dynamics no two
+    // solvers agree on.
+    const unsigned MaxDrawn = Repress ? 1 : 2;
+    const unsigned NumProducts =
+        Generator.uniform() < 0.25
+            ? 0
+            : 1 + static_cast<unsigned>(Generator.uniformInt(MaxDrawn));
+    if (Repress)
+      Rx.Products.emplace_back(Rx.Reactants[0].first, 1);
+    for (unsigned P = 0; P < NumProducts; ++P) {
+      const unsigned Prod = pickSpecies(R, /*Cycle=*/false);
+      bool Merged = false;
+      for (auto &[Idx, Coef] : Rx.Products)
+        if (Idx == Prod) {
+          ++Coef;
+          Merged = true;
+          break;
+        }
+      if (!Merged)
+        Rx.Products.emplace_back(Prod, 1);
+    }
+
+    // Autocatalysis (a reactant with positive net gain, e.g. S -> 2 S)
+    // grows exponentially at the reaction's rate constant; drawn from
+    // the top of the stiffness spread that means e^(rate * horizon)
+    // magnitudes no integrator resolves sensibly. Clamp such rates to
+    // the spread's midpoint so growth stays moderate.
+    for (const auto &[Reactant, RCoef] : Rx.Reactants) {
+      for (const auto &[Product, PCoef] : Rx.Products)
+        if (Product == Reactant && PCoef > RCoef)
+          Rx.RateConstant = std::min(Rx.RateConstant, Opts.MidRate);
+    }
+
+    Net.addReaction(std::move(Rx));
+  }
+  assert(Net.validate().ok() && "random RBM must validate");
   return Net;
 }
 

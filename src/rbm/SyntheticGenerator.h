@@ -39,6 +39,33 @@ struct SyntheticModelOptions {
 /// (reactant/product slots cycle through the species before randomizing).
 ReactionNetwork generateSyntheticModel(const SyntheticModelOptions &Opts);
 
+/// Tunables for the conformance fuzzer's randomized models (psg::check).
+/// Unlike the scaling generator above, sizes are drawn per model, rate
+/// constants carry an explicit stiffness knob, and a fraction of the
+/// reactions use saturating Hill kinetics (activating or repressive).
+struct RandomRbmOptions {
+  size_t MinSpecies = 3, MaxSpecies = 8;
+  size_t MinReactions = 4, MaxReactions = 12;
+  /// Fraction of reactions given Hill kinetics (the rest is mass action);
+  /// of those, RepressionFraction become HillRepression.
+  double HillFraction = 0.25;
+  double RepressionFraction = 0.5;
+  /// Rate constants are log-uniform in [MidRate/Spread, MidRate*Spread]:
+  /// the spread is the stiffness knob (time-scale separation ~ Spread^2).
+  double MidRate = 1.0;
+  double StiffnessSpread = 10.0;
+  double MinInitialConcentration = 0.1;
+  double MaxInitialConcentration = 2.0;
+  uint64_t Seed = 1;
+};
+
+/// Generates a random RBM for differential testing. The construction is
+/// fully deterministic in Opts (same options -> byte-identical model) and
+/// always validates. Second-order reactions never create net molecules,
+/// so trajectories cannot blow up in finite time (growth is at most
+/// exponential at the fastest first-order rate).
+ReactionNetwork generateRandomRbm(const RandomRbmOptions &Opts);
+
 /// Applies the +/-25% log-uniform kinetic perturbation of the evaluation
 /// protocol to every rate constant of \p Constants, in place:
 /// k <- exp(ln(0.75 k) + (ln(1.25 k) - ln(0.75 k)) * U[0,1)).

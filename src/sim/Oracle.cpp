@@ -1,0 +1,100 @@
+//===- sim/Oracle.cpp -----------------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Oracle.h"
+
+#include "support/StringUtils.h"
+
+using namespace psg;
+
+namespace {
+
+Status counterDiff(const char *Name, uint64_t A, uint64_t B) {
+  return Status::failure(formatString("%s differs: %llu vs %llu", Name,
+                                      (unsigned long long)A,
+                                      (unsigned long long)B));
+}
+
+Status compareStats(const IntegrationStats &A, const IntegrationStats &B) {
+  const struct {
+    const char *Name;
+    uint64_t IntegrationStats::*Member;
+  } Counters[] = {
+      {"steps", &IntegrationStats::Steps},
+      {"accepted steps", &IntegrationStats::AcceptedSteps},
+      {"rejected steps", &IntegrationStats::RejectedSteps},
+      {"rhs evaluations", &IntegrationStats::RhsEvaluations},
+      {"jacobian evaluations", &IntegrationStats::JacobianEvaluations},
+      {"LU factorizations", &IntegrationStats::LuFactorizations},
+      {"complex LU factorizations",
+       &IntegrationStats::ComplexLuFactorizations},
+      {"LU solves", &IntegrationStats::LuSolves},
+      {"Newton iterations", &IntegrationStats::NewtonIterations},
+      {"solver switches", &IntegrationStats::SolverSwitches},
+  };
+  for (const auto &C : Counters)
+    if (A.*(C.Member) != B.*(C.Member))
+      return counterDiff(C.Name, A.*(C.Member), B.*(C.Member));
+  return Status::success();
+}
+
+} // namespace
+
+Status psg::compareOutcomesBitExact(const SimulationOutcome &A,
+                                    const SimulationOutcome &B) {
+  if (A.SolverUsed != B.SolverUsed)
+    return Status::failure("solver differs: '" + A.SolverUsed + "' vs '" +
+                           B.SolverUsed + "'");
+  if (A.Result.Status != B.Result.Status)
+    return Status::failure(
+        formatString("status differs: %s vs %s",
+                     integrationStatusName(A.Result.Status),
+                     integrationStatusName(B.Result.Status)));
+  // Bitwise: warm paths may not perturb a single ulp.
+  if (A.Result.FinalTime != B.Result.FinalTime)
+    return Status::failure(formatString("final time differs: %.17g vs %.17g",
+                                        A.Result.FinalTime,
+                                        B.Result.FinalTime));
+  if (A.Result.LastStepSize != B.Result.LastStepSize)
+    return Status::failure(
+        formatString("last step size differs: %.17g vs %.17g",
+                     A.Result.LastStepSize, B.Result.LastStepSize));
+  if (Status S = compareStats(A.Result.Stats, B.Result.Stats); !S)
+    return S;
+  if (A.Dynamics.numSamples() != B.Dynamics.numSamples() ||
+      A.Dynamics.dimension() != B.Dynamics.dimension())
+    return Status::failure(formatString(
+        "trajectory shape differs: %zux%zu vs %zux%zu",
+        A.Dynamics.numSamples(), A.Dynamics.dimension(),
+        B.Dynamics.numSamples(), B.Dynamics.dimension()));
+  for (size_t S = 0; S < A.Dynamics.numSamples(); ++S) {
+    if (A.Dynamics.time(S) != B.Dynamics.time(S))
+      return Status::failure(formatString(
+          "sample %zu time differs: %.17g vs %.17g", S, A.Dynamics.time(S),
+          B.Dynamics.time(S)));
+    for (size_t V = 0; V < A.Dynamics.dimension(); ++V)
+      if (A.Dynamics.value(S, V) != B.Dynamics.value(S, V))
+        return Status::failure(formatString(
+            "sample %zu var %zu differs: %.17g vs %.17g", S, V,
+            A.Dynamics.value(S, V), B.Dynamics.value(S, V)));
+  }
+  return Status::success();
+}
+
+Status psg::compareBatchesBitExact(const BatchResult &A,
+                                   const BatchResult &B) {
+  if (A.Outcomes.size() != B.Outcomes.size())
+    return Status::failure(formatString("batch size differs: %zu vs %zu",
+                                        A.Outcomes.size(),
+                                        B.Outcomes.size()));
+  if (A.Failures != B.Failures)
+    return counterDiff("failures", A.Failures, B.Failures);
+  for (size_t I = 0; I < A.Outcomes.size(); ++I)
+    if (Status S = compareOutcomesBitExact(A.Outcomes[I], B.Outcomes[I]); !S)
+      return Status::failure(formatString("simulation %zu: ", I) +
+                             S.message());
+  return Status::success();
+}

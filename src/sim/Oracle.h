@@ -1,0 +1,38 @@
+//===- sim/Oracle.h - Batch-result comparison oracles -----------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparison oracles over batch-simulation results. The bit-exact
+/// comparison is the contract behind the warm-dispatch paths: pooled
+/// solvers, rebound per-worker views, and cached compilations must not
+/// perturb a single bit of any outcome relative to freshly constructed
+/// state. Used by the dispatch regression tests and the psg::check
+/// warm-vs-cold invariance property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_SIM_ORACLE_H
+#define PSG_SIM_ORACLE_H
+
+#include "sim/Simulator.h"
+#include "support/Error.h"
+
+namespace psg {
+
+/// Compares two simulation outcomes bit-for-bit: solver identity, status,
+/// final time, last step size, every operation counter, and every
+/// trajectory sample. Returns the first difference as a failure Status.
+Status compareOutcomesBitExact(const SimulationOutcome &A,
+                               const SimulationOutcome &B);
+
+/// Compares two batch results bit-for-bit (outcome count, failure count,
+/// then every outcome via compareOutcomesBitExact). Modeled timings are
+/// intentionally excluded: they depend on host wall time.
+Status compareBatchesBitExact(const BatchResult &A, const BatchResult &B);
+
+} // namespace psg
+
+#endif // PSG_SIM_ORACLE_H

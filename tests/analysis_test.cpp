@@ -139,6 +139,35 @@ TEST(PsaTest, Psa2dLayoutMatchesAxes) {
   EXPECT_LT(R.at(0, 4), R.at(0, 0));
 }
 
+TEST(PsaTest, Psa1dGridShapeMatchesRequest) {
+  // Grid-shape regression: a 1D sweep at resolution P must produce P
+  // axis values spanning [Lo, Hi] inclusive on a uniform grid, one
+  // metric per point, and exactly P simulations.
+  ReactionNetwork Net = makeDecayChainNetwork(3, 0.5);
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Name = "k0";
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {0};
+  Axis.Lo = 0.2;
+  Axis.Hi = 1.0;
+  Space.addAxis(Axis);
+  BatchEngine Engine = makeEngine(1.0, 3);
+  const size_t Points = 7;
+  Psa1dResult R = runPsa1d(Engine, Space, Points, finalValueReducer(0));
+  ASSERT_EQ(R.AxisValues.size(), Points);
+  ASSERT_EQ(R.Metric.size(), Points);
+  EXPECT_EQ(R.Report.Outcomes.size(), Points);
+  EXPECT_DOUBLE_EQ(R.AxisValues.front(), Axis.Lo);
+  EXPECT_DOUBLE_EQ(R.AxisValues.back(), Axis.Hi);
+  const double Step = (Axis.Hi - Axis.Lo) / static_cast<double>(Points - 1);
+  for (size_t I = 1; I < Points; ++I)
+    EXPECT_NEAR(R.AxisValues[I] - R.AxisValues[I - 1], Step, 1e-12);
+  // Faster decay leaves less S0: the metric must strictly decrease.
+  for (size_t I = 1; I < Points; ++I)
+    EXPECT_LT(R.Metric[I], R.Metric[I - 1]);
+}
+
 TEST(PsaTest, FinalValueReducerReadsLastSample) {
   SimulationOutcome O;
   O.Dynamics = Trajectory(2);
@@ -158,6 +187,25 @@ TEST(PsaTest, ReducersHandleEmptyDynamics) {
 //===----------------------------------------------------------------------===//
 // Sobol sensitivity analysis.
 //===----------------------------------------------------------------------===//
+
+TEST(SobolTest, HaltonPointsMatchRadicalInverseExactly) {
+  // Fixed-vector determinism regression: the first 8 Halton points in 3
+  // dimensions are the radical inverses in bases 2, 3, 5. Any change to
+  // the prime table or digit recursion breaks Saltelli reproducibility
+  // across releases, so these are pinned exactly.
+  const double Expected[8][3] = {
+      {1.0 / 2, 1.0 / 3, 1.0 / 5},  {1.0 / 4, 2.0 / 3, 2.0 / 5},
+      {3.0 / 4, 1.0 / 9, 3.0 / 5},  {1.0 / 8, 4.0 / 9, 4.0 / 5},
+      {5.0 / 8, 7.0 / 9, 1.0 / 25}, {3.0 / 8, 2.0 / 9, 6.0 / 25},
+      {7.0 / 8, 5.0 / 9, 11.0 / 25}, {1.0 / 16, 8.0 / 9, 16.0 / 25}};
+  for (uint64_t I = 1; I <= 8; ++I) {
+    const std::vector<double> P = haltonPoint(I, 3);
+    ASSERT_EQ(P.size(), 3u);
+    for (size_t D = 0; D < 3; ++D)
+      EXPECT_DOUBLE_EQ(P[D], Expected[I - 1][D])
+          << "index " << I << " dim " << D;
+  }
+}
 
 TEST(SobolTest, HaltonPointsAreInUnitCubeAndLowDiscrepancy) {
   double Sum = 0.0;

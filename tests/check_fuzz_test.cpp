@@ -1,0 +1,171 @@
+//===- tests/check_fuzz_test.cpp - Differential fuzzing tests -------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized differential tests (ctest label: fuzz): the seeded random
+// RBM generator, a bounded zero-divergence fuzz run across every
+// simulator personality, and a forced-divergence self-test proving the
+// minimizer and repro-file machinery actually fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Differential.h"
+#include "check/Golden.h"
+#include "rbm/MassAction.h"
+#include "rbm/SyntheticGenerator.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+using namespace psg;
+
+TEST(RandomRbmTest, IsDeterministicPerSeed) {
+  RandomRbmOptions Opts;
+  Opts.Seed = 7;
+  const ReactionNetwork A = generateRandomRbm(Opts);
+  const ReactionNetwork B = generateRandomRbm(Opts);
+  EXPECT_EQ(networkFingerprint(A), networkFingerprint(B));
+
+  Opts.Seed = 8;
+  const ReactionNetwork C = generateRandomRbm(Opts);
+  EXPECT_NE(networkFingerprint(A), networkFingerprint(C));
+}
+
+TEST(RandomRbmTest, RespectsBoundsAndValidates) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    RandomRbmOptions Opts;
+    Opts.Seed = Seed;
+    const ReactionNetwork Net = generateRandomRbm(Opts);
+    EXPECT_TRUE(Net.validate().ok()) << "seed " << Seed;
+    EXPECT_GE(Net.numSpecies(), Opts.MinSpecies) << "seed " << Seed;
+    EXPECT_LE(Net.numSpecies(), Opts.MaxSpecies) << "seed " << Seed;
+    EXPECT_GE(Net.numReactions(), Opts.MinReactions) << "seed " << Seed;
+    EXPECT_LE(Net.numReactions(), Opts.MaxReactions) << "seed " << Seed;
+    for (const Reaction &Rx : Net.allReactions()) {
+      // The blow-up guard: no reaction may create net molecules from a
+      // second-order collision.
+      size_t Produced = 0;
+      for (const auto &[Idx, Coef] : Rx.Products)
+        Produced += Coef;
+      EXPECT_LE(Produced, 2u) << "seed " << Seed;
+      if (Rx.Kind == KineticsKind::Hill ||
+          Rx.Kind == KineticsKind::HillRepression) {
+        EXPECT_GE(Rx.order(), 1u) << "seed " << Seed;
+        EXPECT_GT(Rx.HillK, 0.0) << "seed " << Seed;
+        EXPECT_GE(Rx.HillN, 1.0) << "seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(RandomRbmTest, GeneratesKineticDiversity) {
+  // Across a pool of seeds the generator must actually exercise Hill,
+  // Hill-repression, and all three mass-action orders.
+  size_t Hill = 0, HillRep = 0, Orders[3] = {0, 0, 0};
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    RandomRbmOptions Opts;
+    Opts.Seed = Seed;
+    const ReactionNetwork Net = generateRandomRbm(Opts);
+    for (const Reaction &Rx : Net.allReactions()) {
+      if (Rx.Kind == KineticsKind::Hill)
+        ++Hill;
+      else if (Rx.Kind == KineticsKind::HillRepression)
+        ++HillRep;
+      else
+        ++Orders[std::min<size_t>(Rx.order(), 2)];
+    }
+  }
+  EXPECT_GT(Hill, 0u);
+  EXPECT_GT(HillRep, 0u);
+  EXPECT_GT(Orders[0], 0u);
+  EXPECT_GT(Orders[1], 0u);
+  EXPECT_GT(Orders[2], 0u);
+}
+
+// The fuzz acceptance gate: a seeded run across every personality with
+// zero divergences. The ctest leg keeps the case count modest; the CI
+// sanitize leg runs the full 200-case budget through psg-check.
+TEST(DifferentialFuzzTest, SeededRunHasNoDivergences) {
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Cases = 25;
+  Opts.ReproDir = testing::TempDir();
+  FuzzReport Report = runDifferentialFuzz(Opts);
+  EXPECT_EQ(Report.CasesRun, Opts.Cases);
+  // Skips (reference non-convergence) are tolerable noise, but if most
+  // cases skip the oracle is broken and the run proves nothing.
+  EXPECT_LT(Report.CasesSkipped, Opts.Cases / 2);
+  for (const FuzzDivergence &D : Report.Divergences)
+    ADD_FAILURE() << "seed " << D.Case.Seed << " simulator "
+                  << D.Case.Simulator << ": " << D.Case.Detail
+                  << (D.ReproPath.empty() ? ""
+                                          : " (repro: " + D.ReproPath + ")");
+}
+
+TEST(DifferentialFuzzTest, FuzzRunIsSeedDeterministic) {
+  FuzzOptions Opts;
+  Opts.Cases = 3;
+  Opts.Seed = 99;
+  Opts.ReproDir = testing::TempDir();
+  FuzzReport A = runDifferentialFuzz(Opts);
+  FuzzReport B = runDifferentialFuzz(Opts);
+  EXPECT_EQ(A.CasesRun, B.CasesRun);
+  EXPECT_EQ(A.CasesSkipped, B.CasesSkipped);
+  EXPECT_EQ(A.Divergences.size(), B.Divergences.size());
+}
+
+// Self-test of the failure path: an absurdly tight comparison tolerance
+// forces divergences, which must be minimized, dumped as replayable
+// case files, and counted in the metrics registry.
+TEST(DifferentialFuzzTest, ForcedDivergenceEmitsMinimizedRepro) {
+  const uint64_t Before =
+      metrics().counter("psg.check.fuzz.divergences").value();
+  FuzzOptions Opts;
+  Opts.Seed = 5;
+  Opts.Cases = 3;
+  Opts.CompareTol = 1e-15; // Below attainable accuracy: must diverge.
+  Opts.ReproDir = testing::TempDir();
+  FuzzReport Report = runDifferentialFuzz(Opts);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_GT(metrics().counter("psg.check.fuzz.divergences").value(),
+            Before);
+
+  const FuzzDivergence &D = Report.Divergences.front();
+  EXPECT_FALSE(D.Case.Simulator.empty());
+  EXPECT_FALSE(D.Case.Detail.empty());
+  // Minimization must have shrunk the window from the 5-second default.
+  EXPECT_LT(D.Case.EndTime, Opts.EndTime);
+  ASSERT_FALSE(D.ReproPath.empty());
+
+  // The dumped case must load and still diverge under the recorded
+  // tolerance, and pass under a sane one (it was never a real bug).
+  auto LoadedOr = loadCaseFile(D.ReproPath);
+  ASSERT_TRUE(LoadedOr) << LoadedOr.message();
+  EXPECT_EQ(LoadedOr->Seed, D.Case.Seed);
+  EXPECT_EQ(LoadedOr->Simulator, D.Case.Simulator);
+  EXPECT_FALSE(replayCase(*LoadedOr, Opts.CompareTol).ok());
+  EXPECT_TRUE(replayCase(*LoadedOr, /*CompareTol=*/5e-3).ok());
+  std::remove(D.ReproPath.c_str());
+}
+
+TEST(DifferentialFuzzTest, ReferenceAgreesWithGoldenClosedForm) {
+  // Sanity-check the oracle itself: on a curated mass-action model the
+  // checker must pass at the default tolerance.
+  CheckCase Case;
+  RandomRbmOptions Gen;
+  Gen.Seed = 2024;
+  Case.Model = generateRandomRbm(Gen);
+  Case.Seed = Gen.Seed;
+  Case.EndTime = 2.0;
+  Case.OutputSamples = 9;
+  Case.Options.AbsTol = 1e-9;
+  Case.Options.RelTol = 1e-6;
+  Case.Options.MaxSteps = 200000;
+  Status S = checkCaseAgainstReference(Case, /*CompareTol=*/5e-3);
+  EXPECT_TRUE(S.ok()) << S.message();
+}

@@ -15,6 +15,7 @@
 #include "ode/SolverRegistry.h"
 #include "ode/Trajectory.h"
 #include "rbm/CuratedModels.h"
+#include "sim/Oracle.h"
 #include "sim/Simulator.h"
 #include "support/Metrics.h"
 
@@ -53,50 +54,12 @@ BatchSpec makeSpec(const ReactionNetwork &Net, uint64_t Batch, double TEnd) {
   return Spec;
 }
 
-void expectStatsEqual(const IntegrationStats &A, const IntegrationStats &B,
-                      const std::string &Context) {
-  EXPECT_EQ(A.Steps, B.Steps) << Context;
-  EXPECT_EQ(A.AcceptedSteps, B.AcceptedSteps) << Context;
-  EXPECT_EQ(A.RejectedSteps, B.RejectedSteps) << Context;
-  EXPECT_EQ(A.RhsEvaluations, B.RhsEvaluations) << Context;
-  EXPECT_EQ(A.JacobianEvaluations, B.JacobianEvaluations) << Context;
-  EXPECT_EQ(A.LuFactorizations, B.LuFactorizations) << Context;
-  EXPECT_EQ(A.ComplexLuFactorizations, B.ComplexLuFactorizations) << Context;
-  EXPECT_EQ(A.LuSolves, B.LuSolves) << Context;
-  EXPECT_EQ(A.NewtonIterations, B.NewtonIterations) << Context;
-  EXPECT_EQ(A.SolverSwitches, B.SolverSwitches) << Context;
-}
-
-/// Bitwise comparison of two outcomes: trajectory samples, final time,
-/// status, and operation counts must match exactly.
-void expectOutcomeBitExact(const SimulationOutcome &A,
-                           const SimulationOutcome &B,
-                           const std::string &Context) {
-  EXPECT_EQ(A.SolverUsed, B.SolverUsed) << Context;
-  EXPECT_EQ(static_cast<int>(A.Result.Status),
-            static_cast<int>(B.Result.Status))
-      << Context;
-  // Bitwise: reused workspaces may not perturb a single ulp.
-  EXPECT_EQ(A.Result.FinalTime, B.Result.FinalTime) << Context;
-  EXPECT_EQ(A.Result.LastStepSize, B.Result.LastStepSize) << Context;
-  expectStatsEqual(A.Result.Stats, B.Result.Stats, Context);
-  ASSERT_EQ(A.Dynamics.numSamples(), B.Dynamics.numSamples()) << Context;
-  ASSERT_EQ(A.Dynamics.dimension(), B.Dynamics.dimension()) << Context;
-  for (size_t S = 0; S < A.Dynamics.numSamples(); ++S) {
-    EXPECT_EQ(A.Dynamics.time(S), B.Dynamics.time(S)) << Context;
-    for (size_t V = 0; V < A.Dynamics.dimension(); ++V)
-      EXPECT_EQ(A.Dynamics.value(S, V), B.Dynamics.value(S, V))
-          << Context << " sample " << S << " var " << V;
-  }
-}
-
+/// Gtest adapter over the sim/Oracle bit-exact comparators: the oracle
+/// reports the first differing field; the test surfaces it with context.
 void expectBatchBitExact(const BatchResult &A, const BatchResult &B,
                          const std::string &Context) {
-  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size()) << Context;
-  EXPECT_EQ(A.Failures, B.Failures) << Context;
-  for (size_t I = 0; I < A.Outcomes.size(); ++I)
-    expectOutcomeBitExact(A.Outcomes[I], B.Outcomes[I],
-                          Context + " sim " + std::to_string(I));
+  const Status S = compareBatchesBitExact(A, B);
+  EXPECT_TRUE(S.ok()) << Context << ": " << S.message();
 }
 
 struct NamedModel {
@@ -172,9 +135,9 @@ TEST(DispatchReuseTest, PooledPathMatchesFreshPerSimulationPath) {
         Ref.Result = (*Solver)->integrate(Sys, Spec.StartTime, Spec.EndTime,
                                           Y, Spec.Options, &Recorder);
         Ref.Dynamics = Recorder.trajectory();
-        expectOutcomeBitExact(Batch.Outcomes[I], Ref,
-                              std::string(SimName) + " on " + M.Name +
-                                  " sim " + std::to_string(I));
+        const Status S = compareOutcomesBitExact(Batch.Outcomes[I], Ref);
+        EXPECT_TRUE(S.ok()) << SimName << " on " << M.Name << " sim " << I
+                            << ": " << S.message();
       }
     }
   }

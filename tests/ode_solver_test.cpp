@@ -458,3 +458,88 @@ TEST(StepControlTest, GrowthIsCappedAfterRejection) {
   C.notifyRejected();
   EXPECT_LE(C.scaleFactor(1e-8), 1.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Dense output (StepInterpolant) conformance.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Observer that audits every accepted step's interpolant: the midpoint
+/// against the problem's closed form, continuity across step boundaries,
+/// and gap-free tiling of the integration window.
+class DenseOutputAuditor : public StepObserver {
+public:
+  DenseOutputAuditor(const TestProblem &P) : Problem(P) {}
+
+  void onStep(const StepInterpolant &Interp) override {
+    const size_t N = Problem.System->dimension();
+    std::vector<double> Y(N);
+
+    const double Mid = 0.5 * (Interp.beginTime() + Interp.endTime());
+    Interp.evaluate(Mid, Y.data());
+    const std::vector<double> Exact = Problem.Exact(Mid);
+    for (size_t I = 0; I < N; ++I)
+      WorstMidpointError = std::max(
+          WorstMidpointError, std::abs(Y[I] - Exact[I]) /
+                                  std::max(std::abs(Exact[I]), 1e-3));
+
+    Interp.evaluate(Interp.beginTime(), Y.data());
+    if (!PreviousEnd.empty()) {
+      // The interpolant chain must be continuous: this step's begin
+      // state is the previous step's end state.
+      for (size_t I = 0; I < N; ++I)
+        WorstJump = std::max(WorstJump, std::abs(Y[I] - PreviousEnd[I]));
+      // And gap-free: validity intervals tile the window.
+      MaxGap = std::max(MaxGap,
+                        std::abs(Interp.beginTime() - PreviousEndTime));
+    }
+    PreviousEnd.resize(N);
+    Interp.evaluate(Interp.endTime(), PreviousEnd.data());
+    PreviousEndTime = Interp.endTime();
+    ++Steps;
+  }
+
+  const TestProblem &Problem;
+  std::vector<double> PreviousEnd;
+  double PreviousEndTime = 0.0;
+  double WorstMidpointError = 0.0;
+  double WorstJump = 0.0;
+  double MaxGap = 0.0;
+  size_t Steps = 0;
+};
+
+} // namespace
+
+TEST(DenseOutputTest, InterpolantsMatchHalfStepAccuracyAndAreContinuous) {
+  // Dense output is one to three orders looser than the step tolerance
+  // (Hermite fallback is 3rd order, native dopri5 dense output 4th);
+  // at RelTol 1e-8 every solver's midpoints stay below ~1e-5 on these
+  // smooth problems, so 1e-4 catches a mis-wired interpolant without
+  // flaking on controller changes.
+  for (const TestProblem &P :
+       {makeExponentialDecay(), makeHarmonicOscillator(), makeLogistic()}) {
+    for (const std::string &Name : solverNames()) {
+      auto SolverOr = createSolver(Name);
+      ASSERT_TRUE(SolverOr) << Name;
+      SolverOptions Opts;
+      Opts.RelTol = 1e-8;
+      Opts.AbsTol = 1e-11;
+      Opts.MaxSteps = 200000;
+      if (Name == "rk4")
+        Opts.InitialStep = (P.EndTime - P.StartTime) / 500;
+      DenseOutputAuditor Auditor(P);
+      std::vector<double> Y = P.InitialState;
+      IntegrationResult Result = (*SolverOr)->integrate(
+          *P.System, P.StartTime, P.EndTime, Y, Opts, &Auditor);
+      ASSERT_TRUE(Result.ok()) << Name << " on " << P.System->name();
+      ASSERT_GT(Auditor.Steps, 0u) << Name << " on " << P.System->name();
+      EXPECT_LT(Auditor.WorstMidpointError, 1e-4)
+          << Name << " on " << P.System->name();
+      EXPECT_LT(Auditor.WorstJump, 1e-9)
+          << Name << " on " << P.System->name();
+      EXPECT_LT(Auditor.MaxGap, 1e-12)
+          << Name << " on " << P.System->name();
+    }
+  }
+}
