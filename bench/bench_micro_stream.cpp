@@ -1,0 +1,308 @@
+//===- bench/bench_micro_stream.cpp ---------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming-pipeline microbenchmark: the bounded-memory stream() path
+/// against the materializing run() path on the same sweeps.
+///
+/// For each case the sweep is a random sample of a one-axis rate-constant
+/// space over a short integration horizon (a few accepted steps, as in
+/// the dispatch microbenchmark's "short-horizon" rows). The materialized
+/// rows sample every point up front and hold every outcome until the run
+/// returns; the streaming rows pull points lazily with two sub-batches in
+/// flight and discard each sub-batch at the sink, so the comparison
+/// isolates the pipeline overhead (generator pulls, sink calls, buffer
+/// recycling) at equal numerical work.
+///
+/// Recorded per case: wall times, throughput, peak resident outcomes
+/// (batch size for materialized rows, the streaming bound otherwise), and
+/// the modeled overlap ratio of the double-buffered rows. Output is a
+/// psg-bench-stream-v1 JSON document (default BENCH_streaming.json);
+/// `--baseline FILE` embeds a previously saved run object verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "core/PointGenerator.h"
+#include "rbm/CuratedModels.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  uint64_t Batch = 0;
+  uint64_t SubBatches = 0;
+  std::string Mode; ///< "materialized" or "streaming".
+  uint64_t InFlight = 0;
+  double BestWallSeconds = 0.0;
+  double MeanWallSeconds = 0.0;
+  double SimsPerSecond = 0.0;
+  size_t PeakResidentOutcomes = 0;
+  double OverlapRatio = 0.0;
+  size_t Failures = 0;
+};
+
+/// Consumes and forgets every sub-batch: the streaming row's cost is the
+/// pipeline itself, not a reduction.
+class DiscardSink final : public OutcomeSink {
+public:
+  size_t Count = 0;
+  void consumeSubBatch(size_t,
+                       std::vector<SimulationOutcome> &Batch) override {
+    Count += Batch.size();
+  }
+};
+
+ParameterSpace makeSweepSpace(const ReactionNetwork &Net) {
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Name = "k0";
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {0};
+  Axis.Lo = Net.reaction(0).RateConstant * 0.9;
+  Axis.Hi = Net.reaction(0).RateConstant * 1.1;
+  Space.addAxis(Axis);
+  return Space;
+}
+
+EngineOptions makeOptions(uint64_t InFlight) {
+  EngineOptions Opts;
+  Opts.SimulatorName = "gpu-coarse";
+  Opts.SubBatchSize = 512;
+  Opts.InFlight = InFlight;
+  Opts.OutputSamples = 0;
+  Opts.StartTime = 0.0;
+  Opts.EndTime = 1e-4; // A few accepted steps per simulation.
+  Opts.Solver.RelTol = 1e-4;
+  Opts.Solver.AbsTol = 1e-9;
+  return Opts;
+}
+
+CaseResult measureStreaming(const std::string &Name,
+                            const ParameterSpace &Space, uint64_t Batch,
+                            uint64_t InFlight, unsigned Reps) {
+  BatchEngine Engine(CostModel::paperSetup(), makeOptions(InFlight));
+
+  // Warmup: compilation cache and solver pools reach steady state.
+  {
+    auto Warm = makeRandomGenerator(Space, 64, 7);
+    DiscardSink Sink;
+    Engine.stream(Space, *Warm, Sink);
+  }
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Batch = Batch;
+  R.Mode = "streaming";
+  R.InFlight = InFlight;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    auto Gen = makeRandomGenerator(Space, Batch, 42);
+    DiscardSink Sink;
+    WallTimer Timer;
+    StreamReport Report = Engine.stream(Space, *Gen, Sink);
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best)
+      Best = Wall;
+    R.SubBatches = Report.SubBatches;
+    R.Failures = Report.Failures;
+    R.PeakResidentOutcomes = Report.PeakResidentOutcomes;
+    R.OverlapRatio = Report.OverlapRatio;
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.SimsPerSecond = Best > 0.0 ? static_cast<double>(Batch) / Best : 0.0;
+  std::printf("  %-20s batch %5llu %-13s %10.0f sims/s (peak resident "
+              "%zu, overlap %.3f)\n",
+              Name.c_str(), (unsigned long long)Batch, R.Mode.c_str(),
+              R.SimsPerSecond, R.PeakResidentOutcomes, R.OverlapRatio);
+  return R;
+}
+
+CaseResult measureMaterialized(const std::string &Name,
+                               const ParameterSpace &Space, uint64_t Batch,
+                               unsigned Reps) {
+  BatchEngine Engine(CostModel::paperSetup(), makeOptions(2));
+
+  {
+    Rng Warmup(7);
+    Engine.run(Space, Space.randomSample(64, Warmup));
+  }
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Batch = Batch;
+  R.Mode = "materialized";
+  R.InFlight = 2;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    // Sampling inside the timed region: the materialized row pays for
+    // building the full point set, like the pre-streaming drivers did.
+    WallTimer Timer;
+    Rng Generator(42);
+    EngineReport Report =
+        Engine.run(Space, Space.randomSample(Batch, Generator));
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best)
+      Best = Wall;
+    R.SubBatches = Report.SubBatches;
+    R.Failures = Report.Failures;
+    R.PeakResidentOutcomes = Report.Outcomes.size();
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.SimsPerSecond = Best > 0.0 ? static_cast<double>(Batch) / Best : 0.0;
+  std::printf("  %-20s batch %5llu %-13s %10.0f sims/s (peak resident "
+              "%zu)\n",
+              Name.c_str(), (unsigned long long)Batch, R.Mode.c_str(),
+              R.SimsPerSecond, R.PeakResidentOutcomes);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"batch\": %llu, \"sub_batches\": %llu, "
+      "\"mode\": \"%s\", \"in_flight\": %llu, \"best_wall_s\": %.6e, "
+      "\"mean_wall_s\": %.6e, \"sims_per_sec\": %.1f, "
+      "\"peak_resident_outcomes\": %zu, \"overlap_ratio\": %.6f, "
+      "\"failures\": %zu}%s\n",
+      R.ModelName.c_str(), (unsigned long long)R.Batch,
+      (unsigned long long)R.SubBatches, R.Mode.c_str(),
+      (unsigned long long)R.InFlight, R.BestWallSeconds, R.MeanWallSeconds,
+      R.SimsPerSecond, R.PeakResidentOutcomes, R.OverlapRatio,
+      R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"simulator\": \"gpu-coarse\",\n";
+  Out += "    \"sub_batch_size\": 512,\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_streaming.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-stream: bounded-memory pipeline vs materialized "
+              "runs ==\n");
+  const ReactionNetwork Small = makeRepressilatorNetwork();
+  const AutophagySurrogate Large = makeAutophagySurrogate();
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const uint64_t Batches[] = {512, 4096};
+  for (const auto &[Net, Name] :
+       {std::pair<const ReactionNetwork &, const char *>{Small,
+                                                         "repressilator"},
+        std::pair<const ReactionNetwork &, const char *>{
+            Large.Net, "autophagy-surrogate"}}) {
+    const ParameterSpace Space = makeSweepSpace(Net);
+    for (uint64_t Batch : Batches) {
+      Results.push_back(measureMaterialized(Name, Space, Batch, Reps));
+      Results.push_back(
+          measureStreaming(Name, Space, Batch, /*InFlight=*/2, Reps));
+    }
+  }
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-stream-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.engine.sub_batches\": %llu, "
+        "\"psg.sim.outcome_buffer_reuses\": %llu, "
+        "\"psg.rbm.compilations\": %llu, "
+        "\"psg.rbm.compile_reuses\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.engine.sub_batches"),
+        (unsigned long long)
+            Snapshot.counterValue("psg.sim.outcome_buffer_reuses"),
+        (unsigned long long)Snapshot.counterValue("psg.rbm.compilations"),
+        (unsigned long long)Snapshot.counterValue("psg.rbm.compile_reuses"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

@@ -70,7 +70,7 @@ int main(int Argc, char **Argv) {
 
   Psa2dResult EngineMap = sweepWith("psg-engine");
   std::printf("engine: %zu simulations, %zu failures, modeled %.3f s\n",
-              EngineMap.Report.Outcomes.size(), EngineMap.Report.Failures,
+              EngineMap.Report.Simulations, EngineMap.Report.Failures,
               EngineMap.Report.SimulationTime.total());
 
   // Oscillating fraction sanity (the map must have structure).

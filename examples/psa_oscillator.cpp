@@ -81,7 +81,7 @@ int main() {
 
   std::printf("\nengine: %zu simulations, %zu failures, modeled %.3f s, "
               "modeled throughput %.0f sims/hour\n",
-              Map.Report.Outcomes.size(), Map.Report.Failures,
+              Map.Report.Simulations, Map.Report.Failures,
               Map.Report.SimulationTime.total(),
               Map.Report.modeledThroughputPerHour());
 

@@ -6,6 +6,7 @@
 
 #include "analysis/Fitness.h"
 
+#include "analysis/StreamReducers.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
@@ -44,18 +45,19 @@ BatchObjective psg::makeTrajectoryFitObjective(BatchEngine &Engine,
              -> std::vector<double> {
     TraceSpan Span("analysis.fitness.evaluate", "analysis");
     WallTimer Timer;
-    EngineReport Report = Engine.run(Space, Positions);
+    // Stream the swarm: each particle's trajectory is scored against the
+    // target as its sub-batch finishes, then released.
+    std::vector<double> Fitness(Positions.size(), FailurePenalty);
+    std::unique_ptr<PointGenerator> Gen = makeMaterializedGenerator(Positions);
+    ForEachOutcomeSink Sink([&](size_t I, const SimulationOutcome &O) {
+      if (!O.Result.ok() || O.Dynamics.numSamples() != Target.numSamples())
+        return;
+      Fitness[I] = relativeTrajectoryDistance(O.Dynamics, Target, Species);
+    });
+    Engine.stream(Space, *Gen, Sink);
     metrics().counter("psg.analysis.fitness.evaluations").add(Positions.size());
     metrics().histogram("psg.analysis.fitness.eval_wall_s")
         .record(Timer.seconds());
-    std::vector<double> Fitness(Positions.size(), FailurePenalty);
-    for (size_t I = 0; I < Report.Outcomes.size(); ++I) {
-      const SimulationOutcome &O = Report.Outcomes[I];
-      if (!O.Result.ok() ||
-          O.Dynamics.numSamples() != Target.numSamples())
-        continue;
-      Fitness[I] = relativeTrajectoryDistance(O.Dynamics, Target, Species);
-    }
     return Fitness;
   };
 }

@@ -7,15 +7,32 @@
 #include "analysis/Psa.h"
 
 #include "analysis/Oscillation.h"
+#include "analysis/StreamReducers.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 using namespace psg;
 
+namespace {
+/// Failure gate shared by the reducers: a failed integration must not
+/// leak NaN/garbage end-states into sweep maps, so it reduces to 0 and
+/// is counted (`psg.analysis.reduce_failures`) to keep map-level zeros
+/// attributable.
+bool reducibleOutcome(const SimulationOutcome &Outcome) {
+  if (!Outcome.Result.ok()) {
+    static Counter &ReduceFailures =
+        metrics().counter("psg.analysis.reduce_failures");
+    ReduceFailures.add();
+    return false;
+  }
+  return !Outcome.Dynamics.empty();
+}
+} // namespace
+
 TrajectoryReducer psg::finalValueReducer(size_t Species) {
   return [Species](const SimulationOutcome &Outcome) {
-    if (Outcome.Dynamics.empty())
+    if (!reducibleOutcome(Outcome))
       return 0.0;
     return Outcome.Dynamics.value(Outcome.Dynamics.numSamples() - 1, Species);
   };
@@ -23,7 +40,7 @@ TrajectoryReducer psg::finalValueReducer(size_t Species) {
 
 TrajectoryReducer psg::oscillationAmplitudeReducer(size_t Species) {
   return [Species](const SimulationOutcome &Outcome) {
-    if (!Outcome.Result.ok() || Outcome.Dynamics.empty())
+    if (!reducibleOutcome(Outcome))
       return 0.0;
     return analyzeOscillation(Outcome.Dynamics, Species).Amplitude;
   };
@@ -37,17 +54,14 @@ Psa1dResult psg::runPsa1d(BatchEngine &Engine, const ParameterSpace &Space,
   MetricsRegistry &M = metrics();
   M.counter("psg.analysis.psa1d.runs").add();
   Psa1dResult Result;
-  std::vector<std::vector<double>> Points = Space.gridSample({Resolution});
-  M.counter("psg.analysis.psa.points").add(Points.size());
-  Result.AxisValues.reserve(Resolution);
-  for (const auto &Point : Points)
-    Result.AxisValues.push_back(Point[0]);
-  Result.Report = Engine.run(Space, Points);
-  WallTimer ReduceTimer;
-  Result.Metric.reserve(Points.size());
-  for (const SimulationOutcome &O : Result.Report.Outcomes)
-    Result.Metric.push_back(Reduce(O));
-  M.histogram("psg.analysis.psa.reduce_wall_s").record(ReduceTimer.seconds());
+  Result.AxisValues = Space.gridAxisValues(0, Resolution);
+  std::unique_ptr<PointGenerator> Gen =
+      makeGridGenerator(Space, {Resolution});
+  M.counter("psg.analysis.psa.points").add(Gen->totalPoints());
+  Result.Metric.reserve(Resolution);
+  ReducingSink Sink(Reduce, Result.Metric);
+  Result.Report = Engine.stream(Space, *Gen, Sink);
+  M.histogram("psg.analysis.psa.reduce_wall_s").record(Sink.reduceSeconds());
   return Result;
 }
 
@@ -59,21 +73,17 @@ Psa2dResult psg::runPsa2d(BatchEngine &Engine, const ParameterSpace &Space,
   MetricsRegistry &M = metrics();
   M.counter("psg.analysis.psa2d.runs").add();
   Psa2dResult Result;
-  // gridSample produces the cartesian product with axis1 fastest, which
-  // matches the row-major layout of Psa2dResult.
-  std::vector<std::vector<double>> Points = Space.gridSample({Res0, Res1});
-  M.counter("psg.analysis.psa.points").add(Points.size());
-  Result.Axis0Values.reserve(Res0);
-  Result.Axis1Values.reserve(Res1);
-  for (size_t I = 0; I < Res0; ++I)
-    Result.Axis0Values.push_back(Points[I * Res1][0]);
-  for (size_t J = 0; J < Res1; ++J)
-    Result.Axis1Values.push_back(Points[J][1]);
-  Result.Report = Engine.run(Space, Points);
-  WallTimer ReduceTimer;
-  Result.Metric.reserve(Points.size());
-  for (const SimulationOutcome &O : Result.Report.Outcomes)
-    Result.Metric.push_back(Reduce(O));
-  M.histogram("psg.analysis.psa.reduce_wall_s").record(ReduceTimer.seconds());
+  // Axis labels come straight from the space; the grid generator emits
+  // the cartesian product with axis1 fastest, which matches the
+  // row-major layout of Psa2dResult.
+  Result.Axis0Values = Space.gridAxisValues(0, Res0);
+  Result.Axis1Values = Space.gridAxisValues(1, Res1);
+  std::unique_ptr<PointGenerator> Gen =
+      makeGridGenerator(Space, {Res0, Res1});
+  M.counter("psg.analysis.psa.points").add(Gen->totalPoints());
+  Result.Metric.reserve(Gen->totalPoints());
+  ReducingSink Sink(Reduce, Result.Metric);
+  Result.Report = Engine.stream(Space, *Gen, Sink);
+  M.histogram("psg.analysis.psa.reduce_wall_s").record(Sink.reduceSeconds());
   return Result;
 }

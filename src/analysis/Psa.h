@@ -32,11 +32,13 @@ TrajectoryReducer finalValueReducer(size_t Species);
 /// the dynamics do not oscillate).
 TrajectoryReducer oscillationAmplitudeReducer(size_t Species);
 
-/// Result of a 1D sweep.
+/// Result of a 1D sweep. Simulations stream through the engine one
+/// sub-batch at a time, so only the reduced metric survives — the report
+/// carries aggregates, not trajectories.
 struct Psa1dResult {
   std::vector<double> AxisValues;
   std::vector<double> Metric; ///< One reduced value per axis value.
-  EngineReport Report;
+  StreamReport Report;
 };
 
 /// Result of a 2D sweep (row-major over axis0 x axis1).
@@ -44,7 +46,7 @@ struct Psa2dResult {
   std::vector<double> Axis0Values;
   std::vector<double> Axis1Values;
   std::vector<double> Metric; ///< Axis0Values.size() * Axis1Values.size().
-  EngineReport Report;
+  StreamReport Report;
 
   double at(size_t I0, size_t I1) const {
     return Metric[I0 * Axis1Values.size() + I1];

@@ -9,6 +9,7 @@
 
 #include "analysis/Sobol.h"
 
+#include "analysis/StreamReducers.h"
 #include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Timer.h"
@@ -17,28 +18,6 @@
 #include <cmath>
 
 using namespace psg;
-
-std::vector<double> psg::haltonPoint(uint64_t Index, size_t Dims) {
-  static const unsigned Primes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
-                                    31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
-                                    73, 79, 83, 89, 97, 101};
-  assert(Index >= 1 && "Halton indices start at 1");
-  assert(Dims <= sizeof(Primes) / sizeof(Primes[0]) &&
-         "too many dimensions for the prime table");
-  std::vector<double> Point(Dims);
-  for (size_t D = 0; D < Dims; ++D) {
-    const double Base = Primes[D];
-    double Fraction = 1.0, Value = 0.0;
-    uint64_t I = Index;
-    while (I > 0) {
-      Fraction /= Base;
-      Value += Fraction * static_cast<double>(I % Primes[D]);
-      I /= Primes[D];
-    }
-    Point[D] = Value;
-  }
-  return Point;
-}
 
 SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
                             const TrajectoryReducer &Output,
@@ -54,61 +33,44 @@ SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
   // Saltelli design: one 2K-dimensional low-discrepancy stream split into
   // the independent unit-cube matrices A (first K coordinates) and B
   // (last K), Cranley-Patterson rotated, plus the K radial matrices AB_i.
+  // The generator recomputes rows on demand, so the design is never
+  // materialized; the rotation is drawn here, before streaming, to keep
+  // this generator's stream position (and the bootstrap draws below)
+  // identical to the materializing implementation.
   Rng Generator(Opts.Seed);
   std::vector<double> Shift(2 * K);
   for (double &S : Shift)
     S = Generator.uniform();
-
-  std::vector<std::vector<double>> CubeA(N), CubeB(N);
-  for (size_t I = 0; I < N; ++I) {
-    std::vector<double> Row = haltonPoint(I + 1, 2 * K);
-    for (size_t D = 0; D < 2 * K; ++D) {
-      Row[D] += Shift[D];
-      if (Row[D] >= 1.0)
-        Row[D] -= 1.0;
-    }
-    CubeA[I].assign(Row.begin(), Row.begin() + K);
-    CubeB[I].assign(Row.begin() + K, Row.end());
-  }
-
-  // Assemble all points: A rows, B rows, the AB_i blocks, and (for
-  // second-order indices) the BA_i blocks of the full Saltelli design.
-  std::vector<std::vector<double>> Points;
-  Points.reserve(N * (Opts.ComputeSecondOrder ? 2 * K + 2 : K + 2));
-  for (size_t I = 0; I < N; ++I)
-    Points.push_back(Space.fromUnitCube(CubeA[I]));
-  for (size_t I = 0; I < N; ++I)
-    Points.push_back(Space.fromUnitCube(CubeB[I]));
-  for (size_t D = 0; D < K; ++D)
-    for (size_t I = 0; I < N; ++I) {
-      std::vector<double> Row = CubeA[I];
-      Row[D] = CubeB[I][D];
-      Points.push_back(Space.fromUnitCube(Row));
-    }
-  if (Opts.ComputeSecondOrder)
-    for (size_t D = 0; D < K; ++D)
-      for (size_t I = 0; I < N; ++I) {
-        std::vector<double> Row = CubeB[I];
-        Row[D] = CubeA[I][D];
-        Points.push_back(Space.fromUnitCube(Row));
-      }
+  std::unique_ptr<PointGenerator> Gen =
+      makeSaltelliGenerator(Space, N, Shift, Opts.ComputeSecondOrder);
 
   M.histogram("psg.analysis.sobol.design_wall_s").record(DesignTimer.seconds());
-  M.counter("psg.analysis.sobol.simulations").add(Points.size());
+  M.counter("psg.analysis.sobol.simulations").add(Gen->totalPoints());
 
   SobolResult Result;
-  Result.TotalSimulations = Points.size();
-  Result.Report = Engine.run(Space, Points);
+  Result.TotalSimulations = Gen->totalPoints();
 
+  // Streaming evaluation: every outcome is reduced to its scalar model
+  // output and scattered into the Saltelli block it belongs to (A, B,
+  // AB_i, then BA_i), so no trajectory outlives its sub-batch.
   std::vector<double> FA(N), FB(N);
   std::vector<std::vector<double>> FAB(K, std::vector<double>(N));
-  for (size_t I = 0; I < N; ++I) {
-    FA[I] = Output(Result.Report.Outcomes[I]);
-    FB[I] = Output(Result.Report.Outcomes[N + I]);
-  }
-  for (size_t D = 0; D < K; ++D)
-    for (size_t I = 0; I < N; ++I)
-      FAB[D][I] = Output(Result.Report.Outcomes[2 * N + D * N + I]);
+  std::vector<std::vector<double>> FBA(Opts.ComputeSecondOrder ? K : 0,
+                                       std::vector<double>(N));
+  ForEachOutcomeSink Sink([&](size_t Global, const SimulationOutcome &O) {
+    const double Value = Output(O);
+    const size_t Block = Global / N;
+    const size_t I = Global % N;
+    if (Block == 0)
+      FA[I] = Value;
+    else if (Block == 1)
+      FB[I] = Value;
+    else if (Block < K + 2)
+      FAB[Block - 2][I] = Value;
+    else
+      FBA[Block - K - 2][I] = Value;
+  });
+  Result.Report = Engine.stream(Space, *Gen, Sink);
 
   // Variance over the A and B samples.
   auto computeIndices = [&](const std::vector<size_t> &Rows, size_t D,
@@ -180,13 +142,9 @@ SobolResult psg::runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
 
   // Second-order interactions (Saltelli 2002): the closed pair variance
   // V_ij^c = (1/n) sum f(BA_i) f(AB_j) - f0^2, from which the pure
-  // interaction is S_ij = V_ij^c / V - S1_i - S1_j.
+  // interaction is S_ij = V_ij^c / V - S1_i - S1_j. FBA was filled by
+  // the streaming sink above.
   if (Opts.ComputeSecondOrder && Result.OutputVariance > 0.0) {
-    std::vector<std::vector<double>> FBA(K, std::vector<double>(N));
-    for (size_t D = 0; D < K; ++D)
-      for (size_t I = 0; I < N; ++I)
-        FBA[D][I] =
-            Output(Result.Report.Outcomes[(2 + K + D) * N + I]);
     double F0 = 0.0;
     for (size_t I = 0; I < N; ++I)
       F0 += FA[I] + FB[I];

@@ -60,7 +60,9 @@ struct SobolResult {
   std::vector<SobolPairIndex> PairIndices;
   double OutputVariance = 0.0;
   size_t TotalSimulations = 0;
-  EngineReport Report;
+  /// Streaming aggregate: outcomes were reduced into the Saltelli blocks
+  /// sub-batch by sub-batch, never all resident at once.
+  StreamReport Report;
 };
 
 /// Runs the analysis over the axes of \p Space; every model evaluation is
@@ -69,8 +71,9 @@ SobolResult runSobolSa(BatchEngine &Engine, const ParameterSpace &Space,
                        const TrajectoryReducer &Output,
                        const SobolOptions &Opts);
 
-/// The Halton low-discrepancy point (Index >= 1) in \p Dims dimensions.
-std::vector<double> haltonPoint(uint64_t Index, size_t Dims);
+// haltonPoint — the base design's low-discrepancy sequence — lives in
+// core/PointGenerator.h (included transitively) beside the lazy Saltelli
+// generator this analysis streams from.
 
 } // namespace psg
 

@@ -1,0 +1,26 @@
+//===- analysis/StreamReducers.cpp ----------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StreamReducers.h"
+
+#include "support/Timer.h"
+
+using namespace psg;
+
+void ReducingSink::consumeSubBatch(size_t FirstIndex,
+                                   std::vector<SimulationOutcome> &Outcomes) {
+  (void)FirstIndex;
+  WallTimer Timer;
+  for (const SimulationOutcome &O : Outcomes)
+    Into.push_back(Reduce(O));
+  ReduceWallSeconds += Timer.seconds();
+}
+
+void ForEachOutcomeSink::consumeSubBatch(
+    size_t FirstIndex, std::vector<SimulationOutcome> &Outcomes) {
+  for (size_t I = 0; I < Outcomes.size(); ++I)
+    Fn(FirstIndex + I, Outcomes[I]);
+}

@@ -11,15 +11,26 @@
 /// through a Simulator personality, and aggregates numerical results,
 /// operation counts and modeled device times.
 ///
+/// Execution is a streaming pipeline with bounded residency: a
+/// PointGenerator (or parameterization source) produces sub-batch-sized
+/// chunks on demand, up to EngineOptions::InFlight sub-batches are
+/// staged at once (double-buffering that emulates GPU stream overlap in
+/// the timing model), and each integrated sub-batch is handed to an
+/// OutcomeSink before its trajectory storage is released. The
+/// materializing run() entry points are sinks over the same pipeline, so
+/// both paths are bit-identical.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSG_CORE_BATCHENGINE_H
 #define PSG_CORE_BATCHENGINE_H
 
 #include "core/ParameterSpace.h"
+#include "core/PointGenerator.h"
 #include "sim/Simulator.h"
 #include "support/Metrics.h"
 
+#include <functional>
 #include <memory>
 
 namespace psg {
@@ -30,6 +41,12 @@ struct EngineOptions {
   std::string SimulatorName = "psg-engine";
   /// Sub-batch size; 512 maximizes modeled throughput on the Titan X.
   uint64_t SubBatchSize = 512;
+  /// Sub-batches in flight in streaming runs. 1 serializes generation
+  /// and integration; 2 (the default) double-buffers, so sub-batch N+1's
+  /// host-side preparation is modeled as overlapped with sub-batch N's
+  /// device execution (CostModel::hiddenPrepareSeconds). Engine-resident
+  /// simulations are bounded by InFlight * SubBatchSize.
+  uint64_t InFlight = 2;
   /// Trajectory samples per simulation (0 = endpoints only, no record).
   size_t OutputSamples = 0;
   /// Integration window.
@@ -39,7 +56,60 @@ struct EngineOptions {
   SolverOptions Solver;
 };
 
-/// Aggregated outcome of an engine run.
+/// Per-sub-batch consumer of a streaming engine run.
+class OutcomeSink {
+public:
+  virtual ~OutcomeSink();
+
+  /// Consumes the outcomes of one integrated sub-batch. \p FirstIndex is
+  /// the global simulation index of Outcomes.front() within the run (the
+  /// generator's emission order). The sink may move individual outcomes
+  /// out of the vector; the engine releases and recycles the storage
+  /// right after this returns either way.
+  virtual void consumeSubBatch(size_t FirstIndex,
+                               std::vector<SimulationOutcome> &Outcomes) = 0;
+};
+
+/// Pull-source of explicit parameterizations for
+/// BatchEngine::streamParameterizations: appends up to \p MaxCount
+/// entries to \p Out and returns the number appended (0 = exhausted).
+using ParameterizationSource =
+    std::function<size_t(size_t MaxCount, std::vector<Parameterization> &Out)>;
+
+/// Aggregated outcome of a streaming run. Unlike EngineReport it carries
+/// no outcomes: the sink consumed each sub-batch as it finished, so at
+/// no point were more than InFlight * SubBatchSize simulations resident.
+struct StreamReport {
+  size_t Simulations = 0; ///< Total simulations streamed, in order.
+  IntegrationStats TotalStats;
+  ModeledTime IntegrationTime; ///< Summed over sub-batches.
+  ModeledTime SimulationTime;
+  double HostWallSeconds = 0.0;
+  size_t Failures = 0;
+  uint64_t SubBatches = 0;
+  /// Peak engine-resident simulations (staged parameterizations plus
+  /// live outcomes); <= InFlight * SubBatchSize by construction. Also
+  /// exported as the gauge `psg.engine.peak_resident_outcomes`.
+  size_t PeakResidentOutcomes = 0;
+  /// Host-side sub-batch preparation wall time (generation, point
+  /// application, spec assembly) and the part of it the cost model hides
+  /// beneath device execution through double-buffering.
+  double PrepareWallSeconds = 0.0;
+  double HiddenPrepareSeconds = 0.0;
+  /// HiddenPrepareSeconds / PrepareWallSeconds; 0 when InFlight == 1.
+  /// Also exported as the gauge `psg.engine.pipeline.overlap_ratio`.
+  double OverlapRatio = 0.0;
+  /// Frozen process-wide metrics taken when the run finished.
+  MetricsSnapshot Metrics;
+
+  /// Modeled simulations per hour on the target architecture.
+  double modeledThroughputPerHour() const {
+    const double T = SimulationTime.total();
+    return T > 0 ? 3600.0 * static_cast<double>(Simulations) / T : 0.0;
+  }
+};
+
+/// Aggregated outcome of a materializing engine run.
 struct EngineReport {
   std::vector<SimulationOutcome> Outcomes; ///< One per point, in order.
   IntegrationStats TotalStats;
@@ -69,16 +139,32 @@ public:
   const EngineOptions &options() const { return Opts; }
   Simulator &simulator() { return *Sim; }
 
-  /// Runs one simulation per parameter-space point.
+  /// Streams \p Gen through the simulator: chunks of points are pulled
+  /// and parameterized on demand, at most InFlight sub-batches are
+  /// staged, and every integrated sub-batch is handed to \p Sink before
+  /// its trajectory storage is released.
+  StreamReport stream(const ParameterSpace &Space, PointGenerator &Gen,
+                      OutcomeSink &Sink);
+
+  /// Streaming run over explicit parameterizations pulled from
+  /// \p Source.
+  StreamReport streamParameterizations(const ReactionNetwork &Net,
+                                       const ParameterizationSource &Source,
+                                       OutcomeSink &Sink);
+
+  /// Runs one simulation per parameter-space point, materializing every
+  /// outcome (a materializing sink over stream()).
   EngineReport run(const ParameterSpace &Space,
                    const std::vector<std::vector<double>> &Points);
 
-  /// Runs explicit parameterizations against \p Net.
+  /// Runs explicit parameterizations against \p Net, materializing every
+  /// outcome.
   EngineReport runParameterizations(const ReactionNetwork &Net,
                                     std::vector<Parameterization> Params);
 
 private:
   EngineOptions Opts;
+  CostModel Model;
   std::unique_ptr<Simulator> Sim;
 
   /// Compilation cache: the last network's compiled model, keyed by its

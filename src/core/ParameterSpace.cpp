@@ -36,23 +36,28 @@ double ParameterSpace::axisValueFromUnit(const ParameterAxis &Axis,
   return Axis.Lo + (Axis.Hi - Axis.Lo) * U;
 }
 
+std::vector<double> ParameterSpace::gridAxisValues(size_t AxisIndex,
+                                                   size_t Count) const {
+  assert(AxisIndex < Axes.size() && "bad axis index");
+  assert(Count >= 1 && "empty axis resolution");
+  std::vector<double> Values(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    const double U = Count == 1 ? 0.5
+                                : static_cast<double>(I) /
+                                      static_cast<double>(Count - 1);
+    Values[I] = axisValueFromUnit(Axes[AxisIndex], U);
+  }
+  return Values;
+}
+
 std::vector<std::vector<double>>
 ParameterSpace::gridSample(const std::vector<size_t> &PointsPerAxis) const {
   assert(PointsPerAxis.size() == Axes.size() &&
          "one resolution per axis required");
   // Per-axis value lists.
   std::vector<std::vector<double>> Values(Axes.size());
-  for (size_t A = 0; A < Axes.size(); ++A) {
-    const size_t Count = PointsPerAxis[A];
-    assert(Count >= 1 && "empty axis resolution");
-    Values[A].resize(Count);
-    for (size_t I = 0; I < Count; ++I) {
-      const double U = Count == 1 ? 0.5
-                                  : static_cast<double>(I) /
-                                        static_cast<double>(Count - 1);
-      Values[A][I] = axisValueFromUnit(Axes[A], U);
-    }
-  }
+  for (size_t A = 0; A < Axes.size(); ++A)
+    Values[A] = gridAxisValues(A, PointsPerAxis[A]);
   // Cartesian product, last axis fastest.
   size_t Total = 1;
   for (size_t Count : PointsPerAxis)

@@ -69,6 +69,12 @@ public:
   std::vector<std::vector<double>>
   gridSample(const std::vector<size_t> &PointsPerAxis) const;
 
+  /// The \p Count grid values of axis \p AxisIndex (endpoints included;
+  /// log-spaced on log axes) — exactly the per-axis values gridSample
+  /// combines, so analyses can label grid axes without materializing the
+  /// cartesian product.
+  std::vector<double> gridAxisValues(size_t AxisIndex, size_t Count) const;
+
   /// \p Count points sampled independently uniform (or log-uniform).
   std::vector<std::vector<double>> randomSample(size_t Count,
                                                 Rng &Generator) const;

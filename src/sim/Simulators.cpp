@@ -63,6 +63,23 @@ SimulationOutcome runOne(const BatchSpec &Spec, CompiledOdeSystem &Sys,
   return Out;
 }
 
+/// Outcome storage for one batch: adopts the recycled vector from
+/// Spec.OutcomeBuffer when present (streaming runs hand the previous
+/// sub-batch's released storage back) before sizing it to the batch.
+std::vector<SimulationOutcome> makeOutcomeStorage(const BatchSpec &Spec) {
+  std::vector<SimulationOutcome> Outcomes;
+  if (Spec.OutcomeBuffer) {
+    static Counter &BufferReuses =
+        metrics().counter("psg.sim.outcome_buffer_reuses");
+    Outcomes = std::move(*Spec.OutcomeBuffer);
+    Outcomes.clear();
+    if (Outcomes.capacity() > 0)
+      BufferReuses.add();
+  }
+  Outcomes.resize(Spec.Batch);
+  return Outcomes;
+}
+
 /// Assembles the common parts of a BatchResult.
 BatchResult finalizeBatch(const BatchSpec &Spec, const CostModel &Model,
                           Backend B, const CompiledModel &Compiled,
@@ -98,7 +115,7 @@ CpuSolverSimulator::CpuSolverSimulator(std::string Solver,
 BatchResult CpuSolverSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
-  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  std::vector<SimulationOutcome> Outcomes = makeOutcomeStorage(Spec);
   std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
   Workers.ensure(1);
   SimWorkerSlot &Slot = Workers[0];
@@ -122,7 +139,7 @@ CoarseGpuSimulator::CoarseGpuSimulator(CostModel M)
 BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
-  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  std::vector<SimulationOutcome> Outcomes = makeOutcomeStorage(Spec);
   std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
   Workers.ensure(Device.hostParallelism());
   Device.launchKernel("cupsoda-batch", Spec.Batch, 32,
@@ -154,7 +171,7 @@ FineGpuSimulator::FineGpuSimulator(CostModel M)
 BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
-  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  std::vector<SimulationOutcome> Outcomes = makeOutcomeStorage(Spec);
   std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
   Workers.ensure(Device.hostParallelism());
   // Fine-grained tools process one simulation at a time; each simulation
@@ -196,7 +213,7 @@ FineCoarseSimulator::FineCoarseSimulator(CostModel M)
 BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
   WallTimer Timer;
-  std::vector<SimulationOutcome> Outcomes(Spec.Batch);
+  std::vector<SimulationOutcome> Outcomes = makeOutcomeStorage(Spec);
   MetricsRegistry &M = metrics();
   Counter &RoutedExplicit = M.counter("psg.engine.routed_explicit");
   Counter &RoutedImplicit = M.counter("psg.engine.routed_implicit");

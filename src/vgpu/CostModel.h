@@ -107,6 +107,13 @@ public:
     /// memory like the coarse-grained simulator does. Off by default to
     /// match the published system (which relies on global memory only).
     bool FineCoarseFastMemory = false;
+    /// Fraction of host-side sub-batch preparation (point generation,
+    /// parameterization, P1 encoding) that a second CUDA stream hides
+    /// beneath the device's kernel execution when sub-batches are
+    /// double-buffered. Below 1.0 because the copy engine contends with
+    /// kernel global-memory traffic and the final H2D chunk of batch
+    /// N+1 must still serialize before its launch.
+    double StreamOverlapEfficiency = 0.85;
   };
 
   CostModel(DeviceSpec Gpu, DeviceSpec Cpu)
@@ -131,6 +138,13 @@ public:
 
   /// The dynamic-parallelism saturation factor at \p ConcurrentChildren.
   double dpPenalty(uint64_t ConcurrentChildren) const;
+
+  /// Seconds of host-side sub-batch preparation hidden beneath device
+  /// execution when the pipeline is double-buffered: bounded both by the
+  /// modeled device time of the in-flight sub-batch and by the stream
+  /// overlap efficiency.
+  double hiddenPrepareSeconds(double HostPrepareSeconds,
+                              double DeviceSeconds) const;
 
   const DeviceSpec &gpu() const { return Gpu; }
   const DeviceSpec &cpu() const { return Cpu; }

@@ -157,7 +157,7 @@ TEST(PsaTest, Psa1dGridShapeMatchesRequest) {
   Psa1dResult R = runPsa1d(Engine, Space, Points, finalValueReducer(0));
   ASSERT_EQ(R.AxisValues.size(), Points);
   ASSERT_EQ(R.Metric.size(), Points);
-  EXPECT_EQ(R.Report.Outcomes.size(), Points);
+  EXPECT_EQ(R.Report.Simulations, Points);
   EXPECT_DOUBLE_EQ(R.AxisValues.front(), Axis.Lo);
   EXPECT_DOUBLE_EQ(R.AxisValues.back(), Axis.Hi);
   const double Step = (Axis.Hi - Axis.Lo) / static_cast<double>(Points - 1);
@@ -166,6 +166,66 @@ TEST(PsaTest, Psa1dGridShapeMatchesRequest) {
   // Faster decay leaves less S0: the metric must strictly decrease.
   for (size_t I = 1; I < Points; ++I)
     EXPECT_LT(R.Metric[I], R.Metric[I - 1]);
+}
+
+TEST(PsaTest, Psa2dMapIsRowMajorWithAxis1Fastest) {
+  // Layout regression: Metric[I0 * Res1 + I1] must correspond to
+  // (Axis0Values[I0], Axis1Values[I1]) regardless of how the sweep is
+  // chunked into sub-batches. A zero-rate network freezes the state, so
+  // the final value of species 0 IS the axis-0 coordinate and the final
+  // value of species 1 IS the axis-1 coordinate.
+  ReactionNetwork Net("frozen");
+  const unsigned S0 = Net.addSpecies("s0", 1.0);
+  const unsigned S1 = Net.addSpecies("s1", 1.0);
+  Reaction Rx;
+  Rx.Reactants = {{S0, 1}};
+  Rx.Products = {{S1, 1}};
+  Rx.RateConstant = 0.0;
+  Net.addReaction(Rx);
+  ParameterSpace Space(Net);
+  for (int A = 0; A < 2; ++A) {
+    ParameterAxis Axis;
+    Axis.Name = "s" + std::to_string(A);
+    Axis.Target = AxisTarget::InitialConcentration;
+    Axis.SpeciesIndex = static_cast<unsigned>(A);
+    Axis.Lo = 1.0 + A;
+    Axis.Hi = 2.0 + A;
+    Space.addAxis(Axis);
+  }
+  EngineOptions Opts;
+  Opts.EndTime = 0.5;
+  Opts.OutputSamples = 2;
+  Opts.SubBatchSize = 5; // Deliberately misaligned with the 3x4 grid.
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  const size_t Res0 = 3, Res1 = 4;
+  Psa2dResult R0 = runPsa2d(Engine, Space, Res0, Res1, finalValueReducer(0));
+  Psa2dResult R1 = runPsa2d(Engine, Space, Res0, Res1, finalValueReducer(1));
+  ASSERT_EQ(R0.Metric.size(), Res0 * Res1);
+  for (size_t I0 = 0; I0 < Res0; ++I0)
+    for (size_t I1 = 0; I1 < Res1; ++I1) {
+      EXPECT_NEAR(R0.at(I0, I1), R0.Axis0Values[I0], 1e-9)
+          << "cell (" << I0 << ", " << I1 << ")";
+      EXPECT_NEAR(R1.at(I0, I1), R1.Axis1Values[I1], 1e-9)
+          << "cell (" << I0 << ", " << I1 << ")";
+    }
+}
+
+TEST(PsaTest, ReducersCountFailedSimulations) {
+  // A failed outcome must contribute its fallback value and bump the
+  // psg.analysis.reduce_failures counter, even when the trajectory
+  // buffer holds stale samples from the aborted integration.
+  SimulationOutcome Failed;
+  Failed.Result.Status = IntegrationStatus::MaxStepsExceeded;
+  Failed.Dynamics = Trajectory(2);
+  double Stale[2] = {42.0, 43.0};
+  Failed.Dynamics.addSample(0, Stale);
+  const uint64_t Before =
+      metrics().snapshot().counterValue("psg.analysis.reduce_failures");
+  EXPECT_DOUBLE_EQ(finalValueReducer(0)(Failed), 0.0);
+  EXPECT_DOUBLE_EQ(oscillationAmplitudeReducer(0)(Failed), 0.0);
+  const uint64_t After =
+      metrics().snapshot().counterValue("psg.analysis.reduce_failures");
+  EXPECT_EQ(After - Before, 2u);
 }
 
 TEST(PsaTest, FinalValueReducerReadsLastSample) {

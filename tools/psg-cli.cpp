@@ -19,6 +19,7 @@
 
 #include "analysis/Psa.h"
 #include "analysis/SteadyState.h"
+#include "analysis/StreamReducers.h"
 #include "core/BatchEngine.h"
 #include "io/ResultsIo.h"
 #include "rbm/Conservation.h"
@@ -149,7 +150,13 @@ int usage() {
       "  psa1d <model> --species NAME | --reaction IDX\n"
       "        --lo X --hi Y [--log] [--points P]\n"
       "        [--reporter NAME] [--tend T] [--out F.csv]\n"
-      "      sweep one parameter; reports the reporter's final value\n"
+      "        [--stream] [--inflight N] [--sub-batch B]\n"
+      "      sweep one parameter; reports the reporter's final value.\n"
+      "      --stream drives the bounded-memory pipeline explicitly:\n"
+      "      points are generated lazily, each sub-batch is reduced\n"
+      "      (and, with --out, appended to the CSV) as it finishes,\n"
+      "      and at most --inflight sub-batches of outcomes are ever\n"
+      "      resident; prints overlap ratio and peak residency\n"
       "  steady <model> [--maxtime T] [--timescale S]\n"
       "      search for a steady state by implicit integration\n"
       "  generate --species N --reactions M [--seed S] [--out F]\n"
@@ -316,18 +323,59 @@ int cmdPsa1d(const Options &O) {
   Opts.SimulatorName = O.get("simulator", "psg-engine");
   Opts.EndTime = O.getDouble("tend", 10.0);
   Opts.OutputSamples = O.getUnsigned("samples", 51);
+  Opts.InFlight = O.getUnsigned("inflight", 2);
+  if (O.has("sub-batch"))
+    Opts.SubBatchSize = O.getUnsigned("sub-batch", 64);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
   const size_t Points = O.getUnsigned("points", 17);
-  Psa1dResult R =
-      runPsa1d(Engine, Space, Points, finalValueReducer(Reporter));
+  const TrajectoryReducer Reduce = finalValueReducer(Reporter);
+
+  if (O.has("stream")) {
+    // Explicit streaming pipeline: lazy grid generator feeding a reducing
+    // sink, with the map CSV appended incrementally sub-batch by
+    // sub-batch when --out is given.
+    std::unique_ptr<PointGenerator> Gen = makeGridGenerator(Space, {Points});
+    std::vector<double> Metric;
+    ReducingSink Reducer(Reduce, Metric);
+    StreamingCsvWriter Writer;
+    StreamReport Report;
+    if (O.has("out")) {
+      if (Status S = Writer.open(O.get("out", ""),
+                                 {Axis.Name, "final_value"});
+          !S)
+        fatalError(S.message());
+      GridMapCsvSink CsvSink(Writer, Space, {Points}, Reduce);
+      TeeSink Tee(Reducer, CsvSink);
+      Report = Engine.stream(Space, *Gen, Tee);
+      if (Status S = Writer.close(); !S)
+        fatalError(S.message());
+    } else {
+      Report = Engine.stream(Space, *Gen, Reducer);
+    }
+
+    const std::vector<double> AxisValues = Space.gridAxisValues(0, Points);
+    std::printf("%14s %14s\n", Axis.Name.c_str(),
+                Net.species(Reporter).Name.c_str());
+    for (size_t I = 0; I < AxisValues.size(); ++I)
+      std::printf("%14.6g %14.6g\n", AxisValues[I], Metric[I]);
+    std::printf("\n%zu simulations, modeled %.4g s\n", Report.Simulations,
+                Report.SimulationTime.total());
+    std::printf("pipeline:           %llu sub-batches, %zu outcomes peak "
+                "resident, overlap ratio %.3f\n",
+                (unsigned long long)Report.SubBatches,
+                Report.PeakResidentOutcomes, Report.OverlapRatio);
+    return 0;
+  }
+
+  Psa1dResult R = runPsa1d(Engine, Space, Points, Reduce);
 
   std::printf("%14s %14s\n", Axis.Name.c_str(),
               Net.species(Reporter).Name.c_str());
   for (size_t I = 0; I < R.AxisValues.size(); ++I)
     std::printf("%14.6g %14.6g\n", R.AxisValues[I], R.Metric[I]);
-  std::printf("\n%zu simulations, modeled %.4g s\n",
-              R.Report.Outcomes.size(), R.Report.SimulationTime.total());
+  std::printf("\n%zu simulations, modeled %.4g s\n", R.Report.Simulations,
+              R.Report.SimulationTime.total());
 
   if (O.has("out")) {
     CsvWriter Csv({Axis.Name, "final_value"});
