@@ -1,0 +1,281 @@
+//===- bench/bench_micro_lanes.cpp ----------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar-vs-lane-batched integration throughput microbenchmark. Runs the
+/// same adaptive-solver parameter sweeps through the scalar coarse-grained
+/// personality (`gpu-coarse`, one LSODA integration per parameterization)
+/// and the SIMD lane-batched personality (`simd-lanes`, lockstep DOPRI5
+/// over 8 SoA lanes) and reports sims/s for each plus the per-case
+/// speedup. Sweeps use curated nonstiff models with ±10% rate-constant
+/// perturbations — the coherent-neighbour regime the lane mapping is
+/// built for, mirroring the paper's coarse-grained GPU batches.
+///
+/// Besides throughput the run records the lane telemetry (occupancy,
+/// lockstep replays, scalar fallbacks) proving the lanes were actually
+/// populated rather than idling: a lockstep win with occupancy near zero
+/// would mean the batch degenerated to scalar work.
+///
+/// Output: a psg-bench-lanes-v1 JSON document (default BENCH_lanes.json)
+/// with the measured cases, speedups, and lane counters. `--baseline
+/// FILE` embeds a previously saved run object verbatim so the committed
+/// file carries before/after numbers across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rbm/CuratedModels.h"
+#include "sim/Simulators.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  std::string Simulator;
+  size_t Species = 0;
+  size_t Reactions = 0;
+  uint64_t Batch = 0;
+  double EndTime = 0.0;
+  double BestWallSeconds = 0.0;
+  double MeanWallSeconds = 0.0;
+  double SimsPerSecond = 0.0;
+  size_t Failures = 0;
+};
+
+/// A sweep batch: every simulation gets the curated defaults with ±10%
+/// rate-constant jitter, the regime where lockstep lanes stay coherent.
+void fillSweep(BatchSpec &Spec, const ReactionNetwork &Net, uint64_t Batch,
+               uint64_t Seed) {
+  std::vector<double> Defaults;
+  Defaults.reserve(Net.numReactions());
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Defaults.push_back(Net.reaction(R).RateConstant);
+
+  Rng Generator(Seed);
+  Spec.RateConstantSets.resize(Batch);
+  for (uint64_t I = 0; I < Batch; ++I) {
+    Spec.RateConstantSets[I] = Defaults;
+    for (double &K : Spec.RateConstantSets[I])
+      K *= 0.9 + 0.2 * Generator.uniform();
+  }
+}
+
+CaseResult measureCase(const ReactionNetwork &Net, const std::string &Name,
+                       double EndTime, uint64_t Batch,
+                       const std::string &SimName, unsigned Reps) {
+  CostModel M = CostModel::paperSetup();
+  auto SimOr = createSimulator(SimName, M);
+  if (!SimOr.ok()) {
+    std::fprintf(stderr, "cannot create %s: %s\n", SimName.c_str(),
+                 SimOr.message().c_str());
+    std::exit(1);
+  }
+  Simulator &Sim = **SimOr;
+
+  BatchSpec Spec;
+  Spec.Model = &Net;
+  Spec.Batch = Batch;
+  Spec.EndTime = EndTime;
+  Spec.OutputSamples = 0;
+  Spec.Options.RelTol = 1e-6;
+  Spec.Options.AbsTol = 1e-9;
+  Spec.Options.MaxSteps = 500000;
+  fillSweep(Spec, Net, Batch, /*Seed=*/42);
+
+  // Warmup: populates the worker pool's compiled model, lane system, and
+  // solver workspaces so the timed reps measure steady-state throughput.
+  Sim.run(Spec);
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Simulator = SimName;
+  R.Species = Net.numSpecies();
+  R.Reactions = Net.numReactions();
+  R.Batch = Batch;
+  R.EndTime = EndTime;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    BatchResult Result = Sim.run(Spec);
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best)
+      Best = Wall;
+    R.Failures = Result.Failures;
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.SimsPerSecond = Best > 0.0 ? static_cast<double>(Batch) / Best : 0.0;
+  std::printf("  %-14s batch %5llu  %-10s %10.0f sims/s (best of %u, "
+              "%zu failures)\n",
+              Name.c_str(), (unsigned long long)Batch, SimName.c_str(),
+              R.SimsPerSecond, Reps, R.Failures);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"simulator\": \"%s\", \"species\": %zu, "
+      "\"reactions\": %zu, \"batch\": %llu, \"end_time\": %.3f, "
+      "\"best_wall_s\": %.6e, \"mean_wall_s\": %.6e, "
+      "\"sims_per_sec\": %.1f, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Simulator.c_str(), R.Species, R.Reactions,
+      (unsigned long long)R.Batch, R.EndTime, R.BestWallSeconds,
+      R.MeanWallSeconds, R.SimsPerSecond, R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"scalar_simulator\": \"gpu-coarse\",\n";
+  Out += "    \"lane_simulator\": \"simd-lanes\",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ],\n";
+  // Scalar/lane results alternate per (model, batch); pair them up.
+  Out += "    \"speedups\": [\n";
+  std::string Rows;
+  for (size_t I = 0; I + 1 < Results.size(); I += 2) {
+    const CaseResult &Scalar = Results[I];
+    const CaseResult &Lane = Results[I + 1];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", \"batch\": %llu, "
+                  "\"speedup\": %.3f}%s\n",
+                  Scalar.ModelName.c_str(),
+                  (unsigned long long)Scalar.Batch,
+                  Scalar.SimsPerSecond > 0.0
+                      ? Lane.SimsPerSecond / Scalar.SimsPerSecond
+                      : 0.0,
+                  I + 2 < Results.size() ? "," : "");
+    Rows += Buf;
+  }
+  Out += Rows;
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_lanes.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-lanes: scalar vs SIMD lane-batched integration ==\n");
+  const ReactionNetwork Lotka = makeLotkaVolterraNetwork();
+  const ReactionNetwork Repress = makeRepressilatorNetwork();
+  const ReactionNetwork Decay = makeDecayChainNetwork(8, 0.5);
+
+  struct Sweep {
+    const ReactionNetwork *Net;
+    const char *Name;
+    double EndTime;
+  };
+  const Sweep Sweeps[] = {{&Lotka, "lotka-volterra", 10.0},
+                          {&Repress, "repressilator", 10.0},
+                          {&Decay, "decay-chain-8", 5.0}};
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const uint64_t Batches[] = {64, 256};
+  for (const Sweep &S : Sweeps) {
+    for (uint64_t Batch : Batches) {
+      // Scalar first, lane second: runObjectJson pairs them in order.
+      Results.push_back(measureCase(*S.Net, S.Name, S.EndTime, Batch,
+                                    "gpu-coarse", Reps));
+      Results.push_back(measureCase(*S.Net, S.Name, S.EndTime, Batch,
+                                    "simd-lanes", Reps));
+    }
+  }
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-lanes-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.sim.lane_occupancy\": %.4f, "
+        "\"psg.sim.lane_step_replays\": %llu, "
+        "\"psg.sim.lane_fallbacks\": %llu}\n}\n",
+        Snapshot.gaugeValue("psg.sim.lane_occupancy"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.sim.lane_step_replays"),
+        (unsigned long long)Snapshot.counterValue("psg.sim.lane_fallbacks"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

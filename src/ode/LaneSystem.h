@@ -1,0 +1,51 @@
+//===- ode/LaneSystem.h - Lane-batched system interface ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane-batched system interface consumed by the lockstep driver: one
+/// logical ODE system evaluated for L independent parameterizations per
+/// call. State is transposed structure-of-arrays — component i of lane l
+/// lives at Y[i * lanes() + l] — so the per-lane inner loops of an
+/// implementation run over contiguous, vectorizable memory. This is the
+/// CPU mirror of the coarse-grained GPU layout where neighbouring threads
+/// of a warp integrate neighbouring parameterizations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_LANESYSTEM_H
+#define PSG_ODE_LANESYSTEM_H
+
+#include <cstddef>
+#include <string>
+
+namespace psg {
+
+/// A dy/dt = f(t, y) system evaluated for lanes() parameterizations at
+/// once over SoA state.
+class LaneOdeSystem {
+public:
+  virtual ~LaneOdeSystem();
+
+  /// Number of state variables of one lane's system.
+  virtual size_t dimension() const = 0;
+
+  /// Number of parameterizations evaluated per call.
+  virtual unsigned lanes() const = 0;
+
+  /// Evaluates dy/dt for every lane. \p Y and \p DyDt hold
+  /// dimension() * lanes() doubles in SoA layout (component-major,
+  /// lane-minor). Lanes the caller has masked out are still computed —
+  /// the lockstep analogue of predicated-off warp lanes — and simply
+  /// ignored.
+  virtual void rhsLanes(double T, const double *Y, double *DyDt) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const { return "lane-system"; }
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_LANESYSTEM_H

@@ -1,0 +1,591 @@
+//===- ode/LockstepDriver.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// Tableaus follow Dormand & Prince (1980), Fehlberg, and Hairer, Norsett
+// & Wanner, "Solving Ordinary Differential Equations I"; the numerics per
+// lane match Dopri5.cpp / Rkf45.cpp except for the shared step sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/LockstepDriver.h"
+
+#include "ode/SolverWorkspace.h"
+#include "ode/StepControl.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace psg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Tableaus (row-packed lower triangles, stride = stage count).
+//===----------------------------------------------------------------------===//
+
+struct TableauDef {
+  unsigned Stages;   ///< Rhs stages per attempted step, including K1.
+  bool Fsal;         ///< Last stage is f(T+Step, YNew) (reused as next K1).
+  unsigned InitOrder; ///< Order passed to the initial-step heuristic.
+  const double *C;   ///< Nodes, length Stages.
+  const double *A;   ///< Row-packed: stage S reads A[(S-1)*Stages + j].
+  const double *B;   ///< Solution weights (null when Fsal: YNew is the
+                     ///< last stage input).
+  const double *E;   ///< Error weights, length Stages.
+  const double *D;   ///< Dense-output weights (DOPRI5) or null (Hermite).
+};
+
+// DOPRI5 (see Dopri5.cpp).
+constexpr unsigned DP_S = 7;
+constexpr double DP_C[DP_S] = {0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1};
+constexpr double DP_A[(DP_S - 1) * DP_S] = {
+    1.0 / 5,          0,           0,             0,            0,         0, 0,
+    3.0 / 40,         9.0 / 40,    0,             0,            0,         0, 0,
+    44.0 / 45,        -56.0 / 15,  32.0 / 9,      0,            0,         0, 0,
+    19372.0 / 6561,   -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729, 0,   0, 0,
+    9017.0 / 3168,    -355.0 / 33, 46732.0 / 5247, 49.0 / 176,
+    -5103.0 / 18656,  0,           0,
+    35.0 / 384,       0,           500.0 / 1113,  125.0 / 192,
+    -2187.0 / 6784,   11.0 / 84,   0};
+constexpr double DP_E[DP_S] = {71.0 / 57600,      0,          -71.0 / 16695,
+                               71.0 / 1920,       -17253.0 / 339200,
+                               22.0 / 525,        -1.0 / 40};
+constexpr double DP_D[DP_S] = {-12715105075.0 / 11282082432.0,
+                               0,
+                               87487479700.0 / 32700410799.0,
+                               -10690763975.0 / 1880347072.0,
+                               701980252875.0 / 199316789632.0,
+                               -1453857185.0 / 822651844.0,
+                               69997945.0 / 29380423.0};
+
+// RKF45 (see Rkf45.cpp).
+constexpr unsigned RF_S = 6;
+constexpr double RF_C[RF_S] = {0, 1.0 / 4, 3.0 / 8, 12.0 / 13, 1, 1.0 / 2};
+constexpr double RF_A[(RF_S - 1) * RF_S] = {
+    1.0 / 4,        0,             0,              0,             0, 0,
+    3.0 / 32,       9.0 / 32,      0,              0,             0, 0,
+    1932.0 / 2197,  -7200.0 / 2197, 7296.0 / 2197, 0,             0, 0,
+    439.0 / 216,    -8.0,          3680.0 / 513,   -845.0 / 4104, 0, 0,
+    -8.0 / 27,      2.0,           -3544.0 / 2565, 1859.0 / 4104,
+    -11.0 / 40,     0};
+constexpr double RF_B[RF_S] = {16.0 / 135,       0, 6656.0 / 12825,
+                               28561.0 / 56430,  -9.0 / 50, 2.0 / 55};
+constexpr double RF_E[RF_S] = {
+    16.0 / 135 - 25.0 / 216,      0, 6656.0 / 12825 - 1408.0 / 2565,
+    28561.0 / 56430 - 2197.0 / 4104, -9.0 / 50 + 1.0 / 5, 2.0 / 55};
+
+const TableauDef &tableauFor(LockstepTableau T) {
+  static const TableauDef Dopri{DP_S, /*Fsal=*/true, /*InitOrder=*/5,
+                                DP_C, DP_A, nullptr, DP_E, DP_D};
+  static const TableauDef Rkf{RF_S, /*Fsal=*/false, /*InitOrder=*/4,
+                              RF_C, RF_A, RF_B, RF_E, nullptr};
+  return T == LockstepTableau::Dopri5 ? Dopri : Rkf;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-lane dense-output views over the driver's SoA buffers.
+//===----------------------------------------------------------------------===//
+
+/// One lane of the DOPRI5 continuous extension (SoA cont arrays).
+class LaneDopriInterpolant : public StepInterpolant {
+public:
+  LaneDopriInterpolant(size_t N, unsigned Stride, const double *C1,
+                       const double *C2, const double *C3, const double *C4,
+                       const double *C5)
+      : N(N), Stride(Stride), Cont1(C1), Cont2(C2), Cont3(C3), Cont4(C4),
+        Cont5(C5) {}
+
+  void bind(double T, double H, unsigned LaneIdx) {
+    T0 = T;
+    T1 = T + H;
+    Lane = LaneIdx;
+  }
+
+  double beginTime() const override { return T0; }
+  double endTime() const override { return T1; }
+
+  void evaluate(double T, double *YOut) const override {
+    const double S = (T - T0) / (T1 - T0);
+    const double S1 = 1.0 - S;
+    for (size_t I = 0; I < N; ++I) {
+      const size_t Idx = I * Stride + Lane;
+      YOut[I] = Cont1[Idx] +
+                S * (Cont2[Idx] +
+                     S1 * (Cont3[Idx] + S * (Cont4[Idx] + S1 * Cont5[Idx])));
+    }
+  }
+
+private:
+  size_t N;
+  unsigned Stride;
+  const double *Cont1, *Cont2, *Cont3, *Cont4, *Cont5;
+  double T0 = 0.0, T1 = 0.0;
+  unsigned Lane = 0;
+};
+
+/// One lane of a cubic Hermite step over SoA endpoints (RKF45 path;
+/// mirrors HermiteInterpolant).
+class LaneHermiteInterpolant : public StepInterpolant {
+public:
+  LaneHermiteInterpolant(size_t N, unsigned Stride, const double *Y0,
+                         const double *F0, const double *Y1, const double *F1)
+      : N(N), Stride(Stride), Y0(Y0), F0(F0), Y1(Y1), F1(F1) {}
+
+  void bind(double TBegin, double TEnd, unsigned LaneIdx) {
+    T0 = TBegin;
+    T1 = TEnd;
+    Lane = LaneIdx;
+  }
+
+  double beginTime() const override { return T0; }
+  double endTime() const override { return T1; }
+
+  void evaluate(double T, double *YOut) const override {
+    const double H = T1 - T0;
+    const double S = (T - T0) / H;
+    const double S2 = S * S;
+    const double H00 = (1.0 + 2.0 * S) * (1.0 - S) * (1.0 - S);
+    const double H10 = S * (1.0 - S) * (1.0 - S);
+    const double H01 = S2 * (3.0 - 2.0 * S);
+    const double H11 = S2 * (S - 1.0);
+    for (size_t I = 0; I < N; ++I) {
+      const size_t Idx = I * Stride + Lane;
+      YOut[I] = H00 * Y0[Idx] + H * H10 * F0[Idx] + H01 * Y1[Idx] +
+                H * H11 * F1[Idx];
+    }
+  }
+
+private:
+  size_t N;
+  unsigned Stride;
+  const double *Y0, *F0, *Y1, *F1;
+  double T0 = 0.0, T1 = 0.0;
+  unsigned Lane = 0;
+};
+
+} // namespace
+
+LaneOdeSystem::~LaneOdeSystem() = default;
+
+const char *psg::lockstepTableauName(LockstepTableau T) {
+  return T == LockstepTableau::Dopri5 ? "dopri5" : "rkf45";
+}
+
+/// SoA working storage, reused across integrate() calls; every buffer is
+/// fully written before it is read within a step.
+struct LockstepDriver::Workspace {
+  size_t N = 0;
+  unsigned L = 0;
+  std::vector<double> K[7];
+  std::vector<double> YNew, YStage, ErrVec, Stage6, FNew, Probe;
+  std::vector<double> Cont1, Cont2, Cont3, Cont4, Cont5;
+
+  /// Sizes the buffers for \p Dim x \p Lanes; returns true when already
+  /// sized.
+  bool prepare(size_t Dim, unsigned Lanes) {
+    if (Dim == N && Lanes == L)
+      return true;
+    N = Dim;
+    L = Lanes;
+    const size_t NL = Dim * Lanes;
+    for (auto &K1 : K)
+      K1.assign(NL, 0.0);
+    for (std::vector<double> *V :
+         {&YNew, &YStage, &ErrVec, &Stage6, &FNew, &Probe, &Cont1, &Cont2,
+          &Cont3, &Cont4, &Cont5})
+      V->assign(NL, 0.0);
+    return false;
+  }
+};
+
+LockstepDriver::LockstepDriver(LockstepTableau Tableau)
+    : Kind(Tableau), Ws(std::make_unique<Workspace>()) {}
+LockstepDriver::~LockstepDriver() = default;
+
+LaneIntegrationReport
+LockstepDriver::integrate(const LaneOdeSystem &Sys, double T0, double TEnd,
+                          double *Y, const SolverOptions &Opts,
+                          const std::vector<bool> &Active,
+                          StepObserver *const *Observers) {
+  const size_t N = Sys.dimension();
+  const unsigned L = Sys.lanes();
+  const size_t NL = N * L;
+  assert(Active.size() == L && "one activity flag per lane");
+  const TableauDef &Tb = tableauFor(Kind);
+
+  LaneIntegrationReport Report;
+  Report.Lane.assign(L, IntegrationResult());
+  for (IntegrationResult &R : Report.Lane)
+    R.FinalTime = T0;
+
+  std::vector<uint8_t> Act(L, 0);
+  unsigned ActiveCount = 0;
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    if (Active[Ln]) {
+      Act[Ln] = 1;
+      ++ActiveCount;
+    }
+  if (ActiveCount == 0 || T0 == TEnd)
+    return Report;
+  const double Direction = TEnd > T0 ? 1.0 : -1.0;
+
+  if (Ws->prepare(N, L))
+    noteSolverWorkspaceReuse();
+  std::vector<double> &K1 = Ws->K[0];
+  double *const YNew = Ws->YNew.data();
+  double *const YStage = Ws->YStage.data();
+  double *const ErrVec = Ws->ErrVec.data();
+
+  // Per-lane control state (lockstep h, per-lane error history).
+  std::vector<PiController> Controllers(
+      L, PiController(/*Order=*/5, Opts.Safety, Opts.MinScale, Opts.MaxScale,
+                      /*Beta=*/0.04));
+  std::vector<double> ErrNorm(L, 0.0), Scale(L, 1.0), NormAcc(L, 0.0);
+  std::vector<unsigned> StiffHits(L, 0), NonStiffHits(L, 0);
+  std::vector<uint8_t> NonFinite(L, 0);
+
+  auto countRhs = [&](uint64_t PerLane = 1) {
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      if (Act[Ln])
+        Report.Lane[Ln].Stats.RhsEvaluations += PerLane;
+  };
+  auto failLane = [&](unsigned Ln, IntegrationStatus St, double FinalTime,
+                      std::string Detail = "") {
+    Report.Lane[Ln].Status = St;
+    Report.Lane[Ln].FinalTime = FinalTime;
+    Report.Lane[Ln].Detail = std::move(Detail);
+    Act[Ln] = 0;
+    --ActiveCount;
+  };
+  /// Tolerance-weighted RMS norm of \p V per lane, scaled by |Scale1| (and
+  /// |Scale2| when non-null), into \p Out. Mirrors weightedRmsNorm{,2}.
+  auto laneNorms = [&](const double *V, const double *ScaleA,
+                       const double *ScaleB, std::vector<double> &Out) {
+    std::fill(NormAcc.begin(), NormAcc.end(), 0.0);
+    for (size_t I = 0; I < N; ++I) {
+      const double *Vi = V + I * L;
+      const double *Ai = ScaleA + I * L;
+      const double *Bi = ScaleB ? ScaleB + I * L : nullptr;
+      for (unsigned Ln = 0; Ln < L; ++Ln) {
+        double S = std::abs(Ai[Ln]);
+        if (Bi)
+          S = std::max(S, std::abs(Bi[Ln]));
+        const double R = Vi[Ln] / (Opts.AbsTol + Opts.RelTol * S);
+        NormAcc[Ln] += R * R;
+      }
+    }
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      Out[Ln] = std::sqrt(NormAcc[Ln] / static_cast<double>(N));
+  };
+
+  // f(T0, Y0) for every lane.
+  Sys.rhsLanes(T0, Y, K1.data());
+  countRhs();
+
+  // Lockstep initial step: the Hairer heuristic per lane (one shared
+  // Euler probe), then the minimum over active lanes.
+  const double Span = std::abs(TEnd - T0);
+  double H;
+  if (Opts.InitialStep > 0) {
+    H = std::min(Opts.InitialStep, Span);
+  } else {
+    std::vector<double> D0(L), D1(L), D2(L);
+    laneNorms(Y, Y, nullptr, D0);
+    laneNorms(K1.data(), Y, nullptr, D1);
+    std::vector<double> H0(L);
+    double H0Min = Span;
+    for (unsigned Ln = 0; Ln < L; ++Ln) {
+      H0[Ln] = (D0[Ln] < 1e-5 || D1[Ln] < 1e-5) ? 1e-6 : 0.01 * D0[Ln] / D1[Ln];
+      H0[Ln] = std::min(H0[Ln], Span);
+      if (Act[Ln])
+        H0Min = std::min(H0Min, H0[Ln]);
+    }
+    double *const Probe = Ws->Probe.data();
+    double *const F1 = Ws->FNew.data();
+    for (size_t I = 0; I < NL; ++I)
+      Probe[I] = Y[I] + Direction * H0Min * K1[I];
+    Sys.rhsLanes(T0 + Direction * H0Min, Probe, F1);
+    countRhs();
+    for (size_t I = 0; I < NL; ++I)
+      Probe[I] = F1[I] - K1[I];
+    laneNorms(Probe, Y, nullptr, D2);
+    H = Span;
+    for (unsigned Ln = 0; Ln < L; ++Ln) {
+      if (!Act[Ln])
+        continue;
+      const double DMax = std::max(D1[Ln], D2[Ln] / H0Min);
+      const double H1 =
+          DMax <= 1e-15
+              ? std::max(1e-6, H0[Ln] * 1e-3)
+              : std::pow(0.01 / DMax, 1.0 / (Tb.InitOrder + 1.0));
+      H = std::min({H, 100.0 * H0[Ln], H1});
+    }
+    H = std::min(H, Span);
+  }
+  const double MaxStep = Opts.MaxStep > 0 ? Opts.MaxStep : Span;
+  H = std::min(H, MaxStep);
+
+  LaneDopriInterpolant DopriView(N, L, Ws->Cont1.data(), Ws->Cont2.data(),
+                                 Ws->Cont3.data(), Ws->Cont4.data(),
+                                 Ws->Cont5.data());
+  LaneHermiteInterpolant HermiteView(N, L, Y, K1.data(), YNew,
+                                     Ws->FNew.data());
+  bool AnyObserver = false;
+  if (Observers)
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      AnyObserver |= Act[Ln] && Observers[Ln] != nullptr;
+
+  double T = T0;
+  uint64_t GroupSteps = 0;
+  bool FreshK1 = true; // K1 holds f(T, Y).
+  while (ActiveCount > 0 && (TEnd - T) * Direction > 0) {
+    if (GroupSteps >= Opts.MaxSteps) {
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        if (Act[Ln]) {
+          Report.Lane[Ln].LastStepSize = H;
+          failLane(Ln, IntegrationStatus::MaxStepsExceeded, T);
+        }
+      break;
+    }
+    H = std::min(H, MaxStep);
+    double Step = Direction * H;
+    if ((T + Step - TEnd) * Direction > 0)
+      Step = TEnd - T;
+    const double MinMagnitude = 1e-14 * std::max(1.0, std::abs(T));
+    if (std::abs(Step) < MinMagnitude) {
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        if (Act[Ln])
+          failLane(Ln, IntegrationStatus::StepSizeTooSmall, T);
+      break;
+    }
+
+    if (!FreshK1) {
+      Sys.rhsLanes(T, Y, K1.data());
+      countRhs();
+      FreshK1 = true;
+    }
+
+    // Stages 2..S; with FSAL the last stage input *is* the 5th-order
+    // solution, evaluated at T + Step.
+    for (unsigned S = 1; S < Tb.Stages; ++S) {
+      const bool Last = S + 1 == Tb.Stages;
+      double *Out = (Last && Tb.Fsal) ? YNew : YStage;
+      const double *ARow = Tb.A + (S - 1) * Tb.Stages;
+      std::copy(Y, Y + NL, Out);
+      for (unsigned J = 0; J < S; ++J) {
+        const double Coef = ARow[J];
+        if (Coef == 0.0)
+          continue;
+        const double Sc = Step * Coef;
+        const double *Kj = Ws->K[J].data();
+        for (size_t I = 0; I < NL; ++I)
+          Out[I] += Sc * Kj[I];
+      }
+      if (S == Tb.Stages - 2 && Tb.Fsal && Opts.EnableStiffnessDetection)
+        std::copy(Out, Out + NL, Ws->Stage6.data());
+      Sys.rhsLanes(T + Tb.C[S] * Step, Out, Ws->K[S].data());
+    }
+    if (!Tb.Fsal) {
+      std::copy(Y, Y + NL, YNew);
+      for (unsigned J = 0; J < Tb.Stages; ++J) {
+        const double Coef = Tb.B[J];
+        if (Coef == 0.0)
+          continue;
+        const double Sc = Step * Coef;
+        const double *Kj = Ws->K[J].data();
+        for (size_t I = 0; I < NL; ++I)
+          YNew[I] += Sc * Kj[I];
+      }
+    }
+    std::fill(ErrVec, ErrVec + NL, 0.0);
+    for (unsigned J = 0; J < Tb.Stages; ++J) {
+      const double Coef = Tb.E[J];
+      if (Coef == 0.0)
+        continue;
+      const double Sc = Step * Coef;
+      const double *Kj = Ws->K[J].data();
+      for (size_t I = 0; I < NL; ++I)
+        ErrVec[I] += Sc * Kj[I];
+    }
+    ++GroupSteps;
+    Report.ActiveLaneSteps += ActiveCount;
+    Report.LaneSlotSteps += L;
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      if (Act[Ln]) {
+        ++Report.Lane[Ln].Stats.Steps;
+        Report.Lane[Ln].Stats.RhsEvaluations += Tb.Stages - 1;
+      }
+
+    // Per-lane finiteness of the trial solution.
+    std::fill(NonFinite.begin(), NonFinite.end(), 0);
+    bool AnyNonFinite = false;
+    for (size_t I = 0; I < N; ++I) {
+      const double *Row = YNew + I * L;
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        if (Act[Ln] && !std::isfinite(Row[Ln])) {
+          NonFinite[Ln] = 1;
+          AnyNonFinite = true;
+        }
+    }
+    if (AnyNonFinite) {
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        if (Act[Ln]) {
+          ++Report.Lane[Ln].Stats.RejectedSteps;
+          Controllers[Ln].notifyRejected();
+          if (!NonFinite[Ln])
+            ++Report.LaneStepReplays;
+        }
+      H = 0.1 * std::abs(Step);
+      if (H < MinMagnitude)
+        for (unsigned Ln = 0; Ln < L; ++Ln)
+          if (Act[Ln] && NonFinite[Ln])
+            failLane(Ln, IntegrationStatus::NonFiniteState, T);
+      continue; // State unchanged; K1 is still f(T, Y).
+    }
+
+    laneNorms(ErrVec, Y, YNew, ErrNorm);
+    bool GroupAccept = true;
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      if (Act[Ln]) {
+        Scale[Ln] = Controllers[Ln].scaleFactor(ErrNorm[Ln]);
+        if (ErrNorm[Ln] > 1.0)
+          GroupAccept = false;
+      }
+    if (!GroupAccept) {
+      // Lockstep rejection: every lane replays at the group minimum of
+      // the per-lane proposals; the lanes that had passed are the
+      // divergence cost.
+      double MinScale = Opts.MaxScale;
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        if (Act[Ln]) {
+          ++Report.Lane[Ln].Stats.RejectedSteps;
+          Controllers[Ln].notifyRejected();
+          MinScale = std::min(MinScale, Scale[Ln]);
+          if (ErrNorm[Ln] <= 1.0)
+            ++Report.LaneStepReplays;
+        }
+      H = std::abs(Step) * MinScale;
+      continue;
+    }
+
+    // Hairer's stiffness test, per lane (DOPRI5 only): |h * lambda|
+    // estimated along the step from the last two stages.
+    if (Tb.Fsal && Opts.EnableStiffnessDetection) {
+      const double *K6 = Ws->K[Tb.Stages - 2].data();
+      const double *K7 = Ws->K[Tb.Stages - 1].data();
+      const double *Stage6 = Ws->Stage6.data();
+      for (unsigned Ln = 0; Ln < L; ++Ln) {
+        if (!Act[Ln])
+          continue;
+        if (Report.Lane[Ln].Stats.AcceptedSteps % 10 != 0 &&
+            StiffHits[Ln] == 0)
+          continue;
+        double Num = 0.0, Den = 0.0;
+        for (size_t I = 0; I < N; ++I) {
+          const size_t Idx = I * L + Ln;
+          const double DK = K7[Idx] - K6[Idx];
+          const double DY = YNew[Idx] - Stage6[Idx];
+          Num += DK * DK;
+          Den += DY * DY;
+        }
+        if (Den <= 0.0)
+          continue;
+        const double HLambda = std::abs(Step) * std::sqrt(Num / Den);
+        if (HLambda > 3.25) {
+          NonStiffHits[Ln] = 0;
+          if (++StiffHits[Ln] == 15) {
+            Report.Lane[Ln].LastStepSize = std::abs(Step);
+            failLane(Ln, IntegrationStatus::StiffnessDetected, T,
+                     "h*lambda stayed above 3.25 for 15 tests");
+          }
+        } else if (StiffHits[Ln] > 0 && ++NonStiffHits[Ln] == 6) {
+          StiffHits[Ln] = 0;
+        }
+      }
+      if (ActiveCount == 0)
+        break;
+    }
+
+    const double TNew = T + Step;
+    if (AnyObserver) {
+      if (Tb.Fsal) {
+        // Native DOPRI5 dense output over the SoA stage arrays.
+        const double *K7 = Ws->K[Tb.Stages - 1].data();
+        double *C1 = Ws->Cont1.data(), *C2 = Ws->Cont2.data(),
+               *C3 = Ws->Cont3.data(), *C4 = Ws->Cont4.data(),
+               *C5 = Ws->Cont5.data();
+        for (size_t I = 0; I < NL; ++I) {
+          const double YDiff = YNew[I] - Y[I];
+          const double Bspl = Step * K1[I] - YDiff;
+          C1[I] = Y[I];
+          C2[I] = YDiff;
+          C3[I] = Bspl;
+          C4[I] = YDiff - Step * K7[I] - Bspl;
+        }
+        std::fill(C5, C5 + NL, 0.0);
+        for (unsigned J = 0; J < Tb.Stages; ++J) {
+          const double Coef = Tb.D[J];
+          if (Coef == 0.0)
+            continue;
+          const double Sc = Step * Coef;
+          const double *Kj = Ws->K[J].data();
+          for (size_t I = 0; I < NL; ++I)
+            C5[I] += Sc * Kj[I];
+        }
+        for (unsigned Ln = 0; Ln < L; ++Ln)
+          if (Act[Ln] && Observers[Ln]) {
+            DopriView.bind(T, Step, Ln);
+            Observers[Ln]->onStep(DopriView);
+          }
+      } else {
+        // Cubic Hermite needs f at the right end; the evaluation doubles
+        // as the next step's first stage (as in the scalar RKF45).
+        Sys.rhsLanes(TNew, YNew, Ws->FNew.data());
+        countRhs();
+        for (unsigned Ln = 0; Ln < L; ++Ln)
+          if (Act[Ln] && Observers[Ln]) {
+            HermiteView.bind(T, TNew, Ln);
+            Observers[Ln]->onStep(HermiteView);
+          }
+        K1 = Ws->FNew;
+        FreshK1 = true;
+      }
+    }
+
+    // Commit: advance active lanes only; masked-out lanes keep the state
+    // they held when they stopped.
+    if (ActiveCount == L) {
+      std::copy(YNew, YNew + NL, Y);
+    } else {
+      for (unsigned Ln = 0; Ln < L; ++Ln) {
+        if (!Act[Ln])
+          continue;
+        for (size_t I = 0; I < N; ++I)
+          Y[I * L + Ln] = YNew[I * L + Ln];
+      }
+    }
+    if (Tb.Fsal) {
+      K1 = Ws->K[Tb.Stages - 1]; // FSAL.
+      FreshK1 = true;
+    } else if (!AnyObserver) {
+      FreshK1 = false;
+    }
+    T = TNew;
+    double MinScale = Opts.MaxScale;
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      if (Act[Ln]) {
+        ++Report.Lane[Ln].Stats.AcceptedSteps;
+        Report.Lane[Ln].LastStepSize = std::abs(Step);
+        MinScale = std::min(MinScale, Scale[Ln]);
+      }
+    H = std::abs(Step) * MinScale;
+  }
+
+  // Lanes still active when the loop exits reached TEnd.
+  if ((TEnd - T) * Direction <= 0)
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      if (Act[Ln])
+        Report.Lane[Ln].FinalTime = TEnd;
+  return Report;
+}

@@ -1,0 +1,97 @@
+//===- ode/LockstepDriver.h - Lane-lockstep adaptive RK ---------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lockstep adaptive-step Runge-Kutta driver over a LaneOdeSystem: all
+/// active lanes share one time point and one step size (the CPU analogue
+/// of a GPU warp whose threads advance in lockstep), while error control
+/// stays per-lane. Each attempted step evaluates the embedded pair for
+/// every lane at once; a step is accepted only when every active lane
+/// passes its tolerance test, otherwise the whole group replays it at the
+/// lockstep minimum of the per-lane step proposals (the replayed work of
+/// the lanes that had passed is the divergence cost, counted in
+/// LaneIntegrationReport::LaneStepReplays). Lanes that fail terminally
+/// (non-finite state, stiffness, vanishing step) are masked out — warp
+/// lanes predicated off — and the rest keep integrating; the group drains
+/// when every lane has finished or failed.
+///
+/// Supported tableaus: DOPRI5 (FSAL, native 4th-order dense output,
+/// Hairer-style stiffness detection) and RKF45 (cubic-Hermite dense
+/// output), matching the scalar Dopri5Solver / Rkf45Solver numerics
+/// except for the shared step sequence — which is why lane-batched
+/// results agree with the scalar personalities within the conformance
+/// tolerance rather than bit-exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_ODE_LOCKSTEPDRIVER_H
+#define PSG_ODE_LOCKSTEPDRIVER_H
+
+#include "ode/IntegrationResult.h"
+#include "ode/Interpolant.h"
+#include "ode/LaneSystem.h"
+#include "ode/SolverOptions.h"
+
+#include <memory>
+#include <vector>
+
+namespace psg {
+
+/// Embedded pair integrated by the lockstep driver.
+enum class LockstepTableau { Dopri5, Rkf45 };
+
+/// Stable display name ("dopri5" / "rkf45").
+const char *lockstepTableauName(LockstepTableau T);
+
+/// Outcome of one lockstep group integration.
+struct LaneIntegrationReport {
+  /// Per-lane results, indexed by lane. Lanes inactive on entry keep a
+  /// default (Success, zero-stats) result.
+  std::vector<IntegrationResult> Lane;
+  /// Sum over attempted group steps of the active lane count — the
+  /// numerator of lane occupancy.
+  uint64_t ActiveLaneSteps = 0;
+  /// Attempted group steps times the lane width — the occupancy
+  /// denominator (what a fully packed group would have executed).
+  uint64_t LaneSlotSteps = 0;
+  /// Lanes that had individually passed their error test but replayed
+  /// the step because a sibling lane rejected it — the lockstep
+  /// divergence cost.
+  uint64_t LaneStepReplays = 0;
+};
+
+/// Lockstep integrator; keeps a reusable workspace sized to the last
+/// system, like the scalar solvers. One instance per worker thread.
+class LockstepDriver {
+public:
+  explicit LockstepDriver(LockstepTableau Tableau);
+  ~LockstepDriver();
+
+  LockstepTableau tableau() const { return Kind; }
+
+  /// Integrates every active lane of \p Sys from \p T0 to \p TEnd,
+  /// advancing the SoA state \p Y (dimension() * lanes() doubles) in
+  /// place. \p Active flags the lanes to integrate (shorter-than-width
+  /// groups pad with inactive lanes); inactive and terminally failed
+  /// lanes keep the state they held when they stopped. \p Observers, when
+  /// non-null, holds one StepObserver* per lane (entries may be null);
+  /// each observed lane receives its dense-output interpolant per
+  /// accepted step.
+  LaneIntegrationReport integrate(const LaneOdeSystem &Sys, double T0,
+                                  double TEnd, double *Y,
+                                  const SolverOptions &Opts,
+                                  const std::vector<bool> &Active,
+                                  StepObserver *const *Observers = nullptr);
+
+private:
+  struct Workspace;
+  LockstepTableau Kind;
+  std::unique_ptr<Workspace> Ws;
+};
+
+} // namespace psg
+
+#endif // PSG_ODE_LOCKSTEPDRIVER_H

@@ -1,0 +1,225 @@
+//===- rbm/LaneBatchOdeSystem.cpp -----------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// The lane loops below are written to autovectorize: fixed trip count
+// (template Width), contiguous unit-stride accesses, no lane-dependent
+// control flow. Branches depend only on shared model structure, so every
+// lane takes the same path — the same property that keeps a GPU warp
+// divergence-free when its threads run different parameterizations of one
+// model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rbm/LaneBatchOdeSystem.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace psg;
+
+LaneBatchOdeSystem::LaneBatchOdeSystem(
+    std::shared_ptr<const CompiledModel> Model, unsigned Lanes)
+    : Shared(std::move(Model)), L(Lanes) {
+  assert(L >= 1 && "need at least one lane");
+  RateK.resize(Shared->NumReactions * L);
+  RateScratch.resize(Shared->NumReactions * L);
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    resetLaneRateConstants(Ln);
+}
+
+void LaneBatchOdeSystem::rebind(std::shared_ptr<const CompiledModel> Model) {
+  Shared = std::move(Model);
+  RateK.resize(Shared->NumReactions * L);
+  RateScratch.resize(Shared->NumReactions * L);
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    resetLaneRateConstants(Ln);
+}
+
+void LaneBatchOdeSystem::setLaneRateConstants(unsigned Lane, const double *K,
+                                              size_t Count) {
+  assert(Lane < L && "lane index out of range");
+  assert(Count == Shared->NumReactions && "rate constant span size mismatch");
+  for (size_t R = 0; R < Count; ++R)
+    RateK[R * L + Lane] = K[R];
+}
+
+void LaneBatchOdeSystem::resetLaneRateConstants(unsigned Lane) {
+  assert(Lane < L && "lane index out of range");
+  const std::vector<double> &Defaults = Shared->DefaultConstants;
+  for (size_t R = 0; R < Defaults.size(); ++R)
+    RateK[R * L + Lane] = Defaults[R];
+}
+
+namespace {
+
+/// Lane-batched saturating factor (MM / Hill / Hill repression) for the
+/// Width lanes of species values \p X, into \p Out. Mirrors
+/// CompiledOdeSystem::saturatingFactor per lane; the HillNInt fast path
+/// keeps the Hill case free of lane-serializing libm calls.
+template <unsigned Width>
+inline void saturatingLanes(const CompiledModel::KineticsParams &P,
+                            const double *__restrict X,
+                            double *__restrict Out) {
+  if (P.Kind == KineticsKind::MichaelisMenten) {
+    for (unsigned Ln = 0; Ln < Width; ++Ln) {
+      const double S = std::max(X[Ln], 0.0);
+      Out[Ln] = S / (P.Km + S);
+    }
+    return;
+  }
+  const double Kn = P.KnPow;
+  double Sn[Width];
+  if (P.HillNInt >= 0) {
+    const unsigned E = static_cast<unsigned>(P.HillNInt);
+    for (unsigned Ln = 0; Ln < Width; ++Ln) {
+      const double S = std::max(X[Ln], 0.0);
+      double R = 1.0;
+      for (unsigned I = 0; I < E; ++I)
+        R *= S;
+      Sn[Ln] = R;
+    }
+  } else {
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Sn[Ln] = std::pow(std::max(X[Ln], 0.0), P.HillN);
+  }
+  if (P.Kind == KineticsKind::HillRepression) {
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Out[Ln] = Kn / (Kn + Sn[Ln]);
+  } else {
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Out[Ln] = Sn[Ln] / (Kn + Sn[Ln]);
+  }
+}
+
+} // namespace
+
+template <unsigned Width>
+void LaneBatchOdeSystem::rhsImpl(const double *Y, double *DyDt) const {
+  const CompiledModel &M = *Shared;
+  const double *__restrict Yv = Y;
+  double *__restrict Out = DyDt;
+  double *__restrict Rates = RateScratch.data();
+  const double *__restrict Kc = RateK.data();
+
+  for (size_t R = 0; R < M.NumReactions; ++R) {
+    double Rate[Width];
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Rate[Ln] = Kc[R * Width + Ln];
+    uint32_t T = M.TermBegin[R];
+    const uint32_t End = M.TermBegin[R + 1];
+    // Saturating factor applies to the first term only (peeled, as in the
+    // scalar computeRates).
+    if (T < End && M.Kinetics[R].Kind != KineticsKind::MassAction) {
+      double Fac[Width];
+      saturatingLanes<Width>(M.Kinetics[R], Yv + M.TermSpecies[T] * Width,
+                             Fac);
+      for (unsigned Ln = 0; Ln < Width; ++Ln)
+        Rate[Ln] *= Fac[Ln];
+      ++T;
+    }
+    for (; T < End; ++T) {
+      const double *__restrict X = Yv + M.TermSpecies[T] * Width;
+      const uint32_t C = M.TermCoef[T];
+      if (C == 1) {
+        for (unsigned Ln = 0; Ln < Width; ++Ln)
+          Rate[Ln] *= X[Ln];
+      } else {
+        for (unsigned Ln = 0; Ln < Width; ++Ln) {
+          double P = 1.0;
+          for (uint32_t I = 0; I < C; ++I)
+            P *= X[Ln];
+          Rate[Ln] *= P;
+        }
+      }
+    }
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Rates[R * Width + Ln] = Rate[Ln];
+  }
+
+  const size_t NL = M.NumSpecies * Width;
+  for (size_t I = 0; I < NL; ++I)
+    Out[I] = 0.0;
+  for (size_t R = 0; R < M.NumReactions; ++R) {
+    const double *__restrict Rate = Rates + R * Width;
+    for (uint32_t E = M.NetBegin[R]; E < M.NetBegin[R + 1]; ++E) {
+      double *__restrict Acc = Out + M.NetSpecies[E] * Width;
+      const double C = M.NetCoef[E];
+      for (unsigned Ln = 0; Ln < Width; ++Ln)
+        Acc[Ln] += C * Rate[Ln];
+    }
+  }
+}
+
+void LaneBatchOdeSystem::rhsGeneric(const double *Y, double *DyDt) const {
+  const CompiledModel &M = *Shared;
+  double *Rates = RateScratch.data();
+  for (size_t R = 0; R < M.NumReactions; ++R) {
+    double *Rate = Rates + R * L;
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      Rate[Ln] = RateK[R * L + Ln];
+    uint32_t T = M.TermBegin[R];
+    const uint32_t End = M.TermBegin[R + 1];
+    if (T < End && M.Kinetics[R].Kind != KineticsKind::MassAction) {
+      const CompiledModel::KineticsParams &P = M.Kinetics[R];
+      const double *X = Y + M.TermSpecies[T] * L;
+      for (unsigned Ln = 0; Ln < L; ++Ln) {
+        const double S = std::max(X[Ln], 0.0);
+        double Fac;
+        if (P.Kind == KineticsKind::MichaelisMenten) {
+          Fac = S / (P.Km + S);
+        } else {
+          double Sn;
+          if (P.HillNInt >= 0) {
+            Sn = 1.0;
+            for (int I = 0; I < P.HillNInt; ++I)
+              Sn *= S;
+          } else {
+            Sn = std::pow(S, P.HillN);
+          }
+          Fac = P.Kind == KineticsKind::HillRepression
+                    ? P.KnPow / (P.KnPow + Sn)
+                    : Sn / (P.KnPow + Sn);
+        }
+        Rate[Ln] *= Fac;
+      }
+      ++T;
+    }
+    for (; T < End; ++T) {
+      const double *X = Y + M.TermSpecies[T] * L;
+      const uint32_t C = M.TermCoef[T];
+      for (unsigned Ln = 0; Ln < L; ++Ln) {
+        double P = 1.0;
+        for (uint32_t I = 0; I < C; ++I)
+          P *= X[Ln];
+        Rate[Ln] *= P;
+      }
+    }
+  }
+  std::fill(DyDt, DyDt + M.NumSpecies * L, 0.0);
+  for (size_t R = 0; R < M.NumReactions; ++R) {
+    const double *Rate = Rates + R * L;
+    for (uint32_t E = M.NetBegin[R]; E < M.NetBegin[R + 1]; ++E) {
+      double *Acc = DyDt + M.NetSpecies[E] * L;
+      const double C = M.NetCoef[E];
+      for (unsigned Ln = 0; Ln < L; ++Ln)
+        Acc[Ln] += C * Rate[Ln];
+    }
+  }
+}
+
+void LaneBatchOdeSystem::rhsLanes(double, const double *Y,
+                                  double *DyDt) const {
+  switch (L) {
+  case 1:
+    return rhsImpl<1>(Y, DyDt);
+  case 2:
+    return rhsImpl<2>(Y, DyDt);
+  case 4:
+    return rhsImpl<4>(Y, DyDt);
+  case 8:
+    return rhsImpl<8>(Y, DyDt);
+  default:
+    return rhsGeneric(Y, DyDt);
+  }
+}

@@ -1,0 +1,112 @@
+//===- rbm/LaneBatchOdeSystem.h - SIMD lane-batched kinetics ----*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane-batched view of a CompiledModel: one immutable compilation
+/// evaluated for L parameterizations per rhs call, with every mutable
+/// array — rate constants, rate scratch — transposed to SoA so the
+/// per-reaction inner loops run over L contiguous lanes and
+/// autovectorize. This is the CPU mirror of the paper's coarse-grained
+/// GPU strategy: where a warp assigns neighbouring threads to
+/// neighbouring parameterizations of the same model, here neighbouring
+/// SIMD lanes carry them, and one instruction advances all L at once.
+///
+/// Buffers are 64-byte aligned and padded to the lane width; lane counts
+/// 1/2/4/8 get fully unrolled inner loops (compile-time L), anything else
+/// a generic runtime-width path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_RBM_LANEBATCHODESYSTEM_H
+#define PSG_RBM_LANEBATCHODESYSTEM_H
+
+#include "ode/LaneSystem.h"
+#include "rbm/MassAction.h"
+
+#include <new>
+#include <vector>
+
+namespace psg {
+
+/// Minimal aligned allocator for the SoA lane buffers (the compiler can
+/// then use aligned vector loads over lane columns).
+template <typename T, size_t Alignment> struct AlignedAllocator {
+  using value_type = T;
+  /// Explicit rebind: the non-type Alignment parameter defeats the
+  /// default rebinding of allocator_traits.
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) {}
+  T *allocate(size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T *P, size_t) noexcept {
+    ::operator delete(P, std::align_val_t(Alignment));
+  }
+  bool operator==(const AlignedAllocator &) const { return true; }
+  bool operator!=(const AlignedAllocator &) const { return false; }
+};
+
+/// A 64-byte-aligned double buffer, the natural unit of SoA lane state.
+using LaneBuffer = std::vector<double, AlignedAllocator<double, 64>>;
+
+/// Evaluates one CompiledModel for lanes() parameterizations per call.
+/// Each lane has its own rate-constant vector (stored SoA:
+/// constant of reaction r, lane l at index r * lanes() + l); the model
+/// structure — stoichiometry, kinetics shapes — is shared, exactly like
+/// the constant-memory image of a coarse-grained GPU batch.
+class LaneBatchOdeSystem : public LaneOdeSystem {
+public:
+  /// Wraps \p Model with \p Lanes lanes, all initialized to the model's
+  /// default rate constants.
+  LaneBatchOdeSystem(std::shared_ptr<const CompiledModel> Model,
+                     unsigned Lanes);
+
+  size_t dimension() const override { return Shared->NumSpecies; }
+  unsigned lanes() const override { return L; }
+  void rhsLanes(double T, const double *Y, double *DyDt) const override;
+  std::string name() const override { return Shared->SystemName; }
+
+  /// The shared immutable compilation backing every lane.
+  const CompiledModel &model() const { return *Shared; }
+
+  /// Re-points all lanes at a different compilation (rate constants reset
+  /// to the new defaults); the lane width is preserved. Reused per-worker
+  /// instances rebind once per sub-batch, like CompiledOdeSystem.
+  void rebind(std::shared_ptr<const CompiledModel> Model);
+
+  /// Replaces lane \p Lane's rate constants from a raw span of
+  /// numReactions() doubles, scattering into the SoA store in place.
+  void setLaneRateConstants(unsigned Lane, const double *K, size_t Count);
+
+  /// Restores lane \p Lane to the model's default constants.
+  void resetLaneRateConstants(unsigned Lane);
+
+  /// Reads the constant of reaction \p R on lane \p Lane (tests).
+  double laneRateConstant(unsigned Lane, size_t R) const {
+    return RateK[R * L + Lane];
+  }
+
+private:
+  std::shared_ptr<const CompiledModel> Shared;
+  unsigned L;
+  /// SoA rate constants: reaction-major, lane-minor.
+  LaneBuffer RateK;
+  /// SoA per-reaction rates, written by every rhsLanes call.
+  mutable LaneBuffer RateScratch;
+
+  template <unsigned Width>
+  void rhsImpl(const double *Y, double *DyDt) const;
+  void rhsGeneric(const double *Y, double *DyDt) const;
+};
+
+} // namespace psg
+
+#endif // PSG_RBM_LANEBATCHODESYSTEM_H

@@ -121,7 +121,11 @@ CompiledModel::CompiledModel(const ReactionNetwork &Net)
                                  Rx.Kind == KineticsKind::HillRepression
                              ? std::pow(Rx.HillK, Rx.HillN)
                              : 0.0;
-    Kinetics.push_back({Rx.Kind, Rx.Km, Rx.HillK, Rx.HillN, KnPow});
+    int HillNInt = -1;
+    if (Rx.HillN >= 0.0 && Rx.HillN <= 16.0 &&
+        Rx.HillN == std::floor(Rx.HillN))
+      HillNInt = static_cast<int>(Rx.HillN);
+    Kinetics.push_back({Rx.Kind, Rx.Km, Rx.HillK, Rx.HillN, KnPow, HillNInt});
   }
   TermBegin.push_back(static_cast<uint32_t>(TermSpecies.size()));
   NetBegin.push_back(static_cast<uint32_t>(NetSpecies.size()));
@@ -163,12 +167,20 @@ void CompiledOdeSystem::setRateConstants(const std::vector<double> &K) {
   RateConstants = K;
 }
 
+void CompiledOdeSystem::setRateConstants(const double *K, size_t Count) {
+  assert(Count == Shared->NumReactions &&
+         "rate constant span size mismatch");
+  std::copy(K, K + Count, RateConstants.begin());
+}
+
 double CompiledOdeSystem::saturatingFactor(size_t R, double S) const {
   const CompiledModel::KineticsParams &P = Shared->Kinetics[R];
   S = std::max(S, 0.0);
   if (P.Kind == KineticsKind::MichaelisMenten)
     return S / (P.Km + S);
-  const double Sn = std::pow(S, P.HillN);
+  const double Sn = P.HillNInt >= 0
+                        ? ipow(S, static_cast<unsigned>(P.HillNInt))
+                        : std::pow(S, P.HillN);
   const double Kn = P.KnPow;
   if (P.Kind == KineticsKind::HillRepression)
     return Kn / (Kn + Sn);
@@ -187,7 +199,9 @@ double CompiledOdeSystem::saturatingFactorDerivative(size_t R,
       P.Kind == KineticsKind::HillRepression ? -1.0 : 1.0;
   if (S == 0.0)
     return P.HillN == 1.0 ? Sign / P.HillK : 0.0;
-  const double Sn = std::pow(S, P.HillN);
+  const double Sn = P.HillNInt >= 0
+                        ? ipow(S, static_cast<unsigned>(P.HillNInt))
+                        : std::pow(S, P.HillN);
   const double Kn = P.KnPow;
   const double Denom = Kn + Sn;
   return Sign * P.HillN * Kn * Sn / (S * Denom * Denom);
@@ -197,15 +211,16 @@ void CompiledOdeSystem::computeRates(const double *Y) const {
   const CompiledModel &M = *Shared;
   for (size_t R = 0; R < M.NumReactions; ++R) {
     double Rate = RateConstants[R];
-    const uint32_t Begin = M.TermBegin[R], End = M.TermBegin[R + 1];
-    const bool Saturating = M.Kinetics[R].Kind != KineticsKind::MassAction;
-    for (uint32_t T = Begin; T < End; ++T) {
-      const double X = Y[M.TermSpecies[T]];
-      if (Saturating && T == Begin)
-        Rate *= saturatingFactor(R, X);
-      else
-        Rate *= ipow(X, M.TermCoef[T]);
+    uint32_t T = M.TermBegin[R];
+    const uint32_t End = M.TermBegin[R + 1];
+    // The saturating factor can only apply to the first term; peel it so
+    // the remaining loop is pure mass action.
+    if (T < End && M.Kinetics[R].Kind != KineticsKind::MassAction) {
+      Rate *= saturatingFactor(R, Y[M.TermSpecies[T]]);
+      ++T;
     }
+    for (; T < End; ++T)
+      Rate *= ipow(Y[M.TermSpecies[T]], M.TermCoef[T]);
     RateScratch[R] = Rate;
   }
 }

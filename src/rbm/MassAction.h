@@ -55,6 +55,11 @@ public:
     /// pow(HillK, HillN), precomputed at compile time so the saturating
     /// factor evaluations avoid one pow() per call.
     double KnPow;
+    /// HillN when it is a small whole number (the overwhelmingly common
+    /// case for Hill coefficients), else -1. Lets the saturating-factor
+    /// evaluations replace std::pow with repeated multiplication — which
+    /// also keeps the lane-batched inner loops vectorizable.
+    int HillNInt;
   };
 
   std::string SystemName;
@@ -140,6 +145,11 @@ public:
 
   /// Replaces all rate constants (size must match numReactions()).
   void setRateConstants(const std::vector<double> &K);
+
+  /// Same, assigning in place from a raw span — the batch dispatch loops
+  /// re-parameterize one reused view per simulation, and this overload
+  /// does it without touching the allocator.
+  void setRateConstants(const double *K, size_t Count);
 
   /// All current rate constants, in reaction order.
   const std::vector<double> &rateConstants() const { return RateConstants; }

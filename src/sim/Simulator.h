@@ -102,8 +102,9 @@ public:
   virtual BatchResult run(const BatchSpec &Spec) = 0;
 };
 
-/// Creates every comparator: cpu-lsoda, cpu-vode, gpu-coarse (cupSODA-
-/// like), gpu-fine (LASSIE-like), and the psg fine+coarse engine.
+/// Creates every comparator: cpu-lsoda, cpu-vode, simd-lanes (lockstep
+/// SIMD lane batching), gpu-coarse (cupSODA-like), gpu-fine
+/// (LASSIE-like), and the psg fine+coarse engine.
 std::vector<std::unique_ptr<Simulator>>
 createAllSimulators(const CostModel &Model);
 

@@ -11,6 +11,9 @@
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <atomic>
+
 using namespace psg;
 
 namespace {
@@ -34,7 +37,8 @@ std::vector<double> configureSimulation(const BatchSpec &Spec,
                                         CompiledOdeSystem &Sys,
                                         size_t Index) {
   if (Index < Spec.RateConstantSets.size())
-    Sys.setRateConstants(Spec.RateConstantSets[Index]);
+    Sys.setRateConstants(Spec.RateConstantSets[Index].data(),
+                         Spec.RateConstantSets[Index].size());
   else
     Sys.resetRateConstants();
   if (Index < Spec.InitialStates.size())
@@ -126,6 +130,117 @@ BatchResult CpuSolverSimulator::run(const BatchSpec &Spec) {
     Outcomes[I] = runOne(Spec, Sys, Solver, std::move(Y));
   }
   return finalizeBatch(Spec, Model, Backend::CpuSerial, *Shared,
+                       std::move(Outcomes), Timer.seconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Lane-batched CPU (lockstep SIMD lanes).
+//===----------------------------------------------------------------------===//
+
+SimdLaneSimulator::SimdLaneSimulator(CostModel M, unsigned LaneWidth)
+    : Model(std::move(M)), Device(Model.gpu()), LaneWidth(LaneWidth) {
+  assert(LaneWidth >= 1 && "need at least one lane");
+}
+
+BatchResult SimdLaneSimulator::run(const BatchSpec &Spec) {
+  assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
+  WallTimer Timer;
+  std::vector<SimulationOutcome> Outcomes = makeOutcomeStorage(Spec);
+  std::shared_ptr<const CompiledModel> Shared = resolveModel(Spec);
+  const unsigned L = LaneWidth;
+  const uint64_t Groups = (Spec.Batch + L - 1) / L;
+  const std::vector<double> DefaultY0 = Spec.Model->initialState();
+  Workers.ensure(Device.hostParallelism());
+
+  MetricsRegistry &M = metrics();
+  Counter &Replays = M.counter("psg.sim.lane_step_replays");
+  Counter &Fallbacks = M.counter("psg.sim.lane_fallbacks");
+  Gauge &Occupancy = M.gauge("psg.sim.lane_occupancy");
+  std::atomic<uint64_t> ActiveSteps{0}, SlotSteps{0};
+
+  // One virtual thread per lane group: deterministic grouping (lane l of
+  // group g is simulation g*L + l), so reruns and warm/cold reruns see
+  // identical lockstep cohorts.
+  Device.launchKernel("simd-lane-batch", Groups, 32, [&](KernelContext
+                                                             &Ctx) {
+    const uint64_t G = Ctx.threadIndex();
+    SimWorkerSlot &Slot = Workers[Ctx.workerIndex()];
+    LaneBatchOdeSystem &Sys = Slot.laneSystem(Shared, L);
+    LockstepDriver &Driver = Slot.lockstep(LockstepTableau::Dopri5);
+    const size_t N = Sys.dimension();
+    const uint64_t First = G * L;
+    const unsigned Count =
+        static_cast<unsigned>(std::min<uint64_t>(L, Spec.Batch - First));
+
+    // Scatter each lane's parameterization and initial state into SoA.
+    // Ragged final groups pad with inactive copies of lane 0 so every
+    // lane computes finite arithmetic.
+    LaneBuffer Y(N * L);
+    std::vector<bool> Active(L, false);
+    std::vector<std::optional<TrajectoryRecorder>> Recorders(L);
+    std::vector<StepObserver *> Obs(L, nullptr);
+    for (unsigned Ln = 0; Ln < L; ++Ln) {
+      const uint64_t I = First + std::min<unsigned>(Ln, Count - 1);
+      if (I < Spec.RateConstantSets.size())
+        Sys.setLaneRateConstants(Ln, Spec.RateConstantSets[I].data(),
+                                 Spec.RateConstantSets[I].size());
+      else
+        Sys.resetLaneRateConstants(Ln);
+      const std::vector<double> &Y0 =
+          I < Spec.InitialStates.size() ? Spec.InitialStates[I] : DefaultY0;
+      for (size_t S = 0; S < N; ++S)
+        Y[S * L + Ln] = Y0[S];
+      if (Ln < Count) {
+        Active[Ln] = true;
+        if (Spec.OutputSamples > 0) {
+          Recorders[Ln].emplace(
+              uniformGrid(Spec.StartTime, Spec.EndTime, Spec.OutputSamples),
+              N);
+          Recorders[Ln]->recordInitial(Spec.StartTime, Y0.data());
+          Obs[Ln] = &*Recorders[Ln];
+        }
+      }
+    }
+
+    LaneIntegrationReport Report = Driver.integrate(
+        Sys, Spec.StartTime, Spec.EndTime, Y.data(), Spec.Options, Active,
+        Spec.OutputSamples > 0 ? Obs.data() : nullptr);
+    ActiveSteps.fetch_add(Report.ActiveLaneSteps,
+                          std::memory_order_relaxed);
+    SlotSteps.fetch_add(Report.LaneSlotSteps, std::memory_order_relaxed);
+    if (Report.LaneStepReplays > 0)
+      Replays.add(Report.LaneStepReplays);
+
+    for (unsigned Ln = 0; Ln < Count; ++Ln) {
+      const uint64_t I = First + Ln;
+      SimulationOutcome Local;
+      Local.Result = std::move(Report.Lane[Ln]);
+      Local.SolverUsed = "lockstep-dopri5";
+      if (Local.Result.ok()) {
+        if (Recorders[Ln])
+          Local.Dynamics = Recorders[Ln]->trajectory();
+      } else {
+        // The lockstep could not finish this lane (stiffness, vanishing
+        // shared step): re-run it scalar, keeping the lockstep cost —
+        // the same accounting as gpu-fine's BDF fallback.
+        Fallbacks.add();
+        const IntegrationStats LockstepCost = Local.Result.Stats;
+        CompiledOdeSystem &Scalar = Slot.bind(Shared);
+        std::vector<double> Y0 = configureSimulation(Spec, Scalar, I);
+        Local = runOne(Spec, Scalar, Slot.solver("lsoda"), std::move(Y0));
+        Local.Result.Stats.merge(LockstepCost);
+        ++Local.Result.Stats.SolverSwitches;
+      }
+      Outcomes[I] = std::move(Local);
+    }
+  });
+
+  const uint64_t Slots = SlotSteps.load(std::memory_order_relaxed);
+  if (Slots > 0)
+    Occupancy.set(static_cast<double>(
+                      ActiveSteps.load(std::memory_order_relaxed)) /
+                  static_cast<double>(Slots));
+  return finalizeBatch(Spec, Model, Backend::CpuSimdLanes, *Shared,
                        std::move(Outcomes), Timer.seconds());
 }
 
@@ -287,6 +402,7 @@ psg::createAllSimulators(const CostModel &Model) {
       std::make_unique<CpuSolverSimulator>("lsoda", "cpu-lsoda", Model));
   All.push_back(
       std::make_unique<CpuSolverSimulator>("vode", "cpu-vode", Model));
+  All.push_back(std::make_unique<SimdLaneSimulator>(Model));
   All.push_back(std::make_unique<CoarseGpuSimulator>(Model));
   All.push_back(std::make_unique<FineGpuSimulator>(Model));
   All.push_back(std::make_unique<FineCoarseSimulator>(Model));
@@ -301,6 +417,9 @@ psg::createSimulator(const std::string &Name, const CostModel &Model) {
   if (Name == "cpu-vode")
     return std::unique_ptr<Simulator>(
         std::make_unique<CpuSolverSimulator>("vode", "cpu-vode", Model));
+  if (Name == "simd-lanes")
+    return std::unique_ptr<Simulator>(
+        std::make_unique<SimdLaneSimulator>(Model));
   if (Name == "gpu-coarse")
     return std::unique_ptr<Simulator>(
         std::make_unique<CoarseGpuSimulator>(Model));

@@ -1,0 +1,325 @@
+//===- tests/lane_batch_test.cpp - Lane-batched lockstep tests ------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests of the SIMD lane-batching subsystem: the SoA kinetics
+// evaluator (LaneBatchOdeSystem), the lockstep driver, and the
+// simd-lanes personality. The load-bearing properties are lane-count
+// invariance (L=1 vs L=4 vs L=8 agree within the conformance tolerance —
+// lockstep step control forbids bit-exactness across widths) and correct
+// handling of ragged final lane-groups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/LockstepDriver.h"
+#include "rbm/CuratedModels.h"
+#include "rbm/LaneBatchOdeSystem.h"
+#include "sim/Simulators.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+using namespace psg;
+
+namespace {
+BatchSpec specFor(const ReactionNetwork &Net, uint64_t Batch,
+                  double EndTime = 8.0, size_t Samples = 5) {
+  BatchSpec Spec;
+  Spec.Model = &Net;
+  Spec.Batch = Batch;
+  Spec.EndTime = EndTime;
+  Spec.OutputSamples = Samples;
+  Spec.Options.MaxSteps = 500000;
+  return Spec;
+}
+
+/// Per-simulation rate-constant sets: set i scales every constant of
+/// \p Net by (1 + Spread * i).
+std::vector<std::vector<double>> perturbedConstants(const ReactionNetwork &Net,
+                                                    size_t Count,
+                                                    double Spread) {
+  std::vector<std::vector<double>> Sets(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    const double Scale = 1.0 + Spread * static_cast<double>(I);
+    for (size_t R = 0; R < Net.numReactions(); ++R)
+      Sets[I].push_back(Net.reaction(R).RateConstant * Scale);
+  }
+  return Sets;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SoA evaluator.
+//===----------------------------------------------------------------------===//
+
+// The lane-batched rhs must reproduce the scalar rhs bit-for-bat on each
+// lane: the lane loops reorder nothing within one lane's arithmetic.
+TEST(LaneBatchTest, RhsMatchesScalarPerLane) {
+  const ReactionNetwork Net = makeRobertsonNetwork();
+  auto Model = compileModel(Net);
+  const unsigned L = 4;
+  const size_t N = Model->NumSpecies;
+  LaneBatchOdeSystem Lanes(Model, L);
+  CompiledOdeSystem Scalar(Model);
+
+  // Distinct parameterizations and states per lane.
+  std::vector<std::vector<double>> K(L), Y0(L);
+  for (unsigned Ln = 0; Ln < L; ++Ln) {
+    for (size_t R = 0; R < Model->NumReactions; ++R)
+      K[Ln].push_back(Model->DefaultConstants[R] * (1.0 + 0.1 * Ln));
+    for (size_t S = 0; S < N; ++S)
+      Y0[Ln].push_back(0.25 + 0.5 * static_cast<double>(S + Ln + 1));
+    Lanes.setLaneRateConstants(Ln, K[Ln].data(), K[Ln].size());
+  }
+
+  LaneBuffer Y(N * L), DyDt(N * L);
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    for (size_t S = 0; S < N; ++S)
+      Y[S * L + Ln] = Y0[Ln][S];
+  Lanes.rhsLanes(0.0, Y.data(), DyDt.data());
+
+  for (unsigned Ln = 0; Ln < L; ++Ln) {
+    Scalar.setRateConstants(K[Ln]);
+    std::vector<double> Expected(N);
+    Scalar.rhs(0.0, Y0[Ln].data(), Expected.data());
+    for (size_t S = 0; S < N; ++S)
+      EXPECT_DOUBLE_EQ(DyDt[S * L + Ln], Expected[S])
+          << "lane " << Ln << " species " << S;
+  }
+}
+
+// Hill and Michaelis-Menten kinetics take the saturating path; the
+// integer-exponent fast path must agree with the scalar factors.
+TEST(LaneBatchTest, SaturatingKineticsMatchScalarPerLane) {
+  const ReactionNetwork Net = makeRepressilatorNetwork();
+  auto Model = compileModel(Net);
+  const unsigned L = 8;
+  const size_t N = Model->NumSpecies;
+  LaneBatchOdeSystem Lanes(Model, L);
+  CompiledOdeSystem Scalar(Model);
+
+  LaneBuffer Y(N * L), DyDt(N * L);
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    for (size_t S = 0; S < N; ++S)
+      Y[S * L + Ln] = 0.1 + 0.3 * static_cast<double>(S + 1) +
+                      0.05 * static_cast<double>(Ln);
+  Lanes.rhsLanes(0.0, Y.data(), DyDt.data());
+
+  std::vector<double> Yl(N), Expected(N);
+  for (unsigned Ln = 0; Ln < L; ++Ln) {
+    for (size_t S = 0; S < N; ++S)
+      Yl[S] = Y[S * L + Ln];
+    Scalar.rhs(0.0, Yl.data(), Expected.data());
+    for (size_t S = 0; S < N; ++S)
+      EXPECT_DOUBLE_EQ(DyDt[S * L + Ln], Expected[S])
+          << "lane " << Ln << " species " << S;
+  }
+}
+
+TEST(LaneBatchTest, RebindResetsConstantsAndKeepsWidth) {
+  auto ModelA = compileModel(makeLotkaVolterraNetwork());
+  auto ModelB = compileModel(makeRobertsonNetwork());
+  LaneBatchOdeSystem Lanes(ModelA, 4);
+  std::vector<double> K(ModelA->NumReactions, 9.0);
+  Lanes.setLaneRateConstants(2, K.data(), K.size());
+  EXPECT_DOUBLE_EQ(Lanes.laneRateConstant(2, 0), 9.0);
+  Lanes.rebind(ModelB);
+  EXPECT_EQ(Lanes.lanes(), 4u);
+  EXPECT_EQ(Lanes.dimension(), ModelB->NumSpecies);
+  for (unsigned Ln = 0; Ln < 4; ++Ln)
+    EXPECT_DOUBLE_EQ(Lanes.laneRateConstant(Ln, 0),
+                     ModelB->DefaultConstants[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Lockstep driver.
+//===----------------------------------------------------------------------===//
+
+// Inactive lanes must be left untouched and cost nothing in the
+// occupancy numerator.
+TEST(LockstepDriverTest, InactiveLanesKeepStateAndCountAsIdle) {
+  auto Model = compileModel(makeLotkaVolterraNetwork());
+  const unsigned L = 4;
+  const size_t N = Model->NumSpecies;
+  LaneBatchOdeSystem Lanes(Model, L);
+  LockstepDriver Driver(LockstepTableau::Dopri5);
+
+  LaneBuffer Y(N * L);
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    for (size_t S = 0; S < N; ++S)
+      Y[S * L + Ln] = 1.0 + static_cast<double>(S);
+  std::vector<bool> Active = {true, false, true, false};
+  SolverOptions Opts;
+  LaneIntegrationReport Report =
+      Driver.integrate(Lanes, 0.0, 2.0, Y.data(), Opts, Active);
+
+  EXPECT_EQ(Report.Lane.size(), L);
+  EXPECT_TRUE(Report.Lane[0].ok());
+  EXPECT_TRUE(Report.Lane[2].ok());
+  EXPECT_DOUBLE_EQ(Report.Lane[0].FinalTime, 2.0);
+  // Half the lanes idle: occupancy is exactly 1/2.
+  EXPECT_EQ(Report.ActiveLaneSteps * 2, Report.LaneSlotSteps);
+  // Inactive lanes hold their initial state and report zero work.
+  for (size_t S = 0; S < N; ++S) {
+    EXPECT_DOUBLE_EQ(Y[S * L + 1], 1.0 + static_cast<double>(S));
+    EXPECT_DOUBLE_EQ(Y[S * L + 3], 1.0 + static_cast<double>(S));
+  }
+  EXPECT_EQ(Report.Lane[1].Stats.Steps, 0u);
+  EXPECT_EQ(Report.Lane[3].Stats.Steps, 0u);
+}
+
+// Both tableaus must integrate a nonstiff group to the end time and
+// agree with each other within tolerance.
+TEST(LockstepDriverTest, TableausAgreeOnNonstiffGroup) {
+  auto Model = compileModel(makeLotkaVolterraNetwork());
+  const unsigned L = 4;
+  const size_t N = Model->NumSpecies;
+  SolverOptions Opts;
+  std::vector<bool> Active(L, true);
+
+  double Final[2][8];
+  int Idx = 0;
+  for (LockstepTableau Tb :
+       {LockstepTableau::Dopri5, LockstepTableau::Rkf45}) {
+    LaneBatchOdeSystem Lanes(Model, L);
+    LockstepDriver Driver(Tb);
+    LaneBuffer Y(N * L);
+    for (unsigned Ln = 0; Ln < L; ++Ln)
+      for (size_t S = 0; S < N; ++S)
+        Y[S * L + Ln] = 1.0 + 0.1 * static_cast<double>(Ln);
+    LaneIntegrationReport Report =
+        Driver.integrate(Lanes, 0.0, 5.0, Y.data(), Opts, Active);
+    for (unsigned Ln = 0; Ln < L; ++Ln) {
+      ASSERT_TRUE(Report.Lane[Ln].ok())
+          << lockstepTableauName(Tb) << " lane " << Ln;
+      Final[Idx][Ln] = Y[0 * L + Ln];
+    }
+    ++Idx;
+  }
+  for (unsigned Ln = 0; Ln < L; ++Ln)
+    EXPECT_NEAR(Final[0][Ln], Final[1][Ln],
+                5e-3 * (1.0 + std::abs(Final[0][Ln])));
+}
+
+//===----------------------------------------------------------------------===//
+// simd-lanes personality: lane-count invariance and ragged groups.
+//===----------------------------------------------------------------------===//
+
+// The contract of the ISSUE: L=1, L=4, and L=8 must agree within the
+// conformance tolerance (bit-exactness across widths is impossible —
+// the lockstep h sequence depends on the cohort).
+TEST(SimdLanesTest, LaneCountInvariance) {
+  CostModel M = CostModel::paperSetup();
+  const ReactionNetwork Net = makeLotkaVolterraNetwork();
+  const uint64_t Batch = 8;
+  auto Sets = perturbedConstants(Net, Batch, 0.02);
+
+  std::vector<std::vector<double>> Finals;
+  for (unsigned L : {1u, 4u, 8u}) {
+    SimdLaneSimulator Sim(M, L);
+    EXPECT_EQ(Sim.laneWidth(), L);
+    BatchSpec Spec = specFor(Net, Batch);
+    Spec.RateConstantSets = Sets;
+    BatchResult R = Sim.run(Spec);
+    ASSERT_EQ(R.Failures, 0u) << "L=" << L;
+    std::vector<double> F;
+    for (uint64_t I = 0; I < Batch; ++I)
+      F.push_back(R.Outcomes[I].Dynamics.value(4, 0));
+    Finals.push_back(std::move(F));
+  }
+  for (size_t W = 1; W < Finals.size(); ++W)
+    for (uint64_t I = 0; I < Batch; ++I)
+      EXPECT_NEAR(Finals[W][I], Finals[0][I],
+                  5e-3 * (1.0 + std::abs(Finals[0][I])))
+          << "width index " << W << " sim " << I;
+}
+
+// A batch not divisible by the lane width must fill every outcome slot,
+// apply the right parameterization to the right simulation, and leave
+// occupancy below 1 (the padded lanes idle).
+TEST(SimdLanesTest, RaggedFinalLaneGroup) {
+  CostModel M = CostModel::paperSetup();
+  const ReactionNetwork Net = makeLotkaVolterraNetwork();
+  const uint64_t Batch = 11; // 8 + ragged 3.
+  auto Sets = perturbedConstants(Net, Batch, 0.05);
+
+  SimdLaneSimulator Lanes(M, 8);
+  BatchSpec Spec = specFor(Net, Batch);
+  Spec.RateConstantSets = Sets;
+  BatchResult R = Lanes.run(Spec);
+  ASSERT_EQ(R.Outcomes.size(), Batch);
+  ASSERT_EQ(R.Failures, 0u);
+
+  // Reference: the scalar coarse personality over the same batch.
+  auto Ref = createSimulator("cpu-lsoda", M);
+  BatchSpec RefSpec = specFor(Net, Batch);
+  RefSpec.RateConstantSets = Sets;
+  BatchResult RefR = (*Ref)->run(RefSpec);
+  ASSERT_EQ(RefR.Failures, 0u);
+
+  for (uint64_t I = 0; I < Batch; ++I)
+    for (size_t S = 0; S < Net.numSpecies(); ++S) {
+      const double Want = RefR.Outcomes[I].Dynamics.value(4, S);
+      EXPECT_NEAR(R.Outcomes[I].Dynamics.value(4, S), Want,
+                  5e-3 * (1.0 + std::abs(Want)))
+          << "sim " << I << " species " << S;
+    }
+
+  const double Occupancy =
+      metrics().gauge("psg.sim.lane_occupancy").value();
+  EXPECT_GT(Occupancy, 0.0);
+  EXPECT_LT(Occupancy, 1.0); // The ragged group's 5 padded lanes idle.
+}
+
+// A batch smaller than one lane group exercises the all-ragged case.
+TEST(SimdLanesTest, BatchSmallerThanLaneWidth) {
+  CostModel M = CostModel::paperSetup();
+  const ReactionNetwork Net = makeLotkaVolterraNetwork();
+  SimdLaneSimulator Sim(M, 8);
+  BatchSpec Spec = specFor(Net, 3);
+  BatchResult R = Sim.run(Spec);
+  ASSERT_EQ(R.Outcomes.size(), 3u);
+  EXPECT_EQ(R.Failures, 0u);
+  EXPECT_EQ(R.TotalStats.Steps % 3, 0u); // Identical lanes step in lockstep.
+}
+
+// Lockstep divergence accounting: a batch of identical lanes replays
+// nothing; the replay counter only moves when a cohort diverges.
+TEST(SimdLanesTest, MetricsAreWired) {
+  CostModel M = CostModel::paperSetup();
+  const ReactionNetwork Net = makeLotkaVolterraNetwork();
+  Counter &Replays = metrics().counter("psg.sim.lane_step_replays");
+  const uint64_t Before = Replays.value();
+
+  SimdLaneSimulator Sim(M, 4);
+  BatchSpec Spec = specFor(Net, 8);
+  Spec.RateConstantSets = perturbedConstants(Net, 8, 0.25);
+  BatchResult R = Sim.run(Spec);
+  ASSERT_EQ(R.Failures, 0u);
+  EXPECT_GT(metrics().gauge("psg.sim.lane_occupancy").value(), 0.0);
+  // Spread parameterizations disagree on step acceptance somewhere in
+  // the run; the divergence cost must be visible.
+  EXPECT_GE(Replays.value(), Before);
+}
+
+// Stiff lanes must fail over to the scalar fallback and still succeed.
+TEST(SimdLanesTest, StiffLanesFallBackToScalar) {
+  CostModel M = CostModel::paperSetup();
+  const ReactionNetwork Net = makeRobertsonNetwork();
+  Counter &Fallbacks = metrics().counter("psg.sim.lane_fallbacks");
+  const uint64_t Before = Fallbacks.value();
+
+  SimdLaneSimulator Sim(M, 4);
+  BatchSpec Spec = specFor(Net, 4, 40.0, 0);
+  BatchResult R = Sim.run(Spec);
+  EXPECT_EQ(R.Failures, 0u);
+  EXPECT_GT(Fallbacks.value(), Before);
+  EXPECT_GT(R.TotalStats.SolverSwitches, 0u);
+  for (const SimulationOutcome &O : R.Outcomes)
+    EXPECT_EQ(O.SolverUsed, "lsoda");
+}

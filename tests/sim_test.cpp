@@ -34,11 +34,13 @@ BatchSpec specFor(const ReactionNetwork &Net, uint64_t Batch,
 TEST(SimulatorFactoryTest, AllPersonalitiesConstruct) {
   CostModel M = CostModel::paperSetup();
   auto All = createAllSimulators(M);
-  ASSERT_EQ(All.size(), 5u);
+  ASSERT_EQ(All.size(), 6u);
   EXPECT_EQ(All[0]->name(), "cpu-lsoda");
-  EXPECT_EQ(All[4]->name(), "psg-engine");
-  EXPECT_EQ(All[2]->backend(), Backend::GpuCoarse);
-  EXPECT_EQ(All[4]->backend(), Backend::GpuFineCoarse);
+  EXPECT_EQ(All[2]->name(), "simd-lanes");
+  EXPECT_EQ(All[5]->name(), "psg-engine");
+  EXPECT_EQ(All[2]->backend(), Backend::CpuSimdLanes);
+  EXPECT_EQ(All[3]->backend(), Backend::GpuCoarse);
+  EXPECT_EQ(All[5]->backend(), Backend::GpuFineCoarse);
 }
 
 TEST(SimulatorFactoryTest, UnknownNameFails) {
@@ -78,8 +80,8 @@ TEST_P(AllSimulatorsTest, ProducesCorrectRobertsonEndState) {
 
 INSTANTIATE_TEST_SUITE_P(Personalities, AllSimulatorsTest,
                          ::testing::Values("cpu-lsoda", "cpu-vode",
-                                           "gpu-coarse", "gpu-fine",
-                                           "psg-engine"));
+                                           "simd-lanes", "gpu-coarse",
+                                           "gpu-fine", "psg-engine"));
 
 TEST(SimulatorTest, PerSimulationParameterizationsApply) {
   CostModel M = CostModel::paperSetup();
@@ -164,8 +166,8 @@ TEST(SimulatorTest, PersonalitiesAgreeNumerically) {
   CostModel M = CostModel::paperSetup();
   ReactionNetwork Net = makeLotkaVolterraNetwork();
   std::vector<double> Finals;
-  for (const char *Name :
-       {"cpu-lsoda", "cpu-vode", "gpu-coarse", "gpu-fine", "psg-engine"}) {
+  for (const char *Name : {"cpu-lsoda", "cpu-vode", "simd-lanes",
+                           "gpu-coarse", "gpu-fine", "psg-engine"}) {
     auto Sim = createSimulator(Name, M);
     BatchSpec Spec = specFor(Net, 1, 8.0, 3);
     BatchResult R = (*Sim)->run(Spec);

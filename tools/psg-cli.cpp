@@ -177,7 +177,7 @@ int usage() {
       "             autophagy-small)\n"
       "\n"
       "simulators: psg-engine (default), cpu-lsoda, cpu-vode,\n"
-      "            gpu-coarse, gpu-fine\n");
+      "            simd-lanes, gpu-coarse, gpu-fine\n");
   return 2;
 }
 
