@@ -1,0 +1,314 @@
+//===- bench/bench_micro_sched.cpp ----------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-device scheduler scaling microbenchmark. Runs the same streaming
+/// parameter sweep through the sched::ShardedExecutor at 1, 2, and 4
+/// logical gpu-coarse devices (one host worker each) and reports the
+/// fleet's modeled throughput — simulations per modeled makespan second,
+/// where the makespan is the busiest device's modeled time, the devices
+/// running concurrently in the model even where the host serializes
+/// them. Host wall time is recorded for reference but is NOT the gated
+/// quantity: the bench must hold on single-core CI runners, and the
+/// repo's contract is the modeled-hardware timing throughout.
+///
+/// A healthy scheduler shows near-linear modeled scaling on these
+/// homogeneous fleets (the acceptance gate is >1.5x at 4 devices) with
+/// low shard imbalance; a scheduling regression — skewed assignment,
+/// broken stealing, serialization — shows up as a collapsed speedup or a
+/// ballooning imbalance long before it would be visible on real wall
+/// clocks.
+///
+/// Output: a psg-bench-sched-v1 JSON document (default BENCH_sched.json)
+/// with per-case modeled throughput and scheduling telemetry plus the
+/// per-model scaling table. `--baseline FILE` embeds a previously saved
+/// run object verbatim so the committed file carries before/after
+/// numbers across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "rbm/CuratedModels.h"
+#include "sched/ShardedExecutor.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  std::string Personality;
+  unsigned Devices = 0;
+  uint64_t Sims = 0;
+  uint64_t Chunk = 0;
+  uint64_t Shards = 0;
+  uint64_t Steals = 0;
+  double ModeledMakespanSeconds = 0.0;
+  double SimsPerSecond = 0.0; ///< Modeled fleet throughput.
+  double ShardImbalance = 0.0;
+  double HostWallSeconds = 0.0;
+  size_t Failures = 0;
+};
+
+/// The sweep every case runs: curated defaults with ±10% rate-constant
+/// jitter, the coherent-neighbour regime of the paper's batches.
+std::vector<Parameterization> makeSweep(const ReactionNetwork &Net,
+                                        uint64_t Sims, uint64_t Seed) {
+  std::vector<double> Defaults;
+  Defaults.reserve(Net.numReactions());
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Defaults.push_back(Net.reaction(R).RateConstant);
+
+  Rng Generator(Seed);
+  std::vector<Parameterization> Params(Sims);
+  for (Parameterization &P : Params) {
+    P.InitialState = Net.initialState();
+    P.RateConstants = Defaults;
+    for (double &K : P.RateConstants)
+      K *= 0.9 + 0.2 * Generator.uniform();
+  }
+  return Params;
+}
+
+/// Discards every outcome; the bench measures scheduling, not reduction.
+class NullSink final : public OutcomeSink {
+public:
+  size_t Count = 0;
+  void consumeSubBatch(size_t, std::vector<SimulationOutcome> &B) override {
+    Count += B.size();
+  }
+};
+
+CaseResult measureCase(const ReactionNetwork &Net, const std::string &Name,
+                       double EndTime, uint64_t Sims, uint64_t Chunk,
+                       unsigned Devices, unsigned Reps) {
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = EndTime;
+  Opts.OutputSamples = 0;
+  Opts.Solver.RelTol = 1e-6;
+  Opts.Solver.AbsTol = 1e-9;
+  Opts.Sched.Devices.assign(Devices, "gpu-coarse");
+  Opts.Sched.ChunkSize = Chunk;
+  Opts.Sched.WorkersPerDevice = 1;
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+
+  const std::vector<Parameterization> Params = makeSweep(Net, Sims, 42);
+  auto runOnce = [&]() -> ShardScheduleReport {
+    size_t Next = 0;
+    ParameterizationSource Source =
+        [&](size_t MaxCount, std::vector<Parameterization> &Out) -> size_t {
+      const size_t Count = std::min(MaxCount, Params.size() - Next);
+      for (size_t I = 0; I < Count; ++I)
+        Out.push_back(Params[Next + I]);
+      Next += Count;
+      return Count;
+    };
+    NullSink Sink;
+    return Executor.streamParameterizations(Net, nullptr, Source, Sink);
+  };
+
+  // Warmup: populates worker pools, the compiled model, and the
+  // scheduler's per-device throughput estimates.
+  runOnce();
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Personality = "gpu-coarse";
+  R.Devices = Devices;
+  R.Sims = Sims;
+  R.Chunk = Chunk;
+  double BestMakespan = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    const ShardScheduleReport Report = runOnce();
+    const double Wall = Timer.seconds();
+    const double Makespan = Report.ModeledMakespanSeconds;
+    if (Rep == 0 || Makespan < BestMakespan) {
+      BestMakespan = Makespan;
+      R.Shards = Report.Shards;
+      R.Steals = Report.Steals;
+      R.ShardImbalance = Report.ShardImbalance;
+      R.HostWallSeconds = Wall;
+      R.Failures = Report.Stream.Failures;
+    }
+  }
+  R.ModeledMakespanSeconds = BestMakespan;
+  R.SimsPerSecond =
+      BestMakespan > 0.0 ? static_cast<double>(Sims) / BestMakespan : 0.0;
+  std::printf("  %-14s %u device(s)  %10.0f sims/s modeled (makespan "
+              "%.4gs, imbalance %.3f, %llu steals)\n",
+              Name.c_str(), Devices, R.SimsPerSecond,
+              R.ModeledMakespanSeconds, R.ShardImbalance,
+              (unsigned long long)R.Steals);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"personality\": \"%s\", \"devices\": %u, "
+      "\"sims\": %llu, \"chunk\": %llu, \"shards\": %llu, \"steals\": %llu, "
+      "\"modeled_makespan_s\": %.6e, \"sims_per_sec\": %.1f, "
+      "\"imbalance\": %.4f, \"host_wall_s\": %.6e, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Personality.c_str(), R.Devices,
+      (unsigned long long)R.Sims, (unsigned long long)R.Chunk,
+      (unsigned long long)R.Shards, (unsigned long long)R.Steals,
+      R.ModeledMakespanSeconds, R.SimsPerSecond, R.ShardImbalance,
+      R.HostWallSeconds, R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"personality\": \"gpu-coarse\",\n";
+  Out += "    \"metric\": \"modeled_makespan_throughput\",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ],\n";
+  // Cases per model run in device-count order starting at 1; the scaling
+  // table is each entry's throughput over its model's 1-device case.
+  Out += "    \"scaling\": [\n";
+  std::string Rows;
+  double BaseThroughput = 0.0;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CaseResult &R = Results[I];
+    if (R.Devices == 1) {
+      BaseThroughput = R.SimsPerSecond;
+      continue;
+    }
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", \"devices\": %u, "
+                  "\"speedup\": %.3f}%s\n",
+                  R.ModelName.c_str(), R.Devices,
+                  BaseThroughput > 0.0 ? R.SimsPerSecond / BaseThroughput
+                                       : 0.0,
+                  I + 1 < Results.size() ? "," : "");
+    Rows += Buf;
+  }
+  if (!Rows.empty() && Rows[Rows.size() - 2] == ',')
+    Rows.erase(Rows.size() - 2, 1);
+  Out += Rows;
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_sched.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-sched: multi-device sharded sweep scaling ==\n");
+  const ReactionNetwork Brussel = makeBrusselatorNetwork();
+  const ReactionNetwork Decay = makeDecayChainNetwork(8, 0.5);
+
+  struct Sweep {
+    const ReactionNetwork *Net;
+    const char *Name;
+    double EndTime;
+    uint64_t Sims;
+    uint64_t Chunk;
+  };
+  const Sweep Sweeps[] = {{&Brussel, "brusselator", 2.0, 512, 32},
+                          {&Decay, "decay-chain-8", 2.0, 512, 32}};
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const unsigned DeviceCounts[] = {1, 2, 4};
+  for (const Sweep &S : Sweeps)
+    for (unsigned Devices : DeviceCounts)
+      Results.push_back(measureCase(*S.Net, S.Name, S.EndTime, S.Sims,
+                                    S.Chunk, Devices, Reps));
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-sched-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.sched.shards\": %llu, "
+        "\"psg.sched.steals\": %llu, \"psg.sched.requeues\": %llu, "
+        "\"psg.sched.lost_simulations\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.sched.shards"),
+        (unsigned long long)Snapshot.counterValue("psg.sched.steals"),
+        (unsigned long long)Snapshot.counterValue("psg.sched.requeues"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.sched.lost_simulations"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

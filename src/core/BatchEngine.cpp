@@ -6,6 +6,7 @@
 
 #include "core/BatchEngine.h"
 
+#include "sched/ShardedExecutor.h"
 #include "support/Error.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
@@ -15,8 +16,6 @@
 #include <deque>
 
 using namespace psg;
-
-OutcomeSink::~OutcomeSink() = default;
 
 namespace {
 
@@ -28,7 +27,9 @@ void accumulateModeled(ModeledTime &Into, const ModeledTime &From) {
 }
 
 /// The sink behind run()/runParameterizations: re-materializes every
-/// streamed outcome, in order, into a caller-owned vector.
+/// streamed outcome into a caller-owned vector at its global index, so
+/// it tolerates the out-of-order delivery a completion-ordered sharded
+/// run produces as well as the in-order single-device stream.
 class MaterializingSink final : public OutcomeSink {
 public:
   explicit MaterializingSink(std::vector<SimulationOutcome> &Into)
@@ -36,10 +37,10 @@ public:
 
   void consumeSubBatch(size_t FirstIndex,
                        std::vector<SimulationOutcome> &Outcomes) override {
-    assert(FirstIndex == Into.size() && "out-of-order sub-batch");
-    (void)FirstIndex;
-    for (SimulationOutcome &O : Outcomes)
-      Into.push_back(std::move(O));
+    if (Into.size() < FirstIndex + Outcomes.size())
+      Into.resize(FirstIndex + Outcomes.size());
+    for (size_t I = 0; I < Outcomes.size(); ++I)
+      Into[FirstIndex + I] = std::move(Outcomes[I]);
   }
 
 private:
@@ -67,6 +68,8 @@ BatchEngine::BatchEngine(const CostModel &Model, EngineOptions Options)
     fatalError(SimOrErr.message());
   Sim = std::move(*SimOrErr);
 }
+
+BatchEngine::~BatchEngine() = default;
 
 std::shared_ptr<const CompiledModel>
 BatchEngine::compiled(const ReactionNetwork &Net) {
@@ -96,6 +99,14 @@ StreamReport
 BatchEngine::streamParameterizations(const ReactionNetwork &Net,
                                      const ParameterizationSource &Source,
                                      OutcomeSink &Sink) {
+  if (Opts.Sched.enabled()) {
+    // Multi-device sharded path: the executor owns the device fleet and
+    // is kept warm across runs like Sim is.
+    if (!Sharded)
+      Sharded = std::make_unique<ShardedExecutor>(Model, Opts, Opts.Sched);
+    return Sharded->streamParameterizations(Net, compiled(Net), Source, Sink)
+        .Stream;
+  }
   TraceSpan RunSpan("engine.run", "engine");
   MetricsRegistry &M = metrics();
   Counter &SubBatchCount = M.counter("psg.engine.sub_batches");

@@ -7,6 +7,8 @@
 #include "ode/IntegrationResult.h"
 
 const char *psg::integrationStatusName(IntegrationStatus Status) {
+  // Exhaustive, no default: a new status without a name is a compile
+  // error, not an "unknown" leaking into reports.
   switch (Status) {
   case IntegrationStatus::Success:
     return "success";
@@ -22,6 +24,8 @@ const char *psg::integrationStatusName(IntegrationStatus Status) {
     return "non-finite-state";
   case IntegrationStatus::StiffnessDetected:
     return "stiffness-detected";
+  case IntegrationStatus::Aborted:
+    return "aborted";
   }
-  return "unknown";
+  __builtin_unreachable();
 }

@@ -27,7 +27,9 @@ enum class IntegrationStatus {
   NewtonFailure,    ///< Implicit solve failed repeatedly.
   SingularMatrix,   ///< Newton/iteration matrix could not be factored.
   NonFiniteState,   ///< NaN/Inf appeared in the state.
-  StiffnessDetected ///< Explicit solver flagged stiffness (engine re-routes).
+  StiffnessDetected, ///< Explicit solver flagged stiffness (engine re-routes).
+  Aborted           ///< Execution layer gave up (e.g. a sweep shard was
+                    ///< dropped after exhausting its re-queue budget).
 };
 
 /// Short human-readable name for \p Status.

@@ -108,9 +108,13 @@ public:
 std::vector<std::unique_ptr<Simulator>>
 createAllSimulators(const CostModel &Model);
 
-/// Creates one simulator by name; fails on unknown names.
+/// Creates one simulator by name; fails on unknown names. \p HostWorkers
+/// caps the personality's host worker pool (0 = hardware concurrency) so
+/// several simulator instances can share a machine without
+/// oversubscribing it — the sharded scheduler's per-device pinning.
 ErrorOr<std::unique_ptr<Simulator>>
-createSimulator(const std::string &Name, const CostModel &Model);
+createSimulator(const std::string &Name, const CostModel &Model,
+                unsigned HostWorkers = 0);
 
 } // namespace psg
 

@@ -137,8 +137,10 @@ BatchResult CpuSolverSimulator::run(const BatchSpec &Spec) {
 // Lane-batched CPU (lockstep SIMD lanes).
 //===----------------------------------------------------------------------===//
 
-SimdLaneSimulator::SimdLaneSimulator(CostModel M, unsigned LaneWidth)
-    : Model(std::move(M)), Device(Model.gpu()), LaneWidth(LaneWidth) {
+SimdLaneSimulator::SimdLaneSimulator(CostModel M, unsigned LaneWidth,
+                                     unsigned HostWorkers)
+    : Model(std::move(M)), Device(Model.gpu(), HostWorkers),
+      LaneWidth(LaneWidth) {
   assert(LaneWidth >= 1 && "need at least one lane");
 }
 
@@ -248,8 +250,8 @@ BatchResult SimdLaneSimulator::run(const BatchSpec &Spec) {
 // Coarse-grained GPU (cupSODA-like).
 //===----------------------------------------------------------------------===//
 
-CoarseGpuSimulator::CoarseGpuSimulator(CostModel M)
-    : Model(std::move(M)), Device(Model.gpu()) {}
+CoarseGpuSimulator::CoarseGpuSimulator(CostModel M, unsigned HostWorkers)
+    : Model(std::move(M)), Device(Model.gpu(), HostWorkers) {}
 
 BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
@@ -280,8 +282,8 @@ BatchResult CoarseGpuSimulator::run(const BatchSpec &Spec) {
 // Fine-grained GPU (LASSIE-like).
 //===----------------------------------------------------------------------===//
 
-FineGpuSimulator::FineGpuSimulator(CostModel M)
-    : Model(std::move(M)), Device(Model.gpu()) {}
+FineGpuSimulator::FineGpuSimulator(CostModel M, unsigned HostWorkers)
+    : Model(std::move(M)), Device(Model.gpu(), HostWorkers) {}
 
 BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
@@ -322,8 +324,8 @@ BatchResult FineGpuSimulator::run(const BatchSpec &Spec) {
 // Fine+coarse engine (the paper's contribution).
 //===----------------------------------------------------------------------===//
 
-FineCoarseSimulator::FineCoarseSimulator(CostModel M)
-    : Model(std::move(M)), Device(Model.gpu()) {}
+FineCoarseSimulator::FineCoarseSimulator(CostModel M, unsigned HostWorkers)
+    : Model(std::move(M)), Device(Model.gpu(), HostWorkers) {}
 
 BatchResult FineCoarseSimulator::run(const BatchSpec &Spec) {
   assert(Spec.Model && Spec.Batch > 0 && "malformed batch spec");
@@ -410,7 +412,8 @@ psg::createAllSimulators(const CostModel &Model) {
 }
 
 ErrorOr<std::unique_ptr<Simulator>>
-psg::createSimulator(const std::string &Name, const CostModel &Model) {
+psg::createSimulator(const std::string &Name, const CostModel &Model,
+                     unsigned HostWorkers) {
   if (Name == "cpu-lsoda")
     return std::unique_ptr<Simulator>(
         std::make_unique<CpuSolverSimulator>("lsoda", "cpu-lsoda", Model));
@@ -418,17 +421,17 @@ psg::createSimulator(const std::string &Name, const CostModel &Model) {
     return std::unique_ptr<Simulator>(
         std::make_unique<CpuSolverSimulator>("vode", "cpu-vode", Model));
   if (Name == "simd-lanes")
-    return std::unique_ptr<Simulator>(
-        std::make_unique<SimdLaneSimulator>(Model));
+    return std::unique_ptr<Simulator>(std::make_unique<SimdLaneSimulator>(
+        Model, /*LaneWidth=*/8, HostWorkers));
   if (Name == "gpu-coarse")
     return std::unique_ptr<Simulator>(
-        std::make_unique<CoarseGpuSimulator>(Model));
+        std::make_unique<CoarseGpuSimulator>(Model, HostWorkers));
   if (Name == "gpu-fine")
     return std::unique_ptr<Simulator>(
-        std::make_unique<FineGpuSimulator>(Model));
+        std::make_unique<FineGpuSimulator>(Model, HostWorkers));
   if (Name == "psg-engine")
     return std::unique_ptr<Simulator>(
-        std::make_unique<FineCoarseSimulator>(Model));
+        std::make_unique<FineCoarseSimulator>(Model, HostWorkers));
   return ErrorOr<std::unique_ptr<Simulator>>::failure(
       "unknown simulator '" + Name + "'");
 }

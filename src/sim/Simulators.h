@@ -58,7 +58,11 @@ private:
 /// gpu-fine's BDF fallback.
 class SimdLaneSimulator : public Simulator {
 public:
-  explicit SimdLaneSimulator(CostModel Model, unsigned LaneWidth = 8);
+  /// \p HostWorkers caps the host pool backing the virtual device
+  /// (0 = hardware concurrency); the sharded scheduler uses it to pin
+  /// each logical device to a slice of the machine.
+  explicit SimdLaneSimulator(CostModel Model, unsigned LaneWidth = 8,
+                             unsigned HostWorkers = 0);
 
   std::string name() const override { return "simd-lanes"; }
   Backend backend() const override { return Backend::CpuSimdLanes; }
@@ -76,7 +80,7 @@ private:
 /// cupSODA-like: one virtual GPU thread per simulation, LSODA numerics.
 class CoarseGpuSimulator : public Simulator {
 public:
-  explicit CoarseGpuSimulator(CostModel Model);
+  explicit CoarseGpuSimulator(CostModel Model, unsigned HostWorkers = 0);
 
   std::string name() const override { return "gpu-coarse"; }
   Backend backend() const override { return Backend::GpuCoarse; }
@@ -92,7 +96,7 @@ private:
 /// BDF fallback on stiffness.
 class FineGpuSimulator : public Simulator {
 public:
-  explicit FineGpuSimulator(CostModel Model);
+  explicit FineGpuSimulator(CostModel Model, unsigned HostWorkers = 0);
 
   std::string name() const override { return "gpu-fine"; }
   Backend backend() const override { return Backend::GpuFine; }
@@ -109,7 +113,7 @@ private:
 /// re-dispatch of failed explicit runs, P5 collection).
 class FineCoarseSimulator : public Simulator {
 public:
-  explicit FineCoarseSimulator(CostModel Model);
+  explicit FineCoarseSimulator(CostModel Model, unsigned HostWorkers = 0);
 
   std::string name() const override { return "psg-engine"; }
   Backend backend() const override { return Backend::GpuFineCoarse; }

@@ -13,6 +13,9 @@
 using namespace psg;
 
 const char *psg::backendName(Backend B) {
+  // Exhaustive, no default: adding a Backend member without a name here
+  // is a compile error (-Wswitch under -Werror), not a misreported
+  // "unknown" string in metrics JSON.
   switch (B) {
   case Backend::CpuSerial:
     return "cpu-serial";
@@ -25,7 +28,7 @@ const char *psg::backendName(Backend B) {
   case Backend::GpuFineCoarse:
     return "gpu-fine-coarse";
   }
-  return "unknown";
+  __builtin_unreachable();
 }
 
 namespace {

@@ -1,0 +1,418 @@
+//===- tests/sched_test.cpp - Multi-device scheduler tests ----------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// The sharding contract: a homogeneous sharded sweep is bit-exact with a
+// single-device run whose SubBatchSize equals the shard chunk, for every
+// personality and every device count; a shard attempt that dies
+// mid-sweep is re-queued onto another device and every simulation is
+// still delivered exactly once; a shard that exhausts its attempt budget
+// surfaces as Aborted outcomes, never as a gap; and idle devices steal
+// queued work from stragglers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "core/ParameterSpace.h"
+#include "sched/ShardedExecutor.h"
+#include "sim/Oracle.h"
+
+#include "rbm/CuratedModels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace psg;
+
+namespace {
+
+ParameterAxis rateAxis(unsigned Reaction, double Lo, double Hi) {
+  ParameterAxis Axis;
+  Axis.Name = "k" + std::to_string(Reaction);
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {Reaction};
+  Axis.Lo = Lo;
+  Axis.Hi = Hi;
+  return Axis;
+}
+
+/// The sweep every test shards: a one-axis Brusselator grid.
+std::vector<Parameterization> makeSweep(const ParameterSpace &Space,
+                                        size_t Points) {
+  std::vector<Parameterization> Params;
+  for (const std::vector<double> &P : Space.gridSample({Points}))
+    Params.push_back(Space.applyPoint(P));
+  return Params;
+}
+
+/// Pull-source over a materialized parameterization list.
+ParameterizationSource sourceOver(const std::vector<Parameterization> &Params,
+                                  size_t &Next) {
+  return [&Params, &Next](size_t MaxCount,
+                          std::vector<Parameterization> &Out) -> size_t {
+    const size_t Count = std::min(MaxCount, Params.size() - Next);
+    for (size_t I = 0; I < Count; ++I)
+      Out.push_back(Params[Next + I]);
+    Next += Count;
+    return Count;
+  };
+}
+
+/// Thread-safe sink that places every outcome at its global index and
+/// counts deliveries per index, so exactly-once delivery is checkable
+/// even under out-of-order completion.
+class IndexedSink final : public OutcomeSink {
+public:
+  std::vector<SimulationOutcome> Outcomes;
+  std::vector<unsigned> Deliveries;
+  size_t LastFirst = 0;
+  bool Monotone = true; ///< FirstIndex never decreased across calls.
+  bool First = true;
+
+  explicit IndexedSink(size_t Total) : Outcomes(Total), Deliveries(Total, 0) {}
+
+  void consumeSubBatch(size_t FirstIndex,
+                       std::vector<SimulationOutcome> &Batch) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!First && FirstIndex < LastFirst)
+      Monotone = false;
+    First = false;
+    LastFirst = FirstIndex;
+    ASSERT_LE(FirstIndex + Batch.size(), Outcomes.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Outcomes[FirstIndex + I] = std::move(Batch[I]);
+      ++Deliveries[FirstIndex + I];
+    }
+  }
+
+private:
+  std::mutex Mutex;
+};
+
+/// Single-device reference outcomes with SubBatchSize == \p Chunk.
+std::vector<SimulationOutcome>
+referenceOutcomes(const ReactionNetwork &Net, const std::string &Personality,
+                  std::vector<Parameterization> Params, uint64_t Chunk) {
+  EngineOptions Opts;
+  Opts.SimulatorName = Personality;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  EngineReport Report = Engine.runParameterizations(Net, std::move(Params));
+  return std::move(Report.Outcomes);
+}
+
+EngineOptions shardedEngineOptions(unsigned Devices,
+                                   const std::string &Personality,
+                                   uint64_t Chunk) {
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+  Opts.Sched.Devices.assign(Devices, Personality);
+  Opts.Sched.ChunkSize = Chunk;
+  Opts.Sched.WorkersPerDevice = 1;
+  return Opts;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bit-exact oracle: sharded == single-device for every personality and
+// device count.
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedExecutorTest, ShardedIsBitExactWithSingleDeviceOracle) {
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 24;
+  const uint64_t Chunk = 8; // == SubBatchSize of the reference run.
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+
+  for (const char *Personality : {"psg-engine", "cpu-lsoda", "cpu-vode",
+                                  "simd-lanes", "gpu-coarse", "gpu-fine"}) {
+    const std::vector<SimulationOutcome> Reference =
+        referenceOutcomes(Net, Personality, Sweep, Chunk);
+    ASSERT_EQ(Reference.size(), Points) << Personality;
+
+    for (unsigned Devices : {1u, 2u, 4u}) {
+      EngineOptions Opts = shardedEngineOptions(Devices, Personality, Chunk);
+      ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+      EXPECT_EQ(Executor.numDevices(), Devices);
+      for (unsigned D = 0; D < Devices; ++D)
+        EXPECT_EQ(Executor.chunkFor(D), Chunk) << Personality;
+
+      size_t Next = 0;
+      ParameterizationSource Source = sourceOver(Sweep, Next);
+      IndexedSink Sink(Points);
+      const ShardScheduleReport Report =
+          Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+      EXPECT_EQ(Report.Stream.Simulations, Points) << Personality;
+      EXPECT_EQ(Report.Shards, (Points + Chunk - 1) / Chunk) << Personality;
+      EXPECT_EQ(Report.LostSimulations, 0u) << Personality;
+      EXPECT_TRUE(Sink.Monotone) << Personality << ": ordered delivery";
+      ASSERT_EQ(Report.Devices.size(), Devices);
+      uint64_t DeviceSims = 0;
+      for (const DeviceShardReport &D : Report.Devices) {
+        DeviceSims += D.Simulations;
+        EXPECT_GE(D.Utilization, 0.0);
+        EXPECT_LE(D.Utilization, 1.0);
+      }
+      EXPECT_EQ(DeviceSims, Points) << Personality;
+      EXPECT_GT(Report.ModeledMakespanSeconds, 0.0) << Personality;
+      EXPECT_GE(Report.ShardImbalance, 0.0);
+      EXPECT_LE(Report.ShardImbalance, 1.0);
+
+      for (size_t I = 0; I < Points; ++I) {
+        EXPECT_EQ(Sink.Deliveries[I], 1u)
+            << Personality << " devices " << Devices << " sim " << I;
+        Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+        EXPECT_TRUE(bool(S)) << Personality << " devices " << Devices
+                             << " outcome " << I << ": " << S.message();
+      }
+    }
+  }
+}
+
+TEST(ShardedExecutorTest, EngineShardedPathMatchesSingleDeviceRun) {
+  // The BatchEngine front door: Sched.enabled() reroutes run() through
+  // the executor; the materialized report must stay bit-exact.
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 20;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", Chunk);
+  BatchEngine Engine(CostModel::paperSetup(), Opts);
+  EngineReport Report = Engine.runParameterizations(Net, Sweep);
+  ASSERT_EQ(Report.Outcomes.size(), Points);
+  EXPECT_EQ(Report.Failures, 0u);
+  for (size_t I = 0; I < Points; ++I) {
+    Status S = compareOutcomesBitExact(Report.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+  }
+  // Runs again to exercise the warm executor (persistent device fleet).
+  EngineReport Again = Engine.runParameterizations(Net, Sweep);
+  ASSERT_EQ(Again.Outcomes.size(), Points);
+  for (size_t I = 0; I < Points; ++I) {
+    Status S = compareOutcomesBitExact(Again.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "warm outcome " << I << ": " << S.message();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance: bounded re-queue, exactly-once delivery.
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedExecutorTest, KilledShardIsRequeuedAndRecoveredExactlyOnce) {
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 32;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", Chunk);
+  // Kill the shard at index 8 on its first attempt, whichever device
+  // drew it: it must be re-queued onto the other device and recovered.
+  std::atomic<unsigned> Kills{0};
+  Opts.Sched.FaultInjector = [&Kills](size_t FirstIndex, unsigned /*Device*/,
+                                      unsigned Attempt) {
+    if (FirstIndex == 8 && Attempt == 0) {
+      ++Kills;
+      return true;
+    }
+    return false;
+  };
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  EXPECT_EQ(Kills.load(), 1u);
+  EXPECT_EQ(Report.Requeues, 1u);
+  EXPECT_EQ(Report.LostSimulations, 0u);
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  EXPECT_EQ(Report.Stream.Failures, 0u);
+  for (size_t I = 0; I < Points; ++I) {
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
+    Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+  }
+}
+
+TEST(ShardedExecutorTest, ExhaustedShardSurfacesAbortedNotAGap) {
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 32;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", Chunk);
+  Opts.Sched.MaxShardAttempts = 2;
+  // The shard at index 16 dies on *every* attempt: after the budget is
+  // spent its simulations must arrive as Aborted outcomes exactly once.
+  Opts.Sched.FaultInjector = [](size_t FirstIndex, unsigned, unsigned) {
+    return FirstIndex == 16;
+  };
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  EXPECT_EQ(Report.LostSimulations, Chunk);
+  EXPECT_EQ(Report.Requeues, 1u); // Attempt 0 re-queued; attempt 1 gave up.
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  EXPECT_EQ(Report.Stream.Failures, Chunk);
+  for (size_t I = 0; I < Points; ++I) {
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
+    if (I >= 16 && I < 16 + Chunk) {
+      EXPECT_EQ(Sink.Outcomes[I].Result.Status, IntegrationStatus::Aborted)
+          << "sim " << I;
+      EXPECT_FALSE(Sink.Outcomes[I].Result.Detail.empty());
+    } else {
+      Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+      EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Work-stealing: an idle device drains a straggler's modeled backlog.
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedExecutorTest, IdleDeviceStealsFromStraggler) {
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 64;
+  const uint64_t Chunk = 4;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", Chunk);
+  Opts.Sched.QueueDepth = 4;
+  // Device 0 "dies" on every first attempt it draws: each of its shards
+  // is re-queued onto device 1, piling up a modeled backlog there while
+  // device 0's own virtual finish time stays low. Once the source is
+  // dry, device 0 must steal that backlog back (the re-queued attempts
+  // run fine anywhere — only attempt 0 on device 0 is killed).
+  Opts.Sched.FaultInjector = [](size_t, unsigned Device, unsigned Attempt) {
+    return Device == 0 && Attempt == 0;
+  };
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  EXPECT_GE(Report.Steals, 1u)
+      << "device 0 never stole back the straggler's backlog";
+  EXPECT_EQ(Report.LostSimulations, 0u);
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  EXPECT_GE(Report.Requeues, 1u);
+  // Stealing moves shards between identical devices, so the sweep stays
+  // bit-exact regardless of who ran what.
+  for (size_t I = 0; I < Points; ++I) {
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
+    Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk sizing and configuration surface.
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedExecutorTest, HeterogeneousFleetScalesChunksByThroughput) {
+  EngineOptions Opts;
+  Opts.SubBatchSize = 64;
+  Opts.Sched.Devices = {"gpu-coarse", "cpu-lsoda"};
+  Opts.Sched.WorkersPerDevice = 1;
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  // The modeled GPU is far faster than one CPU core: the CPU device gets
+  // a smaller shard, lane-aligned, never zero.
+  EXPECT_EQ(Executor.chunkFor(0), 64u);
+  EXPECT_LT(Executor.chunkFor(1), Executor.chunkFor(0));
+  EXPECT_GE(Executor.chunkFor(1), 8u);
+  EXPECT_EQ(Executor.chunkFor(1) % 8, 0u);
+}
+
+TEST(ShardedExecutorTest, CompletionOrderDeliveryStillExactlyOnce) {
+  // OrderedDelivery off: sub-batches may arrive out of order, but every
+  // simulation still lands exactly once at its own index.
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 48;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", Chunk);
+  Opts.Sched.OrderedDelivery = false;
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  for (size_t I = 0; I < Points; ++I) {
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
+    Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+  }
+}
+
+TEST(ShardedExecutorTest, SchedMetricsAreExported) {
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const std::vector<Parameterization> Sweep = makeSweep(Space, 16);
+
+  EngineOptions Opts = shardedEngineOptions(2, "psg-engine", 4);
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(16);
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  const MetricsSnapshot &M = Report.Stream.Metrics;
+  EXPECT_GE(M.counterValue("psg.sched.shards"), 4u);
+  EXPECT_GE(M.counterValue("psg.sched.simulations"), 16u);
+  const double Util = M.gaugeValue("psg.sched.device_utilization");
+  EXPECT_GT(Util, 0.0);
+  EXPECT_LE(Util, 1.0);
+  EXPECT_DOUBLE_EQ(M.gaugeValue("psg.sched.shard_imbalance"),
+                   Report.ShardImbalance);
+  EXPECT_DOUBLE_EQ(M.gaugeValue("psg.sched.modeled_makespan_s"),
+                   Report.ModeledMakespanSeconds);
+}

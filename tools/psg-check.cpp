@@ -92,9 +92,11 @@ int usage() {
       "      convergence order of the fixed-order methods\n"
       "  fuzz [--seed N] [--cases M] [--tend T] [--samples K]\n"
       "       [--time-budget SEC] [--repro-dir DIR] [--compare-tol X]\n"
+      "       [--stats-json FILE]\n"
       "      differential-test every simulator personality on seeded\n"
       "      random reaction networks against a Richardson reference;\n"
-      "      minimized .psg repro files are written on divergence\n"
+      "      minimized .psg repro files are written on divergence and\n"
+      "      --stats-json records a machine-readable run summary\n"
       "  replay <case.psg> [--compare-tol X]\n"
       "      re-run the comparison recorded in a minimized repro file\n"
       "  properties\n"
@@ -190,6 +192,75 @@ int cmdGolden(const Options &O) {
   return Failures == 0 ? 0 : 1;
 }
 
+/// Minimal JSON string escaper for the fuzz stats document.
+std::string jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Writes a machine-readable fuzz-run summary (schema
+/// psg-fuzz-stats-v1) for CI job summaries: cases tried/skipped,
+/// every minimized divergence with its repro path, and whether the
+/// time budget cut the run short.
+void writeFuzzStats(const std::string &Path, const FuzzOptions &Opts,
+                    const FuzzReport &Report) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    fatalError("cannot write fuzz stats to " + Path);
+  std::fprintf(F,
+               "{\n"
+               "  \"schema\": \"psg-fuzz-stats-v1\",\n"
+               "  \"seed\": %llu,\n"
+               "  \"cases_requested\": %zu,\n"
+               "  \"cases_run\": %zu,\n"
+               "  \"cases_skipped\": %zu,\n"
+               "  \"time_budget_s\": %g,\n"
+               "  \"time_budget_exhausted\": %s,\n"
+               "  \"compare_tol\": %g,\n"
+               "  \"divergences\": [",
+               (unsigned long long)Opts.Seed, Opts.Cases, Report.CasesRun,
+               Report.CasesSkipped, Opts.TimeBudgetSeconds,
+               Report.TimeBudgetExhausted ? "true" : "false",
+               Opts.CompareTol);
+  for (size_t I = 0; I < Report.Divergences.size(); ++I) {
+    const FuzzDivergence &D = Report.Divergences[I];
+    std::fprintf(F,
+                 "%s\n    {\"seed\": %llu, \"simulator\": %s, "
+                 "\"detail\": %s, \"repro\": %s}",
+                 I ? "," : "", (unsigned long long)D.Case.Seed,
+                 jsonQuote(D.Case.Simulator).c_str(),
+                 jsonQuote(D.Case.Detail).c_str(),
+                 jsonQuote(D.ReproPath).c_str());
+  }
+  std::fprintf(F, "%s]\n}\n", Report.Divergences.empty() ? "" : "\n  ");
+  std::fclose(F);
+}
+
 int cmdFuzz(const Options &O) {
   FuzzOptions Opts;
   Opts.Seed = O.getUnsigned("seed", 1);
@@ -201,6 +272,9 @@ int cmdFuzz(const Options &O) {
   Opts.ReproDir = O.get("repro-dir", "");
 
   FuzzReport Report = runDifferentialFuzz(Opts);
+  const std::string StatsPath = O.get("stats-json", "");
+  if (!StatsPath.empty())
+    writeFuzzStats(StatsPath, Opts, Report);
   std::printf("fuzz: %zu cases run, %zu skipped (no reference), "
               "%zu divergence(s)%s\n",
               Report.CasesRun, Report.CasesSkipped,

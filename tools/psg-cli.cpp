@@ -134,6 +134,51 @@ void saveModelOrDie(const ReactionNetwork &Net, const std::string &Path) {
     fatalError("cannot save model '" + Path + "': " + S.message());
 }
 
+/// Parses the multi-device flags shared by simulate and psa1d:
+/// --devices takes either a count (that many copies of --simulator) or a
+/// comma-separated personality list ("gpu-coarse,gpu-coarse,simd-lanes"),
+/// and --shard-chunk overrides the base shard size.
+void applySchedOptions(const Options &O, EngineOptions &Opts) {
+  if (O.has("devices")) {
+    const std::string Spec = O.get("devices", "");
+    unsigned Count = 0;
+    if (parseUnsigned(Spec, Count)) {
+      Opts.Sched.Devices.assign(Count, Opts.SimulatorName);
+    } else {
+      for (const std::string &Name : split(Spec, ','))
+        if (!Name.empty())
+          Opts.Sched.Devices.push_back(Name);
+    }
+    if (Opts.Sched.Devices.empty())
+      fatalError("--devices needs a device count or a comma-separated "
+                 "personality list");
+  }
+  if (O.has("shard-chunk"))
+    Opts.Sched.ChunkSize = O.getUnsigned("shard-chunk", 0);
+}
+
+/// Prints the scheduler telemetry of a sharded run from the frozen
+/// metrics snapshot.
+void printSchedTelemetry(const MetricsSnapshot &M,
+                         const std::vector<std::string> &Devices) {
+  std::printf("sched:              %llu shards over %zu devices, %llu "
+              "steals, %llu requeues\n",
+              (unsigned long long)M.counterValue("psg.sched.shards"),
+              Devices.size(),
+              (unsigned long long)M.counterValue("psg.sched.steals"),
+              (unsigned long long)M.counterValue("psg.sched.requeues"));
+  std::printf("sched balance:      modeled makespan %.4g s, imbalance "
+              "%.3f, mean utilization %.3f\n",
+              M.gaugeValue("psg.sched.modeled_makespan_s"),
+              M.gaugeValue("psg.sched.shard_imbalance"),
+              M.gaugeValue("psg.sched.device_utilization"));
+  for (size_t D = 0; D < Devices.size(); ++D)
+    std::printf("  device %zu (%s): utilization %.3f\n", D,
+                Devices[D].c_str(),
+                M.gaugeValue(formatString(
+                    "psg.sched.device.%u.utilization", (unsigned)D)));
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -145,12 +190,14 @@ int usage() {
       "      and the initial-Jacobian stiffness estimate\n"
       "  simulate <model> [--tend T] [--samples K] [--batch B]\n"
       "           [--perturb] [--seed S] [--simulator NAME] [--out F.csv]\n"
+      "           [--devices N|LIST] [--shard-chunk C]\n"
       "      run a (optionally perturbed) batch; writes the first\n"
       "      trajectory as CSV and prints the engine report\n"
       "  psa1d <model> --species NAME | --reaction IDX\n"
       "        --lo X --hi Y [--log] [--points P]\n"
       "        [--reporter NAME] [--tend T] [--out F.csv]\n"
       "        [--stream] [--inflight N] [--sub-batch B]\n"
+      "        [--devices N|LIST] [--shard-chunk C]\n"
       "      sweep one parameter; reports the reporter's final value.\n"
       "      --stream drives the bounded-memory pipeline explicitly:\n"
       "      points are generated lazily, each sub-batch is reduced\n"
@@ -163,6 +210,14 @@ int usage() {
       "      emit a synthetic mass-action model\n"
       "  convert <in> <out>\n"
       "      convert between the text format and the SBML subset\n"
+      "\n"
+      "multi-device sharding (simulate, psa1d):\n"
+      "  --devices N             shard the sweep across N logical devices\n"
+      "                          running --simulator each\n"
+      "  --devices a,b,...       ... or across the listed personalities\n"
+      "                          (one logical device per entry)\n"
+      "  --shard-chunk C         base shard size in simulations\n"
+      "                          (default: the sub-batch size)\n"
       "\n"
       "global options (any command):\n"
       "  --metrics-json F.json   write the process metrics snapshot\n"
@@ -246,6 +301,7 @@ int cmdSimulate(const Options &O) {
   Opts.SimulatorName = O.get("simulator", "psg-engine");
   Opts.EndTime = O.getDouble("tend", 10.0);
   Opts.OutputSamples = O.getUnsigned("samples", 101);
+  applySchedOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
   const unsigned Batch = O.getUnsigned("batch", 1);
@@ -272,6 +328,8 @@ int cmdSimulate(const Options &O) {
               Report.SimulationTime.total(),
               Report.IntegrationTime.total(), Opts.SimulatorName.c_str());
   std::printf("host wall time:     %.4g s\n", Report.HostWallSeconds);
+  if (Opts.Sched.enabled())
+    printSchedTelemetry(Report.Metrics, Opts.Sched.Devices);
 
   const std::string Out = O.get("out", "trajectory.csv");
   CsvWriter Csv = trajectoryToCsv(Report.Outcomes[0].Dynamics, &Net);
@@ -326,6 +384,7 @@ int cmdPsa1d(const Options &O) {
   Opts.InFlight = O.getUnsigned("inflight", 2);
   if (O.has("sub-batch"))
     Opts.SubBatchSize = O.getUnsigned("sub-batch", 64);
+  applySchedOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
   const size_t Points = O.getUnsigned("points", 17);
@@ -365,6 +424,8 @@ int cmdPsa1d(const Options &O) {
                 "resident, overlap ratio %.3f\n",
                 (unsigned long long)Report.SubBatches,
                 Report.PeakResidentOutcomes, Report.OverlapRatio);
+    if (Opts.Sched.enabled())
+      printSchedTelemetry(Report.Metrics, Opts.Sched.Devices);
     return 0;
   }
 
@@ -376,6 +437,8 @@ int cmdPsa1d(const Options &O) {
     std::printf("%14.6g %14.6g\n", R.AxisValues[I], R.Metric[I]);
   std::printf("\n%zu simulations, modeled %.4g s\n", R.Report.Simulations,
               R.Report.SimulationTime.total());
+  if (Opts.Sched.enabled())
+    printSchedTelemetry(R.Report.Metrics, Opts.Sched.Devices);
 
   if (O.has("out")) {
     CsvWriter Csv({Axis.Name, "final_value"});
