@@ -1,0 +1,415 @@
+//===- bench/bench_micro_rhs.cpp ------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kind-partitioned kinetics kernel microbenchmark. Measures, per model,
+/// raw rhs and analytic-Jacobian evaluation throughput of the partitioned
+/// kernels (contiguous per-class runs, sparsity-patterned Jacobian fill)
+/// against the reference kernels (per-reaction kind branching, dense
+/// Jacobian resize per call), plus the end-to-end stiff simulation rate
+/// of the coarse-grained personality with the partitioned kernels and
+/// convergence-driven Jacobian reuse versus the reference kernels with
+/// the historical fixed 25-step refresh.
+///
+/// Hill-heavy models (repressilator, saturating-toy) are flagged in the
+/// output: they are where the partition pays most, since every Hill rate
+/// in a run shares one branch-free loop over positional parameter arrays.
+///
+/// Output: a psg-bench-rhs-v1 JSON document (default BENCH_rhs.json) with
+/// the measured cases, kernel-vs-reference speedups, and the Jacobian
+/// economy counters. `--baseline FILE` embeds a previously saved run
+/// object verbatim so the committed file carries before/after numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rbm/CuratedModels.h"
+#include "rbm/MassAction.h"
+#include "rbm/SyntheticGenerator.h"
+#include "sim/Simulators.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  std::string Op;      ///< "rhs", "jacobian", or "stiff".
+  std::string Variant; ///< "kernels" or "reference".
+  bool HillHeavy = false;
+  size_t Species = 0;
+  size_t Reactions = 0;
+  uint64_t Work = 0; ///< Evaluations (rhs/jacobian) or batch size (stiff).
+  double BestWallSeconds = 0.0;
+  double MeanWallSeconds = 0.0;
+  double Throughput = 0.0; ///< evals/s or sims/s.
+  size_t Failures = 0;
+};
+
+struct BenchModel {
+  ReactionNetwork Net;
+  std::string Name;
+  bool HillHeavy;
+  double StiffEndTime; ///< <= 0 disables the end-to-end stiff case.
+};
+
+/// A pool of states around the initial concentrations, cycled through the
+/// evaluation loops so throughput is not measured on one lucky cache line
+/// of a single state vector.
+std::vector<std::vector<double>> makeStates(const ReactionNetwork &Net,
+                                            size_t Count) {
+  std::vector<std::vector<double>> States;
+  Rng Generator(7);
+  const std::vector<double> Y0 = Net.initialState();
+  for (size_t I = 0; I < Count; ++I) {
+    States.push_back(Y0);
+    for (double &V : States.back())
+      V *= 0.5 + Generator.uniform();
+  }
+  return States;
+}
+
+double checksumSink = 0.0; ///< Defeats dead-code elimination of the loops.
+
+CaseResult measureRhs(const BenchModel &BM, bool Reference, uint64_t Evals,
+                      unsigned Reps) {
+  CompiledOdeSystem Sys(BM.Net);
+  const size_t N = Sys.dimension();
+  const auto States = makeStates(BM.Net, 16);
+  std::vector<double> DyDt(N);
+
+  CaseResult R;
+  R.ModelName = BM.Name;
+  R.Op = "rhs";
+  R.Variant = Reference ? "reference" : "kernels";
+  R.HillHeavy = BM.HillHeavy;
+  R.Species = BM.Net.numSpecies();
+  R.Reactions = BM.Net.numReactions();
+  R.Work = Evals;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep <= Reps; ++Rep) {
+    WallTimer Timer;
+    for (uint64_t E = 0; E < Evals; ++E) {
+      const std::vector<double> &Y = States[E % States.size()];
+      if (Reference)
+        Sys.rhsReference(0.0, Y.data(), DyDt.data());
+      else
+        Sys.rhs(0.0, Y.data(), DyDt.data());
+      checksumSink += DyDt[0];
+    }
+    const double Wall = Timer.seconds();
+    if (Rep == 0)
+      continue; // Warmup rep: caches, page faults.
+    Sum += Wall;
+    if (Rep == 1 || Wall < Best)
+      Best = Wall;
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.Throughput = Best > 0.0 ? static_cast<double>(Evals) / Best : 0.0;
+  return R;
+}
+
+CaseResult measureJacobian(const BenchModel &BM, bool Reference,
+                           uint64_t Evals, unsigned Reps) {
+  CompiledOdeSystem Sys(BM.Net);
+  const auto States = makeStates(BM.Net, 16);
+  Matrix J;
+
+  CaseResult R;
+  R.ModelName = BM.Name;
+  R.Op = "jacobian";
+  R.Variant = Reference ? "reference" : "kernels";
+  R.HillHeavy = BM.HillHeavy;
+  R.Species = BM.Net.numSpecies();
+  R.Reactions = BM.Net.numReactions();
+  R.Work = Evals;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep <= Reps; ++Rep) {
+    WallTimer Timer;
+    for (uint64_t E = 0; E < Evals; ++E) {
+      const std::vector<double> &Y = States[E % States.size()];
+      if (Reference)
+        Sys.analyticJacobianReference(0.0, Y.data(), J);
+      else
+        Sys.analyticJacobian(0.0, Y.data(), J);
+      checksumSink += J(0, 0);
+    }
+    const double Wall = Timer.seconds();
+    if (Rep == 0)
+      continue;
+    Sum += Wall;
+    if (Rep == 1 || Wall < Best)
+      Best = Wall;
+  }
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.Throughput = Best > 0.0 ? static_cast<double>(Evals) / Best : 0.0;
+  return R;
+}
+
+/// End-to-end stiff batch through the coarse-grained personality. The
+/// reference variant routes every evaluation through the pre-partition
+/// kernels AND restores the fixed 25-step Jacobian refresh — together
+/// they are the historical configuration this PR replaces.
+CaseResult measureStiff(const BenchModel &BM, bool Reference, uint64_t Batch,
+                        unsigned Reps) {
+  CostModel M = CostModel::paperSetup();
+  auto SimOr = createSimulator("gpu-coarse", M);
+  if (!SimOr.ok()) {
+    std::fprintf(stderr, "cannot create gpu-coarse: %s\n",
+                 SimOr.message().c_str());
+    std::exit(1);
+  }
+  Simulator &Sim = **SimOr;
+
+  BatchSpec Spec;
+  Spec.Model = &BM.Net;
+  Spec.Batch = Batch;
+  Spec.EndTime = BM.StiffEndTime;
+  Spec.OutputSamples = 0;
+  Spec.Options.RelTol = 1e-6;
+  Spec.Options.AbsTol = 1e-9;
+  Spec.Options.MaxSteps = 500000;
+  Spec.Options.AdaptiveJacobianReuse = !Reference;
+
+  std::vector<double> Defaults;
+  for (size_t R = 0; R < BM.Net.numReactions(); ++R)
+    Defaults.push_back(BM.Net.reaction(R).RateConstant);
+  Rng Generator(42);
+  Spec.RateConstantSets.resize(Batch);
+  for (uint64_t I = 0; I < Batch; ++I) {
+    Spec.RateConstantSets[I] = Defaults;
+    for (double &K : Spec.RateConstantSets[I])
+      K *= 0.9 + 0.2 * Generator.uniform();
+  }
+
+  CompiledOdeSystem::setUseReferenceKernelsForTesting(Reference);
+  Sim.run(Spec); // Warmup.
+
+  CaseResult R;
+  R.ModelName = BM.Name;
+  R.Op = "stiff";
+  R.Variant = Reference ? "reference" : "kernels";
+  R.HillHeavy = BM.HillHeavy;
+  R.Species = BM.Net.numSpecies();
+  R.Reactions = BM.Net.numReactions();
+  R.Work = Batch;
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    BatchResult Result = Sim.run(Spec);
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best)
+      Best = Wall;
+    R.Failures = Result.Failures;
+  }
+  CompiledOdeSystem::setUseReferenceKernelsForTesting(false);
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.Throughput = Best > 0.0 ? static_cast<double>(Batch) / Best : 0.0;
+  return R;
+}
+
+void printCase(const CaseResult &R) {
+  std::printf("  %-16s %-8s %-9s %12.0f %s/s%s\n", R.ModelName.c_str(),
+              R.Op.c_str(), R.Variant.c_str(), R.Throughput,
+              R.Op == "stiff" ? "sims" : "evals",
+              R.HillHeavy ? "  [hill-heavy]" : "");
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"op\": \"%s\", \"variant\": \"%s\", "
+      "\"hill_heavy\": %s, \"species\": %zu, \"reactions\": %zu, "
+      "\"work\": %llu, \"best_wall_s\": %.6e, \"mean_wall_s\": %.6e, "
+      "\"throughput\": %.1f, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Op.c_str(), R.Variant.c_str(),
+      R.HillHeavy ? "true" : "false", R.Species, R.Reactions,
+      (unsigned long long)R.Work, R.BestWallSeconds, R.MeanWallSeconds,
+      R.Throughput, R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ],\n";
+  // Kernel/reference results alternate per (model, op); pair them up.
+  Out += "    \"speedups\": [\n";
+  std::string Rows;
+  for (size_t I = 0; I + 1 < Results.size(); I += 2) {
+    const CaseResult &Kernels = Results[I];
+    const CaseResult &Reference = Results[I + 1];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", \"op\": \"%s\", "
+                  "\"hill_heavy\": %s, \"speedup\": %.3f}%s\n",
+                  Kernels.ModelName.c_str(), Kernels.Op.c_str(),
+                  Kernels.HillHeavy ? "true" : "false",
+                  Reference.Throughput > 0.0
+                      ? Kernels.Throughput / Reference.Throughput
+                      : 0.0,
+                  I + 2 < Results.size() ? "," : "");
+    Rows += Buf;
+  }
+  Out += Rows;
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_rhs.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 5;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-rhs: kind-partitioned vs reference kernels ==\n");
+
+  // The batch-sweep regime the partition targets: models whose reaction
+  // lists interleave kinetics kinds in arbitrary order, so the reference
+  // evaluation alternates between rate-law branches and strides through
+  // the per-reaction parameter records, while the partitioned kernels run
+  // one branch-free loop per class over contiguous positional arrays.
+  RandomRbmOptions HillOpts;
+  HillOpts.Seed = 23;
+  HillOpts.HillFraction = 0.5;
+  HillOpts.MichaelisMentenFraction = 0.3;
+  HillOpts.MinSpecies = HillOpts.MaxSpecies = 16;
+  HillOpts.MinReactions = HillOpts.MaxReactions = 64;
+
+  RandomRbmOptions MixedOpts;
+  MixedOpts.Seed = 11;
+  MixedOpts.HillFraction = 0.25;
+  MixedOpts.MichaelisMentenFraction = 0.25;
+  MixedOpts.MinSpecies = MixedOpts.MaxSpecies = 12;
+  MixedOpts.MinReactions = MixedOpts.MaxReactions = 24;
+  MixedOpts.StiffnessSpread = 30.0; // Stiff: timescales span ~900x.
+
+  std::vector<BenchModel> Models;
+  Models.push_back({generateRandomRbm(HillOpts), "hill-rbm-16x64",
+                    /*HillHeavy=*/true, /*StiffEndTime=*/-1.0});
+  Models.push_back({makeRepressilatorNetwork(), "repressilator",
+                    /*HillHeavy=*/true, /*StiffEndTime=*/20.0});
+  Models.push_back({makeSaturatingToyNetwork(), "saturating-toy",
+                    /*HillHeavy=*/true, /*StiffEndTime=*/-1.0});
+  Models.push_back({makeDecayChainNetwork(12, 4.0), "decay-chain-12",
+                    /*HillHeavy=*/false, /*StiffEndTime=*/-1.0});
+  Models.push_back({makeRobertsonNetwork(), "robertson",
+                    /*HillHeavy=*/false, /*StiffEndTime=*/100.0});
+  Models.push_back({generateRandomRbm(MixedOpts), "stiff-rbm-12x24",
+                    /*HillHeavy=*/false, /*StiffEndTime=*/5.0});
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const uint64_t RhsEvals = 400000, JacEvals = 100000, StiffBatch = 64;
+  for (const BenchModel &BM : Models) {
+    // Kernels first, reference second: runObjectJson pairs them in order.
+    Results.push_back(measureRhs(BM, /*Reference=*/false, RhsEvals, Reps));
+    printCase(Results.back());
+    Results.push_back(measureRhs(BM, /*Reference=*/true, RhsEvals, Reps));
+    printCase(Results.back());
+    Results.push_back(
+        measureJacobian(BM, /*Reference=*/false, JacEvals, Reps));
+    printCase(Results.back());
+    Results.push_back(measureJacobian(BM, /*Reference=*/true, JacEvals, Reps));
+    printCase(Results.back());
+    if (BM.StiffEndTime > 0.0) {
+      Results.push_back(
+          measureStiff(BM, /*Reference=*/false, StiffBatch, Reps));
+      printCase(Results.back());
+      Results.push_back(
+          measureStiff(BM, /*Reference=*/true, StiffBatch, Reps));
+      printCase(Results.back());
+    }
+  }
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-rhs-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[256];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.ode.jacobian_reuses\": %llu, "
+        "\"psg.ode.fd_jacobian_evals\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.ode.jacobian_reuses"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.ode.fd_jacobian_evals"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s (checksum %g)\n", JsonPath.c_str(), checksumSink);
+  return 0;
+}

@@ -13,7 +13,10 @@ using namespace psg;
 
 size_t psg::numericJacobian(const RhsFunction &Rhs, double T, const double *Y,
                             const double *F0, size_t N, Matrix &J) {
-  J.resize(N, N);
+  // Every entry below is overwritten, so a matching shape needs no
+  // zero-fill — only the pattern claim must go (a later pattern-scoped
+  // filler cannot assume anything about this dense fill).
+  J.ensureShape(N, N);
   std::vector<double> YPerturbed(Y, Y + N);
   std::vector<double> FPerturbed(N);
 

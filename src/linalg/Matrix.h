@@ -63,15 +63,65 @@ public:
     return Data.data() + Row * NumCols;
   }
 
-  /// Resizes and zero-fills the matrix.
+  /// Resizes and zero-fills the matrix. Drops any pattern claim.
   void resize(size_t Rows, size_t Cols) {
     NumRows = Rows;
     NumCols = Cols;
     Data.assign(Rows * Cols, T{});
+    PatternOwner = nullptr;
+    PatternEpoch = 0;
   }
 
-  /// Sets every element to zero.
-  void setZero() { Data.assign(Data.size(), T{}); }
+  /// Resizes without the zero-fill when the shape already matches (the
+  /// existing contents are kept); otherwise falls back to resize(). For
+  /// fillers that overwrite every element anyway — they pay the O(N^2)
+  /// clear only on a real shape change. Drops any pattern claim, since
+  /// the caller is about to replace the contents wholesale.
+  void ensureShape(size_t Rows, size_t Cols) {
+    if (NumRows != Rows || NumCols != Cols) {
+      resize(Rows, Cols);
+      return;
+    }
+    PatternOwner = nullptr;
+    PatternEpoch = 0;
+  }
+
+  /// Sets every element to zero. Drops any pattern claim.
+  void setZero() {
+    Data.assign(Data.size(), T{});
+    PatternOwner = nullptr;
+    PatternEpoch = 0;
+  }
+
+  /// Claims this matrix as a sparsity-patterned workspace for \p Owner at
+  /// \p Epoch. Returns true when the previous claim matches (same owner,
+  /// same epoch, same shape): every element the owner did not fill last
+  /// time is still zero, so a pattern-only writer may skip the dense
+  /// clear. Otherwise resizes to Rows x Cols (zero-filling), records the
+  /// claim, and returns false. Owners must bump their epoch whenever the
+  /// meaning of their pattern changes (e.g. a view rebinds to a new
+  /// model) — the epoch is what defeats address-reuse (ABA) collisions
+  /// when an owner is destroyed and a new one allocates at the same
+  /// address. Any resize()/ensureShape()/setZero() drops the claim.
+  bool claimPattern(const void *Owner, uint64_t Epoch, size_t Rows,
+                    size_t Cols) {
+    if (PatternOwner == Owner && PatternEpoch == Epoch && NumRows == Rows &&
+        NumCols == Cols)
+      return true;
+    resize(Rows, Cols);
+    PatternOwner = Owner;
+    PatternEpoch = Epoch;
+    return false;
+  }
+
+  /// Drops any pattern claim: the next claimPattern() will zero-fill.
+  /// Fillers that write every element (e.g. the finite-difference
+  /// Jacobian) call this so a later pattern-only writer does not mistake
+  /// their dense fill for its own sparse one.
+  void releasePatternClaim() {
+    PatternOwner = nullptr;
+    PatternEpoch = 0;
+  }
 
   /// In-place scaled add: *this += Alpha * Other (same shape).
   void addScaled(const DenseMatrix &Other, T Alpha) {
@@ -101,6 +151,12 @@ private:
   size_t NumRows = 0;
   size_t NumCols = 0;
   std::vector<T> Data;
+  // Pattern-claim bookkeeping (see claimPattern). Not part of the value:
+  // operator== ignores it, and a copied matrix keeps the claim only
+  // because its contents are identical — which is exactly the claim's
+  // guarantee, so copies remain sound.
+  const void *PatternOwner = nullptr;
+  uint64_t PatternEpoch = 0;
 };
 
 using Matrix = DenseMatrix<double>;

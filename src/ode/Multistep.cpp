@@ -10,6 +10,7 @@
 #include "linalg/VectorOps.h"
 #include "ode/SolverWorkspace.h"
 #include "ode/StepControl.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <cmath>
@@ -101,6 +102,7 @@ void MultistepDriver::begin(double T0, const double *Y0, double TEndIn) {
   HaveJacobian = false;
   HaveFactorization = false;
   StepsSinceJacobian = 0;
+  LastNewtonRate = 0.0;
   Stats = IntegrationStats();
   Interp.reset();
 
@@ -191,12 +193,30 @@ bool MultistepDriver::solveBdfCorrector(double Hs, double TNew,
   const unsigned Q = Order;
   const double Beta = BdfBeta[Q];
 
-  if (!HaveJacobian || StepsSinceJacobian > 25) {
+  // Jacobian refresh policy. Adaptive (default): keep the Jacobian for
+  // as long as the observed corrector convergence rate stays below
+  // SlowNewtonRate — on mildly nonlinear problems the same matrix serves
+  // hundreds of steps — with a step-count cap as the safety net against
+  // a matrix that converges adequately but drifts. Fixed: the historical
+  // 25-step cadence, kept selectable for like-for-like comparisons.
+  constexpr double SlowNewtonRate = 0.3;
+  constexpr uint64_t AdaptiveMaxJacobianAge = 250;
+  constexpr uint64_t FixedMaxJacobianAge = 25;
+  const bool Stale = Opts.AdaptiveJacobianReuse
+                         ? (LastNewtonRate > SlowNewtonRate ||
+                            StepsSinceJacobian > AdaptiveMaxJacobianAge)
+                         : StepsSinceJacobian > FixedMaxJacobianAge;
+  if (!HaveJacobian || Stale) {
     Stats.RhsEvaluations += Sys->jacobian(T, Y.data(), FHist[0].data(), J);
     ++Stats.JacobianEvaluations;
     HaveJacobian = true;
     HaveFactorization = false;
     StepsSinceJacobian = 0;
+    LastNewtonRate = 0.0;
+  } else {
+    static Counter &JacobianReuses =
+        metrics().counter("psg.ode.jacobian_reuses");
+    JacobianReuses.add();
   }
   if (!HaveFactorization || FactoredH != Hs || FactoredOrder != Q) {
     Matrix M(N, N);
@@ -241,6 +261,11 @@ bool MultistepDriver::solveBdfCorrector(double Hs, double TNew,
       return true;
     if (Iter > 0) {
       const double Rate = DeltaNorm / std::max(DeltaNormOld, 1e-300);
+      // Feed the refresh policy: a measured multi-iteration rate is the
+      // direct observation of how well the current Jacobian still models
+      // the system (single-iteration convergences leave it untouched —
+      // they are evidence the matrix is still good).
+      LastNewtonRate = Rate;
       if (Rate >= 2.0)
         break; // Diverging.
       if (Rate < 1.0 && Rate / (1.0 - Rate) * DeltaNorm < 0.03)

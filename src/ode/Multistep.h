@@ -110,6 +110,11 @@ private:
   double FactoredH = 0.0;
   unsigned FactoredOrder = 0;
   uint64_t StepsSinceJacobian = 0;
+  /// Convergence rate of the most recent Newton solve that took more
+  /// than one iteration (||d_k|| / ||d_{k-1}||); 0 while the corrector
+  /// keeps converging in a single iteration. Drives the adaptive
+  /// Jacobian reuse policy in solveBdfCorrector().
+  double LastNewtonRate = 0.0;
 
   // Last accepted step endpoints for the observer interpolant.
   double PrevT = 0.0;

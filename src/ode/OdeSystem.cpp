@@ -7,6 +7,7 @@
 #include "ode/OdeSystem.h"
 
 #include "support/Error.h"
+#include "support/Metrics.h"
 
 using namespace psg;
 
@@ -24,5 +25,11 @@ size_t OdeSystem::jacobian(double T, const double *Y, const double *F0,
   }
   RhsFunction Callback = [this](double Time, const double *State,
                                 double *DyDt) { rhs(Time, State, DyDt); };
-  return numericJacobian(Callback, T, Y, F0, dimension(), J);
+  const size_t Evals = numericJacobian(Callback, T, Y, F0, dimension(), J);
+  // Finite-difference fallbacks cost one rhs sweep per column; the
+  // counter makes systems silently missing an analytic Jacobian visible
+  // in --metrics-json.
+  static Counter &FdEvals = metrics().counter("psg.ode.fd_jacobian_evals");
+  FdEvals.add(Evals);
+  return Evals;
 }

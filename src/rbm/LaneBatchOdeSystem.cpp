@@ -4,14 +4,22 @@
 //
 // The lane loops below are written to autovectorize: fixed trip count
 // (template Width), contiguous unit-stride accesses, no lane-dependent
-// control flow. Branches depend only on shared model structure, so every
-// lane takes the same path — the same property that keeps a GPU warp
-// divergence-free when its threads run different parameterizations of one
-// model.
+// control flow. Control flow depends only on shared model structure, and
+// with the kind-partitioned kernel runs of CompiledModel v2 even the
+// per-reaction kinetics branch is gone: each KernelRun executes one
+// branch-free loop over its contiguous positions — the same property that
+// keeps a GPU warp divergence-free when its threads run different
+// parameterizations of one model.
+//
+// Per-lane arithmetic is kept bit-identical to the scalar
+// CompiledOdeSystem kernels (pinned by LaneBatchTest): every factor goes
+// through the shared rbm/Kinetics.h primitives.
 //
 //===----------------------------------------------------------------------===//
 
 #include "rbm/LaneBatchOdeSystem.h"
+
+#include "rbm/Kinetics.h"
 
 #include <algorithm>
 #include <cmath>
@@ -53,42 +61,61 @@ void LaneBatchOdeSystem::resetLaneRateConstants(unsigned Lane) {
 
 namespace {
 
-/// Lane-batched saturating factor (MM / Hill / Hill repression) for the
-/// Width lanes of species values \p X, into \p Out. Mirrors
-/// CompiledOdeSystem::saturatingFactor per lane; the HillNInt fast path
-/// keeps the Hill case free of lane-serializing libm calls.
+/// Rate[Ln] *= ipow(X[Ln], C) for Width lanes, with the scalar kernels'
+/// exact arithmetic (C == 1 multiplies straight through, matching
+/// ipow(x, 1) == x bit-for-bit).
 template <unsigned Width>
-inline void saturatingLanes(const CompiledModel::KineticsParams &P,
-                            const double *__restrict X,
-                            double *__restrict Out) {
-  if (P.Kind == KineticsKind::MichaelisMenten) {
-    for (unsigned Ln = 0; Ln < Width; ++Ln) {
-      const double S = std::max(X[Ln], 0.0);
-      Out[Ln] = S / (P.Km + S);
-    }
+inline void tailMultiplyLanes(const double *__restrict X, uint32_t C,
+                              double *__restrict Rate) {
+  if (C == 1) {
+    for (unsigned Ln = 0; Ln < Width; ++Ln)
+      Rate[Ln] *= X[Ln];
     return;
   }
-  const double Kn = P.KnPow;
-  double Sn[Width];
-  if (P.HillNInt >= 0) {
-    const unsigned E = static_cast<unsigned>(P.HillNInt);
-    for (unsigned Ln = 0; Ln < Width; ++Ln) {
-      const double S = std::max(X[Ln], 0.0);
-      double R = 1.0;
-      for (unsigned I = 0; I < E; ++I)
-        R *= S;
-      Sn[Ln] = R;
+  double P[Width];
+  ipowLanes<Width>(X, C, P);
+  for (unsigned Ln = 0; Ln < Width; ++Ln)
+    Rate[Ln] *= P[Ln];
+}
+
+/// The mass-action tail of a saturating or general-product reaction:
+/// multiplies terms [T, End) into the Width rate lanes.
+template <unsigned Width>
+inline void tailLanes(const CompiledModel &M, const double *__restrict Yv,
+                      uint32_t T, uint32_t End, double *__restrict Rate) {
+  for (; T < End; ++T)
+    tailMultiplyLanes<Width>(Yv + M.TermSpecies[T] * Width, M.TermCoef[T],
+                             Rate);
+}
+
+/// Hill-kernel rate run over positions [PBegin, PEnd), lane-batched,
+/// activation/repression resolved at compile time.
+template <unsigned Width, bool Repress>
+void hillRateLanes(const CompiledModel &M, const double *__restrict Kc,
+                   const double *__restrict Yv, uint32_t PBegin, uint32_t PEnd,
+                   double *__restrict Rates) {
+  const uint32_t *__restrict Ord = M.RunOrder.data();
+  for (uint32_t P = PBegin; P < PEnd; ++P) {
+    const size_t R = Ord[P];
+    const double *__restrict K = Kc + R * Width;
+    const double *__restrict X = Yv + M.PosA[P] * Width;
+    double *__restrict Rate = Rates + R * Width;
+    const double HillN = M.PosHillN[P];
+    const int HillNInt = M.PosHillNInt[P];
+    const double Kn = M.PosKnPow[P];
+    double Sn[Width];
+    if (HillNInt >= 0) {
+      double S[Width];
+      for (unsigned Ln = 0; Ln < Width; ++Ln)
+        S[Ln] = std::max(X[Ln], 0.0);
+      ipowLanes<Width>(S, static_cast<unsigned>(HillNInt), Sn);
+    } else {
+      for (unsigned Ln = 0; Ln < Width; ++Ln)
+        Sn[Ln] = std::pow(std::max(X[Ln], 0.0), HillN);
     }
-  } else {
     for (unsigned Ln = 0; Ln < Width; ++Ln)
-      Sn[Ln] = std::pow(std::max(X[Ln], 0.0), P.HillN);
-  }
-  if (P.Kind == KineticsKind::HillRepression) {
-    for (unsigned Ln = 0; Ln < Width; ++Ln)
-      Out[Ln] = Kn / (Kn + Sn[Ln]);
-  } else {
-    for (unsigned Ln = 0; Ln < Width; ++Ln)
-      Out[Ln] = Sn[Ln] / (Kn + Sn[Ln]);
+      Rate[Ln] = K[Ln] * hillFactor(Kn, Sn[Ln], Repress);
+    tailLanes<Width>(M, Yv, M.PosTailBegin[P], M.PosTailEnd[P], Rate);
   }
 }
 
@@ -101,45 +128,67 @@ void LaneBatchOdeSystem::rhsImpl(const double *Y, double *DyDt) const {
   double *__restrict Out = DyDt;
   double *__restrict Rates = RateScratch.data();
   const double *__restrict Kc = RateK.data();
+  const uint32_t *__restrict Ord = M.RunOrder.data();
 
-  for (size_t R = 0; R < M.NumReactions; ++R) {
-    double Rate[Width];
-    for (unsigned Ln = 0; Ln < Width; ++Ln)
-      Rate[Ln] = Kc[R * Width + Ln];
-    uint32_t T = M.TermBegin[R];
-    const uint32_t End = M.TermBegin[R + 1];
-    // Saturating factor applies to the first term only (peeled, as in the
-    // scalar computeRates).
-    if (T < End && M.Kinetics[R].Kind != KineticsKind::MassAction) {
-      double Fac[Width];
-      saturatingLanes<Width>(M.Kinetics[R], Yv + M.TermSpecies[T] * Width,
-                             Fac);
-      for (unsigned Ln = 0; Ln < Width; ++Ln)
-        Rate[Ln] *= Fac[Ln];
-      ++T;
-    }
-    for (; T < End; ++T) {
-      const double *__restrict X = Yv + M.TermSpecies[T] * Width;
-      const uint32_t C = M.TermCoef[T];
-      if (C == 1) {
+  for (const CompiledModel::KernelRun &Run : M.Runs) {
+    switch (Run.Class) {
+    case KernelClass::MassAction1:
+      for (uint32_t P = Run.Begin; P < Run.End; ++P) {
+        const size_t R = Ord[P];
+        const double *__restrict K = Kc + R * Width;
+        const double *__restrict A = Yv + M.PosA[P] * Width;
+        double *__restrict Rate = Rates + R * Width;
         for (unsigned Ln = 0; Ln < Width; ++Ln)
-          Rate[Ln] *= X[Ln];
-      } else {
-        for (unsigned Ln = 0; Ln < Width; ++Ln) {
-          double P = 1.0;
-          for (uint32_t I = 0; I < C; ++I)
-            P *= X[Ln];
-          Rate[Ln] *= P;
-        }
+          Rate[Ln] = K[Ln] * A[Ln];
       }
+      break;
+    case KernelClass::MassAction2:
+      for (uint32_t P = Run.Begin; P < Run.End; ++P) {
+        const size_t R = Ord[P];
+        const double *__restrict K = Kc + R * Width;
+        const double *__restrict A = Yv + M.PosA[P] * Width;
+        const double *__restrict B = Yv + M.PosB[P] * Width;
+        double *__restrict Rate = Rates + R * Width;
+        for (unsigned Ln = 0; Ln < Width; ++Ln)
+          Rate[Ln] = K[Ln] * A[Ln] * B[Ln];
+      }
+      break;
+    case KernelClass::MassActionN:
+      for (uint32_t P = Run.Begin; P < Run.End; ++P) {
+        const size_t R = Ord[P];
+        const double *__restrict K = Kc + R * Width;
+        double *__restrict Rate = Rates + R * Width;
+        for (unsigned Ln = 0; Ln < Width; ++Ln)
+          Rate[Ln] = K[Ln];
+        tailLanes<Width>(M, Yv, M.PosTailBegin[P], M.PosTailEnd[P], Rate);
+      }
+      break;
+    case KernelClass::MichaelisMenten:
+      for (uint32_t P = Run.Begin; P < Run.End; ++P) {
+        const size_t R = Ord[P];
+        const double *__restrict K = Kc + R * Width;
+        const double *__restrict X = Yv + M.PosA[P] * Width;
+        double *__restrict Rate = Rates + R * Width;
+        const double Km = M.PosKm[P];
+        for (unsigned Ln = 0; Ln < Width; ++Ln)
+          Rate[Ln] = K[Ln] * mmFactor(Km, X[Ln]);
+        tailLanes<Width>(M, Yv, M.PosTailBegin[P], M.PosTailEnd[P], Rate);
+      }
+      break;
+    case KernelClass::Hill:
+      hillRateLanes<Width, false>(M, Kc, Yv, Run.Begin, Run.End, Rates);
+      break;
+    case KernelClass::HillRepression:
+      hillRateLanes<Width, true>(M, Kc, Yv, Run.Begin, Run.End, Rates);
+      break;
     }
-    for (unsigned Ln = 0; Ln < Width; ++Ln)
-      Rates[R * Width + Ln] = Rate[Ln];
   }
 
   const size_t NL = M.NumSpecies * Width;
   for (size_t I = 0; I < NL; ++I)
     Out[I] = 0.0;
+  // Accumulation stays in original reaction order, mirroring the scalar
+  // kernels' bit-exactness argument.
   for (size_t R = 0; R < M.NumReactions; ++R) {
     const double *__restrict Rate = Rates + R * Width;
     for (uint32_t E = M.NetBegin[R]; E < M.NetBegin[R + 1]; ++E) {
@@ -154,45 +203,50 @@ void LaneBatchOdeSystem::rhsImpl(const double *Y, double *DyDt) const {
 void LaneBatchOdeSystem::rhsGeneric(const double *Y, double *DyDt) const {
   const CompiledModel &M = *Shared;
   double *Rates = RateScratch.data();
-  for (size_t R = 0; R < M.NumReactions; ++R) {
-    double *Rate = Rates + R * L;
-    for (unsigned Ln = 0; Ln < L; ++Ln)
-      Rate[Ln] = RateK[R * L + Ln];
-    uint32_t T = M.TermBegin[R];
-    const uint32_t End = M.TermBegin[R + 1];
-    if (T < End && M.Kinetics[R].Kind != KineticsKind::MassAction) {
-      const CompiledModel::KineticsParams &P = M.Kinetics[R];
-      const double *X = Y + M.TermSpecies[T] * L;
-      for (unsigned Ln = 0; Ln < L; ++Ln) {
-        const double S = std::max(X[Ln], 0.0);
-        double Fac;
-        if (P.Kind == KineticsKind::MichaelisMenten) {
-          Fac = S / (P.Km + S);
-        } else {
-          double Sn;
-          if (P.HillNInt >= 0) {
-            Sn = 1.0;
-            for (int I = 0; I < P.HillNInt; ++I)
-              Sn *= S;
-          } else {
-            Sn = std::pow(S, P.HillN);
-          }
-          Fac = P.Kind == KineticsKind::HillRepression
-                    ? P.KnPow / (P.KnPow + Sn)
-                    : Sn / (P.KnPow + Sn);
-        }
-        Rate[Ln] *= Fac;
+  const uint32_t *Ord = M.RunOrder.data();
+  for (const CompiledModel::KernelRun &Run : M.Runs) {
+    for (uint32_t P = Run.Begin; P < Run.End; ++P) {
+      const size_t R = Ord[P];
+      double *Rate = Rates + R * L;
+      const double *K = RateK.data() + R * L;
+      uint32_t T = M.PosTailBegin[P];
+      const uint32_t End = M.PosTailEnd[P];
+      switch (Run.Class) {
+      case KernelClass::MassAction1:
+      case KernelClass::MassAction2:
+      case KernelClass::MassActionN:
+        for (unsigned Ln = 0; Ln < L; ++Ln)
+          Rate[Ln] = K[Ln];
+        break;
+      case KernelClass::MichaelisMenten: {
+        const double Km = M.PosKm[P];
+        const double *X = Y + M.PosA[P] * L;
+        for (unsigned Ln = 0; Ln < L; ++Ln)
+          Rate[Ln] = K[Ln] * mmFactor(Km, X[Ln]);
+        break;
       }
-      ++T;
-    }
-    for (; T < End; ++T) {
-      const double *X = Y + M.TermSpecies[T] * L;
-      const uint32_t C = M.TermCoef[T];
-      for (unsigned Ln = 0; Ln < L; ++Ln) {
-        double P = 1.0;
-        for (uint32_t I = 0; I < C; ++I)
-          P *= X[Ln];
-        Rate[Ln] *= P;
+      case KernelClass::Hill:
+      case KernelClass::HillRepression: {
+        const bool Repress = Run.Class == KernelClass::HillRepression;
+        const double *X = Y + M.PosA[P] * L;
+        for (unsigned Ln = 0; Ln < L; ++Ln) {
+          const double S = std::max(X[Ln], 0.0);
+          const double Sn = hillPower(S, M.PosHillN[P], M.PosHillNInt[P]);
+          Rate[Ln] = K[Ln] * hillFactor(M.PosKnPow[P], Sn, Repress);
+        }
+        break;
+      }
+      }
+      for (; T < End; ++T) {
+        const double *X = Y + M.TermSpecies[T] * L;
+        const uint32_t C = M.TermCoef[T];
+        if (C == 1) {
+          for (unsigned Ln = 0; Ln < L; ++Ln)
+            Rate[Ln] *= X[Ln];
+        } else {
+          for (unsigned Ln = 0; Ln < L; ++Ln)
+            Rate[Ln] *= ipow(X[Ln], C);
+        }
       }
     }
   }

@@ -109,11 +109,16 @@ ReactionNetwork psg::generateRandomRbm(const RandomRbmOptions &Opts) {
 
     const bool Hill = Generator.uniform() < Opts.HillFraction;
     const bool Repress = Hill && Generator.uniform() < Opts.RepressionFraction;
-    // Hill rate laws need a substrate, so their order is at least one;
-    // mass action draws order 0/1/2 with weights 0.1/0.5/0.4.
+    // Short-circuit keeps the RNG stream untouched when the fraction is
+    // zero (the default), preserving historical seed -> model mappings.
+    const bool Menten = !Hill && Opts.MichaelisMentenFraction > 0.0 &&
+                        Generator.uniform() < Opts.MichaelisMentenFraction;
+    // Saturating rate laws need a substrate, so their order is at least
+    // one; mass action draws order 0/1/2 with weights 0.1/0.5/0.4.
     const double Draw = Generator.uniform();
-    const unsigned Order =
-        Hill ? 1 + (Draw < 0.3 ? 1 : 0) : (Draw < 0.1 ? 0 : Draw < 0.6 ? 1 : 2);
+    const unsigned Order = Hill || Menten
+                               ? 1 + (Draw < 0.3 ? 1 : 0)
+                               : (Draw < 0.1 ? 0 : Draw < 0.6 ? 1 : 2);
     if (Order >= 1)
       Rx.Reactants.emplace_back(pickSpecies(R, /*Cycle=*/true), 1);
     if (Order == 2) {
@@ -132,6 +137,11 @@ ReactionNetwork psg::generateRandomRbm(const RandomRbmOptions &Opts) {
       Rx.Kind = Repress ? KineticsKind::HillRepression : KineticsKind::Hill;
       Rx.HillK = Generator.logUniform(0.1, 2.0);
       Rx.HillN = 1.0 + static_cast<double>(Generator.uniformInt(4));
+    } else if (Menten) {
+      // The MM factor vanishes with its substrate like first-order mass
+      // action does, so no catalytic-product guard is needed.
+      Rx.Kind = KineticsKind::MichaelisMenten;
+      Rx.Km = Generator.logUniform(0.05, 2.0);
     }
 
     // At most two product molecules, so a second-order reaction never

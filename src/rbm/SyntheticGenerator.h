@@ -50,6 +50,11 @@ struct RandomRbmOptions {
   /// of those, RepressionFraction become HillRepression.
   double HillFraction = 0.25;
   double RepressionFraction = 0.5;
+  /// Fraction of non-Hill reactions given Michaelis-Menten kinetics.
+  /// Defaults to zero, and a zero fraction consumes no RNG draws, so
+  /// models generated with the historical defaults stay byte-identical
+  /// seed-for-seed (the fuzz corpora depend on that).
+  double MichaelisMentenFraction = 0.0;
   /// Rate constants are log-uniform in [MidRate/Spread, MidRate*Spread]:
   /// the spread is the stiffness knob (time-scale separation ~ Spread^2).
   double MidRate = 1.0;

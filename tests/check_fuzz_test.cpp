@@ -13,6 +13,7 @@
 
 #include "check/Differential.h"
 #include "check/Golden.h"
+#include "linalg/Jacobian.h"
 #include "rbm/MassAction.h"
 #include "rbm/SyntheticGenerator.h"
 #include "sim/Simulators.h"
@@ -199,4 +200,73 @@ TEST(DifferentialFuzzTest, ReferenceAgreesWithGoldenClosedForm) {
   Case.Options.MaxSteps = 200000;
   Status S = checkCaseAgainstReference(Case, /*CompareTol=*/5e-3);
   EXPECT_TRUE(S.ok()) << S.message();
+}
+
+// Satellite of the kind-partitioned kernel PR: the analytic Jacobian of
+// every randomly generated RBM — across all four kinetics kinds — must
+// agree with the forward-difference Jacobian of its own rhs. The FD
+// comparison is what catches a wrong sparsity pattern or a wrong partial
+// (the bit-exactness oracle in rhs_kernels_test would not: reference and
+// partitioned kernels share the contribution lists' inputs).
+TEST(DifferentialFuzzTest, AnalyticJacobianMatchesFiniteDifferences) {
+  size_t SeenMassAction = 0, SeenMenten = 0, SeenHill = 0, SeenRepress = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    RandomRbmOptions Gen;
+    Gen.Seed = Seed;
+    Gen.HillFraction = 0.3;
+    Gen.MichaelisMentenFraction = 0.3;
+    const ReactionNetwork Net = generateRandomRbm(Gen);
+    for (const Reaction &Rx : Net.allReactions()) {
+      switch (Rx.Kind) {
+      case KineticsKind::MassAction:
+        ++SeenMassAction;
+        break;
+      case KineticsKind::MichaelisMenten:
+        ++SeenMenten;
+        break;
+      case KineticsKind::Hill:
+        ++SeenHill;
+        break;
+      case KineticsKind::HillRepression:
+        ++SeenRepress;
+        break;
+      }
+    }
+
+    CompiledOdeSystem Sys(Net);
+    const size_t N = Sys.dimension();
+    Rng StateGen(Seed * 7919 + 13);
+    std::vector<std::vector<double>> States = {Net.initialState()};
+    std::vector<double> Perturbed = States[0];
+    for (double &V : Perturbed)
+      V *= StateGen.uniform(0.3, 2.5);
+    States.push_back(std::move(Perturbed));
+
+    RhsFunction Callback = [&Sys](double T, const double *Y, double *DyDt) {
+      Sys.rhs(T, Y, DyDt);
+    };
+    std::vector<double> F0(N);
+    Matrix JA, JN;
+    for (const std::vector<double> &Y : States) {
+      Sys.analyticJacobian(0.0, Y.data(), JA);
+      Sys.rhs(0.0, Y.data(), F0.data());
+      numericJacobian(Callback, 0.0, Y.data(), F0.data(), N, JN);
+      for (size_t I = 0; I < N; ++I)
+        for (size_t Jc = 0; Jc < N; ++Jc) {
+          const double A = JA(I, Jc);
+          const double D = JN(I, Jc);
+          // Forward differences are only O(sqrt(eps))-accurate; gate at a
+          // scale-relative 1e-3, loose enough for Hill curvature, tight
+          // enough to catch any structural or sign error.
+          EXPECT_NEAR(A, D, 1e-3 * (1.0 + std::abs(A)))
+              << "seed " << Seed << " entry (" << I << ", " << Jc << ")";
+        }
+    }
+  }
+  // The pool must actually have exercised every kinetics kind, or the
+  // gate above is vacuous for the missing ones.
+  EXPECT_GT(SeenMassAction, 0u);
+  EXPECT_GT(SeenMenten, 0u);
+  EXPECT_GT(SeenHill, 0u);
+  EXPECT_GT(SeenRepress, 0u);
 }

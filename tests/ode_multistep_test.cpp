@@ -8,6 +8,7 @@
 #include "ode/Multistep.h"
 #include "ode/TestProblems.h"
 #include "ode/Vode.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -189,4 +190,61 @@ TEST(VodeTest, ThresholdIsTunable) {
   ASSERT_TRUE(RL.ok());
   EXPECT_GT(RS.Stats.LuFactorizations, 0u);
   EXPECT_EQ(RL.Stats.LuFactorizations, 0u);
+}
+
+TEST(JacobianReuseTest, AdaptiveReuseCutsJacobianEvaluationsOnLinearStiff) {
+  // A linear problem has a constant Jacobian: once formed it never goes
+  // stale, Newton converges in effectively one iteration forever, and the
+  // convergence-rate policy should refresh only on the rare age bound.
+  // The historical fixed policy refreshes every 25 steps regardless.
+  TestProblem P = makeLinearStiff(1e4);
+  BdfSolver S;
+  SolverOptions Fixed;
+  Fixed.AdaptiveJacobianReuse = false;
+  Fixed.MaxSteps = 500000;
+  SolverOptions Adaptive = Fixed;
+  Adaptive.AdaptiveJacobianReuse = true;
+
+  std::vector<double> YF = P.InitialState, YA = P.InitialState;
+  IntegrationResult RF = S.integrate(*P.System, 0, P.EndTime, YF, Fixed);
+  const uint64_t ReusesBefore =
+      metrics().counter("psg.ode.jacobian_reuses").value();
+  IntegrationResult RA = S.integrate(*P.System, 0, P.EndTime, YA, Adaptive);
+  const uint64_t ReusesAfter =
+      metrics().counter("psg.ode.jacobian_reuses").value();
+  ASSERT_TRUE(RF.ok());
+  ASSERT_TRUE(RA.ok());
+
+  EXPECT_LT(RA.Stats.JacobianEvaluations, RF.Stats.JacobianEvaluations);
+  EXPECT_GT(ReusesAfter, ReusesBefore);
+
+  // Both policies must still land on the exact solution.
+  ASSERT_FALSE(P.Reference.empty());
+  for (size_t I = 0; I < P.Reference.size(); ++I) {
+    EXPECT_NEAR(YF[I], P.Reference[I], 1e-4 + 1e-3 * std::abs(P.Reference[I]));
+    EXPECT_NEAR(YA[I], P.Reference[I], 1e-4 + 1e-3 * std::abs(P.Reference[I]));
+  }
+}
+
+TEST(JacobianReuseTest, AdaptiveReuseStaysAccurateOnRobertson) {
+  // Robertson's Jacobian does change along the trajectory, so this pins
+  // the other side of the policy: deferring refreshes until Newton slows
+  // down must not cost accuracy against the reference solution.
+  TestProblem P = makeRobertson();
+  BdfSolver S;
+  SolverOptions Fixed;
+  Fixed.AdaptiveJacobianReuse = false;
+  Fixed.MaxSteps = 500000;
+  SolverOptions Adaptive = Fixed;
+  Adaptive.AdaptiveJacobianReuse = true;
+
+  std::vector<double> YF = P.InitialState, YA = P.InitialState;
+  IntegrationResult RF = S.integrate(*P.System, 0, P.EndTime, YF, Fixed);
+  IntegrationResult RA = S.integrate(*P.System, 0, P.EndTime, YA, Adaptive);
+  ASSERT_TRUE(RF.ok());
+  ASSERT_TRUE(RA.ok());
+  EXPECT_LE(RA.Stats.JacobianEvaluations, RF.Stats.JacobianEvaluations);
+  ASSERT_FALSE(P.Reference.empty());
+  for (size_t I = 0; I < P.Reference.size(); ++I)
+    EXPECT_NEAR(YA[I], P.Reference[I], 1e-4 + 5e-3 * std::abs(P.Reference[I]));
 }
