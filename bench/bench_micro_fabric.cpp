@@ -1,0 +1,451 @@
+//===- bench/bench_micro_fabric.cpp ---------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-node fabric scaling microbenchmark. Runs the same streaming
+/// parameter sweep two ways:
+///
+///  * mode "sched": the in-process ShardedExecutor on one gpu-coarse
+///    device — the single-node reference the fabric must not tax.
+///  * mode "fabric": a NodeCoordinator over the in-process loopback
+///    fabric feeding 1, 2, and 4 worker nodes (one gpu-coarse device
+///    each), every grant crossing the full wire path — serialization,
+///    framing, CRC, deserialization — in both directions.
+///
+/// Reported throughput is simulations per modeled makespan second
+/// (the busiest node's modeled time); host wall time is recorded for
+/// reference but not gated, so the bench holds on slow CI runners. A
+/// healthy fabric shows near-linear modeled node scaling (>1.5x at 4
+/// nodes) and a 1-node modeled throughput close to the in-process
+/// executor's: the wire adds host-side cost, not modeled-device cost.
+///
+/// Output: a psg-bench-fabric-v1 JSON document (default
+/// BENCH_fabric.json) gated by tools/psg-bench-compare. `--baseline
+/// FILE` embeds a previously saved run object verbatim so the committed
+/// file carries before/after numbers across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "fabric/LoopbackFabric.h"
+#include "fabric/NodeCoordinator.h"
+#include "fabric/NodeWorker.h"
+#include "rbm/CuratedModels.h"
+#include "sched/ShardedExecutor.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct CaseResult {
+  std::string ModelName;
+  std::string Mode; ///< "sched" (in-process) or "fabric" (loopback).
+  unsigned Nodes = 0;
+  unsigned Devices = 0; ///< Total devices across the fleet.
+  uint64_t Sims = 0;
+  uint64_t Chunk = 0;
+  uint64_t Shards = 0;
+  uint64_t Requeues = 0;
+  uint64_t Deaths = 0;
+  uint64_t Duplicates = 0;
+  double ModeledMakespanSeconds = 0.0;
+  double SimsPerSecond = 0.0; ///< Modeled fleet throughput.
+  double ShardImbalance = 0.0;
+  double HostWallSeconds = 0.0;
+  size_t Failures = 0;
+};
+
+/// The sweep every case runs: curated defaults with ±10% rate-constant
+/// jitter, the coherent-neighbour regime of the paper's batches.
+std::vector<Parameterization> makeSweep(const ReactionNetwork &Net,
+                                        uint64_t Sims, uint64_t Seed) {
+  std::vector<double> Defaults;
+  Defaults.reserve(Net.numReactions());
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Defaults.push_back(Net.reaction(R).RateConstant);
+
+  Rng Generator(Seed);
+  std::vector<Parameterization> Params(Sims);
+  for (Parameterization &P : Params) {
+    P.InitialState = Net.initialState();
+    P.RateConstants = Defaults;
+    for (double &K : P.RateConstants)
+      K *= 0.9 + 0.2 * Generator.uniform();
+  }
+  return Params;
+}
+
+ParameterizationSource sourceOver(const std::vector<Parameterization> &Params,
+                                  size_t &Next) {
+  return [&Params, &Next](size_t MaxCount,
+                          std::vector<Parameterization> &Out) -> size_t {
+    const size_t Count = std::min(MaxCount, Params.size() - Next);
+    for (size_t I = 0; I < Count; ++I)
+      Out.push_back(Params[Next + I]);
+    Next += Count;
+    return Count;
+  };
+}
+
+/// Discards every outcome; the bench measures distribution, not
+/// reduction.
+class NullSink final : public OutcomeSink {
+public:
+  size_t Count = 0;
+  void consumeSubBatch(size_t, std::vector<SimulationOutcome> &B) override {
+    Count += B.size();
+  }
+};
+
+EngineOptions baseOptions(double EndTime, uint64_t Chunk) {
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = EndTime;
+  Opts.OutputSamples = 0;
+  Opts.Solver.RelTol = 1e-6;
+  Opts.Solver.AbsTol = 1e-9;
+  return Opts;
+}
+
+/// In-process single-device reference: the throughput the 1-node fabric
+/// case is judged against.
+CaseResult measureSchedCase(const ReactionNetwork &Net,
+                            const std::string &Name, double EndTime,
+                            uint64_t Sims, uint64_t Chunk, unsigned Reps) {
+  EngineOptions Opts = baseOptions(EndTime, Chunk);
+  Opts.Sched.Devices = {"gpu-coarse"};
+  Opts.Sched.ChunkSize = Chunk;
+  Opts.Sched.WorkersPerDevice = 1;
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+
+  const std::vector<Parameterization> Params = makeSweep(Net, Sims, 42);
+  auto runOnce = [&]() -> ShardScheduleReport {
+    size_t Next = 0;
+    ParameterizationSource Source = sourceOver(Params, Next);
+    NullSink Sink;
+    return Executor.streamParameterizations(Net, nullptr, Source, Sink);
+  };
+  runOnce(); // Warmup: worker pools, compiled model, throughput estimates.
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Mode = "sched";
+  R.Nodes = 1;
+  R.Devices = 1;
+  R.Sims = Sims;
+  R.Chunk = Chunk;
+  double BestMakespan = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    const ShardScheduleReport Report = runOnce();
+    const double Wall = Timer.seconds();
+    if (Rep == 0 || Report.ModeledMakespanSeconds < BestMakespan) {
+      BestMakespan = Report.ModeledMakespanSeconds;
+      R.Shards = Report.Shards;
+      R.ShardImbalance = Report.ShardImbalance;
+      R.HostWallSeconds = Wall;
+      R.Failures = Report.Stream.Failures;
+    }
+  }
+  R.ModeledMakespanSeconds = BestMakespan;
+  R.SimsPerSecond =
+      BestMakespan > 0.0 ? static_cast<double>(Sims) / BestMakespan : 0.0;
+  std::printf("  %-14s in-process      %10.0f sims/s modeled (makespan "
+              "%.4gs)\n",
+              Name.c_str(), R.SimsPerSecond, R.ModeledMakespanSeconds);
+  return R;
+}
+
+/// One full distributed sweep: fresh loopback fabric, worker threads,
+/// coordinator, teardown. Cold-start cost lands in host wall time only.
+FabricScheduleReport runFabricOnce(const ReactionNetwork &Net,
+                                   const std::vector<Parameterization> &Params,
+                                   const EngineOptions &Base, unsigned Nodes) {
+  LoopbackFabric Fabric;
+  std::unique_ptr<FabricEndpoint> CoordEp =
+      Fabric.createEndpoint(CoordinatorNode);
+  std::vector<std::unique_ptr<FabricEndpoint>> WorkerEps;
+  for (unsigned N = 1; N <= Nodes; ++N)
+    WorkerEps.push_back(Fabric.createEndpoint(N));
+
+  FabricOptions Fab;
+  Fab.Endpoint = CoordEp.get();
+  for (unsigned N = 1; N <= Nodes; ++N)
+    Fab.Workers.push_back(N);
+  Fab.HeartbeatIntervalSeconds = 0.002;
+
+  std::vector<std::thread> Threads;
+  for (unsigned N = 0; N < Nodes; ++N)
+    Threads.emplace_back([&, N] {
+      SchedOptions Local;
+      Local.Devices = {"gpu-coarse"};
+      Local.WorkersPerDevice = 1;
+      NodeWorker Worker(CostModel::paperSetup(), *WorkerEps[N], Local,
+                        /*HeartbeatIntervalSeconds=*/0.005);
+      Worker.serve(Net);
+    });
+
+  NodeCoordinator Coord(Base, Fab);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Params, Next);
+  NullSink Sink;
+  FabricScheduleReport Report =
+      Coord.streamParameterizations(Net, Source, Sink);
+  Fabric.shutdown();
+  for (std::thread &T : Threads)
+    T.join();
+  return Report;
+}
+
+CaseResult measureFabricCase(const ReactionNetwork &Net,
+                             const std::string &Name, double EndTime,
+                             uint64_t Sims, uint64_t Chunk, unsigned Nodes,
+                             unsigned Reps) {
+  EngineOptions Base = baseOptions(EndTime, Chunk);
+  const std::vector<Parameterization> Params = makeSweep(Net, Sims, 42);
+  runFabricOnce(Net, Params, Base, Nodes); // Warmup.
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Mode = "fabric";
+  R.Nodes = Nodes;
+  R.Devices = Nodes;
+  R.Sims = Sims;
+  R.Chunk = Chunk;
+  double BestMakespan = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    const FabricScheduleReport Report =
+        runFabricOnce(Net, Params, Base, Nodes);
+    const double Wall = Timer.seconds();
+    if (Rep == 0 || Report.ModeledMakespanSeconds < BestMakespan) {
+      BestMakespan = Report.ModeledMakespanSeconds;
+      R.Shards = Report.Shards;
+      R.Requeues = Report.Requeues;
+      R.Deaths = Report.NodeDeaths;
+      R.Duplicates = Report.DuplicateBatches;
+      R.ShardImbalance = Report.ShardImbalance;
+      R.HostWallSeconds = Wall;
+      R.Failures = Report.Stream.Failures;
+    }
+  }
+  R.ModeledMakespanSeconds = BestMakespan;
+  R.SimsPerSecond =
+      BestMakespan > 0.0 ? static_cast<double>(Sims) / BestMakespan : 0.0;
+  std::printf("  %-14s %u node(s)       %10.0f sims/s modeled (makespan "
+              "%.4gs, imbalance %.3f)\n",
+              Name.c_str(), Nodes, R.SimsPerSecond, R.ModeledMakespanSeconds,
+              R.ShardImbalance);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"mode\": \"%s\", \"nodes\": %u, "
+      "\"devices\": %u, \"sims\": %llu, \"chunk\": %llu, \"shards\": %llu, "
+      "\"requeues\": %llu, \"deaths\": %llu, \"duplicates\": %llu, "
+      "\"modeled_makespan_s\": %.6e, \"sims_per_sec\": %.1f, "
+      "\"imbalance\": %.4f, \"host_wall_s\": %.6e, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Mode.c_str(), R.Nodes, R.Devices,
+      (unsigned long long)R.Sims, (unsigned long long)R.Chunk,
+      (unsigned long long)R.Shards, (unsigned long long)R.Requeues,
+      (unsigned long long)R.Deaths, (unsigned long long)R.Duplicates,
+      R.ModeledMakespanSeconds, R.SimsPerSecond, R.ShardImbalance,
+      R.HostWallSeconds, R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"personality\": \"gpu-coarse\",\n";
+  Out += "    \"metric\": \"modeled_makespan_throughput\",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ],\n";
+
+  // Node scaling per model: each fabric entry's throughput over its
+  // model's 1-node fabric case.
+  Out += "    \"scaling\": [\n";
+  std::string Rows;
+  double BaseThroughput = 0.0;
+  for (const CaseResult &R : Results) {
+    if (R.Mode != "fabric")
+      continue;
+    if (R.Nodes == 1) {
+      BaseThroughput = R.SimsPerSecond;
+      continue;
+    }
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", \"nodes\": %u, "
+                  "\"speedup\": %.3f},\n",
+                  R.ModelName.c_str(), R.Nodes,
+                  BaseThroughput > 0.0 ? R.SimsPerSecond / BaseThroughput
+                                       : 0.0);
+    Rows += Buf;
+  }
+  if (Rows.size() >= 2)
+    Rows.erase(Rows.size() - 2, 1); // Trailing comma.
+  Out += Rows;
+  Out += "    ],\n";
+
+  // Fabric tax per model: 1-node loopback modeled throughput over the
+  // in-process single-device executor's. The wire moves bytes, not
+  // modeled device time, so this must stay near 1.
+  Out += "    \"overhead\": [\n";
+  Rows.clear();
+  std::map<std::string, double> SchedBase;
+  for (const CaseResult &R : Results)
+    if (R.Mode == "sched")
+      SchedBase[R.ModelName] = R.SimsPerSecond;
+  for (const CaseResult &R : Results) {
+    if (R.Mode != "fabric" || R.Nodes != 1)
+      continue;
+    const double Base = SchedBase.count(R.ModelName)
+                            ? SchedBase[R.ModelName]
+                            : 0.0;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", "
+                  "\"fabric_vs_sched\": %.3f},\n",
+                  R.ModelName.c_str(),
+                  Base > 0.0 ? R.SimsPerSecond / Base : 0.0);
+    Rows += Buf;
+  }
+  if (Rows.size() >= 2)
+    Rows.erase(Rows.size() - 2, 1);
+  Out += Rows;
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_fabric.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-fabric: cross-node loopback sweep scaling ==\n");
+  const ReactionNetwork Brussel = makeBrusselatorNetwork();
+  const ReactionNetwork Decay = makeDecayChainNetwork(8, 0.5);
+
+  struct Sweep {
+    const ReactionNetwork *Net;
+    const char *Name;
+    double EndTime;
+    uint64_t Sims;
+    uint64_t Chunk;
+  };
+  const Sweep Sweeps[] = {{&Brussel, "brusselator", 2.0, 512, 32},
+                          {&Decay, "decay-chain-8", 2.0, 512, 32}};
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  const unsigned NodeCounts[] = {1, 2, 4};
+  for (const Sweep &S : Sweeps) {
+    Results.push_back(
+        measureSchedCase(*S.Net, S.Name, S.EndTime, S.Sims, S.Chunk, Reps));
+    for (unsigned Nodes : NodeCounts)
+      Results.push_back(measureFabricCase(*S.Net, S.Name, S.EndTime, S.Sims,
+                                          S.Chunk, Nodes, Reps));
+  }
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-fabric-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[640];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.fabric.shards\": %llu, "
+        "\"psg.fabric.lost_simulations\": %llu, "
+        "\"psg.fabric.node_deaths\": %llu, "
+        "\"psg.fabric.duplicates_suppressed\": %llu, "
+        "\"psg.fabric.frames_sent\": %llu, "
+        "\"psg.fabric.bytes_sent\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.fabric.shards"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.fabric.lost_simulations"),
+        (unsigned long long)Snapshot.counterValue("psg.fabric.node_deaths"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.fabric.duplicates_suppressed"),
+        (unsigned long long)Snapshot.counterValue("psg.fabric.frames_sent"),
+        (unsigned long long)Snapshot.counterValue("psg.fabric.bytes_sent"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "core/BatchEngine.h"
 
+#include "fabric/NodeCoordinator.h"
 #include "sched/ShardedExecutor.h"
 #include "support/Error.h"
 #include "support/Logging.h"
@@ -99,6 +100,14 @@ StreamReport
 BatchEngine::streamParameterizations(const ReactionNetwork &Net,
                                      const ParameterizationSource &Source,
                                      OutcomeSink &Sink) {
+  if (Opts.Fabric.enabled()) {
+    // Cross-node path: the coordinator feeds shard grants to remote
+    // workers over the configured fabric endpoint; each worker runs its
+    // own local sharded executor.
+    if (!Coordinator)
+      Coordinator = std::make_unique<NodeCoordinator>(Opts, Opts.Fabric);
+    return Coordinator->streamParameterizations(Net, Source, Sink).Stream;
+  }
   if (Opts.Sched.enabled()) {
     // Multi-device sharded path: the executor owns the device fleet and
     // is kept warm across runs like Sim is.

@@ -1,0 +1,13 @@
+//===- fabric/Fabric.cpp - Message fabric endpoint abstraction ------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fabric/Fabric.h"
+
+namespace psg {
+
+FabricEndpoint::~FabricEndpoint() = default;
+
+} // namespace psg

@@ -1,0 +1,77 @@
+//===- fabric/Fabric.h - Message fabric endpoint abstraction ----*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport abstraction the cross-node scheduler is written
+/// against. An endpoint sends length-prefixed binary frames to peers by
+/// node id and polls for inbound frames with a timeout. Two
+/// implementations exist: LoopbackFabric (in-process, deterministic,
+/// fault-injectable — what the distributed test harness drives) and
+/// TcpFabric (POSIX sockets over localhost or a real network). The
+/// coordinator/worker protocol layered on top never touches sockets or
+/// queues directly, so every failure mode provable on the loopback
+/// fabric holds for TCP modulo the OS transport itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_FABRIC_FABRIC_H
+#define PSG_FABRIC_FABRIC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace psg {
+
+/// Node address on a fabric. The coordinator is always node 0; workers
+/// are 1..N in the order the coordinator admitted them.
+using NodeId = uint32_t;
+
+constexpr NodeId CoordinatorNode = 0;
+
+/// One inbound frame with its sender.
+struct ReceivedFrame {
+  NodeId From = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Outcome of one poll() call.
+enum class PollStatus {
+  Message, ///< A frame was received.
+  Timeout, ///< Nothing arrived within the timeout.
+  Closed,  ///< The fabric was shut down or every peer disconnected.
+};
+
+/// One node's attachment to a message fabric.
+///
+/// Thread contract: a node drives its endpoint from one thread (the
+/// coordinator/worker event loops are single-threaded); implementations
+/// must tolerate concurrent send() from peers' threads on the far side
+/// but need not support concurrent calls on one endpoint.
+class FabricEndpoint {
+public:
+  virtual ~FabricEndpoint();
+
+  /// This endpoint's node id.
+  virtual NodeId id() const = 0;
+
+  /// Queues one frame for delivery to \p To. Returns false when the
+  /// peer is unknown or the transport to it has failed; a best-effort
+  /// transport may also drop frames silently after returning true (the
+  /// protocol layer owns retries, not the fabric).
+  virtual bool send(NodeId To, std::vector<uint8_t> Frame) = 0;
+
+  /// Waits up to \p TimeoutSeconds for one inbound frame.
+  virtual PollStatus poll(ReceivedFrame &Out, double TimeoutSeconds) = 0;
+
+  /// Monotonic clock in seconds. Heartbeat/death decisions use this so
+  /// a fabric implementation can (in tests) present a compressed view
+  /// of time alongside its delivery schedule.
+  virtual double now() const = 0;
+};
+
+} // namespace psg
+
+#endif // PSG_FABRIC_FABRIC_H

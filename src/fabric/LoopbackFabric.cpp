@@ -1,0 +1,169 @@
+//===- fabric/LoopbackFabric.cpp - In-process fault-injectable fabric -----===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fabric/LoopbackFabric.h"
+
+#include <chrono>
+
+namespace psg {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+} // namespace
+
+struct LoopbackFabric::State {
+  mutable std::mutex Mutex;
+  std::condition_variable Cv;
+  Clock::time_point Start = Clock::now();
+  bool Closed = false;
+  FaultScript Script;
+  uint64_t NextSequence = 0;
+  uint64_t Sent = 0, Dropped = 0, Duplicated = 0, Delayed = 0;
+  // Per-node mailbox ordered by (due time, send sequence): delayed
+  // frames overtake nothing sent before their due time, and same-due
+  // frames deliver in send order — fully deterministic given a script.
+  std::map<NodeId, std::map<std::pair<double, uint64_t>, ReceivedFrame>>
+      Mailboxes;
+
+  double nowLocked() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+};
+
+class LoopbackFabric::Endpoint final : public FabricEndpoint {
+public:
+  Endpoint(std::shared_ptr<State> Shared, NodeId Node)
+      : Shared(std::move(Shared)), Node(Node) {}
+
+  NodeId id() const override { return Node; }
+
+  bool send(NodeId To, std::vector<uint8_t> Frame) override {
+    std::lock_guard<std::mutex> Lock(Shared->Mutex);
+    if (Shared->Closed)
+      return false;
+    const double Now = Shared->nowLocked();
+    FaultContext Ctx;
+    Ctx.From = Node;
+    Ctx.To = To;
+    Ctx.Frame = inspectFrame(Frame);
+    Ctx.Now = Now;
+    Ctx.Sequence = Shared->NextSequence++;
+    FaultAction Action;
+    if (Shared->Script)
+      Action = Shared->Script(Ctx);
+    ++Shared->Sent;
+    if (Action.Drop) {
+      ++Shared->Dropped;
+      return true; // The transport accepted it; the wire lost it.
+    }
+    const double Due = Now + (Action.DelaySeconds > 0 ? Action.DelaySeconds : 0);
+    if (Action.DelaySeconds > 0)
+      ++Shared->Delayed;
+    const unsigned Copies = Action.Duplicate ? 2 : 1;
+    if (Action.Duplicate)
+      ++Shared->Duplicated;
+    for (unsigned I = 0; I < Copies; ++I) {
+      ReceivedFrame R;
+      R.From = Node;
+      R.Bytes = (I + 1 == Copies) ? std::move(Frame) : Frame;
+      Shared->Mailboxes[To].emplace(
+          std::make_pair(Due, Shared->NextSequence++), std::move(R));
+    }
+    Shared->Cv.notify_all();
+    return true;
+  }
+
+  PollStatus poll(ReceivedFrame &Out, double TimeoutSeconds) override {
+    std::unique_lock<std::mutex> Lock(Shared->Mutex);
+    const double Deadline = Shared->nowLocked() + TimeoutSeconds;
+    for (;;) {
+      auto &Box = Shared->Mailboxes[Node];
+      const double Now = Shared->nowLocked();
+      if (!Box.empty()) {
+        auto First = Box.begin();
+        // Mature frames are delivered even after shutdown — a closed
+        // fabric drains like a FIN'd socket, so a worker still reads
+        // the goodbye the coordinator sent just before closing. Only
+        // frames whose delay has not matured are lost with the wire.
+        if (First->first.first <= Now) {
+          Out = std::move(First->second);
+          Box.erase(First);
+          return PollStatus::Message;
+        }
+        if (Shared->Closed)
+          return PollStatus::Closed;
+        if (First->first.first < Deadline) {
+          // Sleep until the earliest delayed frame matures (or an
+          // earlier frame arrives and notifies us).
+          Shared->Cv.wait_for(Lock, std::chrono::duration<double>(
+                                        First->first.first - Now));
+          continue;
+        }
+      }
+      if (Shared->Closed)
+        return PollStatus::Closed;
+      if (Now >= Deadline)
+        return PollStatus::Timeout;
+      Shared->Cv.wait_for(Lock,
+                          std::chrono::duration<double>(Deadline - Now));
+    }
+  }
+
+  double now() const override {
+    std::lock_guard<std::mutex> Lock(Shared->Mutex);
+    return Shared->nowLocked();
+  }
+
+private:
+  std::shared_ptr<State> Shared;
+  NodeId Node;
+};
+
+LoopbackFabric::LoopbackFabric() : Shared(std::make_shared<State>()) {}
+
+LoopbackFabric::~LoopbackFabric() { shutdown(); }
+
+std::unique_ptr<FabricEndpoint> LoopbackFabric::createEndpoint(NodeId Node) {
+  return std::make_unique<Endpoint>(Shared, Node);
+}
+
+void LoopbackFabric::setFaultScript(FaultScript Script) {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  Shared->Script = std::move(Script);
+}
+
+void LoopbackFabric::shutdown() {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  Shared->Closed = true;
+  Shared->Cv.notify_all();
+}
+
+double LoopbackFabric::now() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->nowLocked();
+}
+
+uint64_t LoopbackFabric::framesSent() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Sent;
+}
+
+uint64_t LoopbackFabric::framesDropped() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Dropped;
+}
+
+uint64_t LoopbackFabric::framesDuplicated() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Duplicated;
+}
+
+uint64_t LoopbackFabric::framesDelayed() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Delayed;
+}
+
+} // namespace psg

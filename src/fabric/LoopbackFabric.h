@@ -1,0 +1,101 @@
+//===- fabric/LoopbackFabric.h - In-process fault-injectable fabric -------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-process message fabric: every node's endpoint is a mailbox on
+/// one shared switch, and delivery is a queue move — no sockets, no OS
+/// scheduling in the transport itself. Its purpose is the distributed
+/// test harness: a FaultScript observes every frame at send time (with
+/// its decoded identity: type, shard id, attempt, epoch) and rules on
+/// it — deliver, drop, duplicate, or delay — so every distributed
+/// failure mode (node kill, partition, late duplicate, reorder,
+/// heartbeat delay) is reproducible from message content alone,
+/// independent of thread interleaving. The same technique the
+/// single-process ShardFaultInjector uses, lifted to the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_FABRIC_LOOPBACKFABRIC_H
+#define PSG_FABRIC_LOOPBACKFABRIC_H
+
+#include "fabric/Fabric.h"
+#include "fabric/WireFormat.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace psg {
+
+/// Everything a fault script knows about one frame in flight.
+struct FaultContext {
+  NodeId From = 0;
+  NodeId To = 0;
+  FrameInspection Frame;  ///< Type, shard id, attempt, epoch, sender.
+  double Now = 0.0;       ///< Fabric clock at send time.
+  uint64_t Sequence = 0;  ///< Global send ordinal (deterministic tiebreak).
+};
+
+/// A fault script's ruling on one frame. Default: deliver untouched.
+struct FaultAction {
+  bool Drop = false;          ///< Lose the frame entirely.
+  bool Duplicate = false;     ///< Deliver it twice.
+  double DelaySeconds = 0.0;  ///< Hold delivery back (reorders vs later
+                              ///< frames sent on the same edge).
+};
+
+using FaultScript = std::function<FaultAction(const FaultContext &)>;
+
+/// The shared in-process switch. Create one, then one endpoint per
+/// node; endpoints stay valid until the fabric is destroyed and their
+/// polls return Closed after shutdown().
+class LoopbackFabric {
+public:
+  LoopbackFabric();
+  ~LoopbackFabric();
+
+  LoopbackFabric(const LoopbackFabric &) = delete;
+  LoopbackFabric &operator=(const LoopbackFabric &) = delete;
+
+  /// Creates the endpoint for \p Node. One endpoint per node id.
+  std::unique_ptr<FabricEndpoint> createEndpoint(NodeId Node);
+
+  /// Installs the fault script applied to every subsequent send.
+  /// Scripts run under the fabric lock: they see frames in a total
+  /// order (FaultContext::Sequence) and must not call back into the
+  /// fabric.
+  void setFaultScript(FaultScript Script);
+
+  /// Wakes every poll with Closed and refuses further sends. Idempotent.
+  void shutdown();
+
+  /// Seconds since fabric construction (monotonic).
+  double now() const;
+
+  /// Transport counters (for test assertions).
+  uint64_t framesSent() const;
+  uint64_t framesDropped() const;
+  uint64_t framesDuplicated() const;
+  uint64_t framesDelayed() const;
+
+private:
+  class Endpoint;
+  struct QueuedFrame {
+    double DueTime = 0.0;
+    uint64_t Sequence = 0; ///< Stable order among same-due frames.
+    ReceivedFrame Frame;
+  };
+  struct State;
+  std::shared_ptr<State> Shared;
+};
+
+} // namespace psg
+
+#endif // PSG_FABRIC_LOOPBACKFABRIC_H

@@ -1,0 +1,72 @@
+//===- fabric/TcpFabric.h - TCP socket fabric -------------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-network FabricEndpoint: length-prefixed binary frames over
+/// POSIX TCP sockets. The coordinator binds a listener, admits the
+/// expected number of workers (a Hello handshake assigns node ids in
+/// admission order), and then both sides speak exactly the same framed
+/// protocol the loopback fabric carries in-process — NodeCoordinator
+/// and NodeWorker cannot tell the transports apart.
+///
+/// Transport semantics: send() blocks until the frame is written or
+/// the connection fails (then returns false and the peer is marked
+/// dead); poll() multiplexes every live connection with poll(2) and
+/// reassembles frames from the byte stream. A peer disconnect is
+/// surfaced by dropping the connection; when no peers remain, poll()
+/// returns Closed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_FABRIC_TCPFABRIC_H
+#define PSG_FABRIC_TCPFABRIC_H
+
+#include "fabric/Fabric.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace psg {
+
+/// Coordinator-side listener. Two-phase so tests can bind port 0 and
+/// learn the kernel-assigned port before spawning workers.
+class TcpListener {
+public:
+  /// Binds and listens on \p Port (0 picks an ephemeral port).
+  static ErrorOr<std::unique_ptr<TcpListener>> create(uint16_t Port);
+
+  ~TcpListener();
+  TcpListener(const TcpListener &) = delete;
+  TcpListener &operator=(const TcpListener &) = delete;
+
+  /// The bound port (useful after binding port 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Admits \p NumWorkers connections, handshaking each (the worker
+  /// sends Hello, we reply with its assigned node id 1..N), and
+  /// returns the coordinator endpoint (node 0). Fails if the workers
+  /// do not all arrive within \p TimeoutSeconds.
+  ErrorOr<std::unique_ptr<FabricEndpoint>> acceptWorkers(unsigned NumWorkers,
+                                                         double TimeoutSeconds);
+
+private:
+  TcpListener(int Fd, uint16_t Port) : ListenFd(Fd), BoundPort(Port) {}
+  int ListenFd;
+  uint16_t BoundPort;
+};
+
+/// Worker side: connects to the coordinator (retrying until the
+/// deadline, so workers may start before the coordinator listens),
+/// handshakes, and returns an endpoint carrying the assigned node id.
+ErrorOr<std::unique_ptr<FabricEndpoint>>
+connectTcpWorker(const std::string &Host, uint16_t Port,
+                 double TimeoutSeconds);
+
+} // namespace psg
+
+#endif // PSG_FABRIC_TCPFABRIC_H

@@ -25,6 +25,7 @@
 
 #include "sched/ShardedExecutor.h"
 
+#include "sched/DeliveryLedger.h"
 #include "support/Error.h"
 #include "support/Logging.h"
 #include "support/StringUtils.h"
@@ -34,7 +35,6 @@
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <thread>
 
@@ -223,8 +223,7 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
   size_t NextIndex = 0;
   size_t Outstanding = 0;
   size_t Resident = 0;
-  size_t NextDeliver = 0;
-  std::map<size_t, std::vector<SimulationOutcome>> Pending;
+  DeliveryLedger Ledger(Ordered);
 
   // Estimated modeled seconds of \p Count simulations on device \p D.
   auto estimateFor = [&](unsigned D, uint64_t Count) {
@@ -235,32 +234,21 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
     return PerSim * static_cast<double>(Count);
   };
 
-  // Hands one completed sub-batch to the sink; Mx must be held. Ordered
-  // delivery buffers out-of-order completions until the gap closes.
+  // Hands one completed sub-batch to the delivery ledger; Mx must be
+  // held. The ledger owns the exactly-once/ordered-flush invariants
+  // (shared with the cross-node coordinator return path); in-process,
+  // a shard runs on exactly one device per attempt, so a duplicate
+  // acceptance is a scheduler bug.
   auto deliverLocked = [&](size_t First,
                            std::vector<SimulationOutcome> &&Outcomes,
                            Impl::DeviceState *Recycle) {
-    if (!Ordered) {
-      const size_t Count = Outcomes.size();
-      Sink.consumeSubBatch(First, Outcomes);
-      assert(Resident >= Count && "resident accounting underflow");
-      Resident -= Count;
-      if (Recycle && Recycle->Recycled.empty()) {
-        Recycle->Recycled = std::move(Outcomes);
-        Recycle->Recycled.clear();
-      }
-      return;
-    }
-    Pending.emplace(First, std::move(Outcomes));
-    while (!Pending.empty() && Pending.begin()->first == NextDeliver) {
-      std::vector<SimulationOutcome> &Batch = Pending.begin()->second;
-      const size_t Count = Batch.size();
-      Sink.consumeSubBatch(NextDeliver, Batch);
-      Pending.erase(Pending.begin());
-      NextDeliver += Count;
-      assert(Resident >= Count && "resident accounting underflow");
-      Resident -= Count;
-    }
+    DeliveryLedger::Acceptance A =
+        Ledger.accept(First, std::move(Outcomes), Sink,
+                      Recycle ? &Recycle->Recycled : nullptr);
+    assert(!A.Duplicate && "in-process shard delivered twice");
+    assert(Resident >= A.FlushedSimulations &&
+           "resident accounting underflow");
+    Resident -= A.FlushedSimulations;
   };
 
   auto deviceLoop = [&](unsigned Me) {

@@ -1,0 +1,187 @@
+//===- tests/fabric_tcp_test.cpp - Real-socket fabric smoke test ----------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+// The TCP transport smoke test (ctest label: distributed): a coordinator
+// and two worker threads speaking real length-prefixed frames over
+// localhost sockets must reproduce the single-process sweep bit-exactly.
+// Everything runs in one process — the label exists so environments
+// without a network stack (or with sandboxed sockets) can exclude it:
+//   ctest -LE distributed
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "core/ParameterSpace.h"
+#include "fabric/NodeCoordinator.h"
+#include "fabric/NodeWorker.h"
+#include "fabric/TcpFabric.h"
+#include "rbm/CuratedModels.h"
+#include "sim/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+std::vector<Parameterization> makeSweep(const ReactionNetwork &Net,
+                                        size_t Points) {
+  ParameterSpace Space(Net);
+  ParameterAxis Axis;
+  Axis.Name = "k0";
+  Axis.Target = AxisTarget::RateConstant;
+  Axis.Reactions = {0};
+  Axis.Lo = 0.5;
+  Axis.Hi = 3.0;
+  Space.addAxis(Axis);
+  std::vector<Parameterization> Params;
+  for (const std::vector<double> &P : Space.gridSample({Points}))
+    Params.push_back(Space.applyPoint(P));
+  return Params;
+}
+
+ParameterizationSource sourceOver(const std::vector<Parameterization> &Params,
+                                  size_t &Next) {
+  return [&Params, &Next](size_t MaxCount,
+                          std::vector<Parameterization> &Out) -> size_t {
+    const size_t Count = std::min(MaxCount, Params.size() - Next);
+    for (size_t I = 0; I < Count; ++I)
+      Out.push_back(Params[Next + I]);
+    Next += Count;
+    return Count;
+  };
+}
+
+class IndexedSink final : public OutcomeSink {
+public:
+  std::vector<SimulationOutcome> Outcomes;
+  std::vector<unsigned> Deliveries;
+
+  explicit IndexedSink(size_t Total) : Outcomes(Total), Deliveries(Total, 0) {}
+
+  void consumeSubBatch(size_t FirstIndex,
+                       std::vector<SimulationOutcome> &Batch) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ASSERT_LE(FirstIndex + Batch.size(), Outcomes.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Outcomes[FirstIndex + I] = std::move(Batch[I]);
+      ++Deliveries[FirstIndex + I];
+    }
+  }
+
+private:
+  std::mutex Mutex;
+};
+
+} // namespace
+
+TEST(FabricTcpTest, LocalhostSocketsReproduceSingleProcessRunBitExact) {
+  const ReactionNetwork Net = makeBrusselatorNetwork();
+  const size_t Points = 32;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Net, Points);
+
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+
+  // Reference: plain single-process engine at the same chunk.
+  std::vector<SimulationOutcome> Reference;
+  {
+    BatchEngine Engine(CostModel::paperSetup(), Opts);
+    EngineReport R = Engine.runParameterizations(Net, Sweep);
+    Reference = std::move(R.Outcomes);
+    ASSERT_EQ(Reference.size(), Points);
+  }
+
+  // Distributed: coordinator + 2 TCP workers over 127.0.0.1. Port 0
+  // lets the kernel pick, so parallel ctest runs never collide.
+  auto ListenerOr = TcpListener::create(0);
+  ASSERT_TRUE(ListenerOr.ok()) << ListenerOr.message();
+  std::unique_ptr<TcpListener> Listener = std::move(*ListenerOr);
+  const uint16_t Port = Listener->port();
+  ASSERT_NE(Port, 0);
+
+  std::vector<WorkerReport> Reports(2);
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < 2; ++W)
+    Workers.emplace_back([&, W] {
+      auto EndpointOr = connectTcpWorker("127.0.0.1", Port, 30.0);
+      ASSERT_TRUE(EndpointOr.ok()) << EndpointOr.message();
+      SchedOptions Local;
+      Local.Devices = {"psg-engine"};
+      Local.WorkersPerDevice = 1;
+      NodeWorker Worker(CostModel::paperSetup(), **EndpointOr, Local,
+                        /*HeartbeatIntervalSeconds=*/0.02);
+      Reports[W] = Worker.serve(Net);
+    });
+
+  auto EndpointOr = Listener->acceptWorkers(2, 30.0);
+  ASSERT_TRUE(EndpointOr.ok()) << EndpointOr.message();
+
+  FabricOptions Fab;
+  Fab.Endpoint = EndpointOr->get();
+  Fab.Workers = {1, 2};
+  Fab.HeartbeatIntervalSeconds = 0.02;
+
+  IndexedSink Sink(Points);
+  NodeCoordinator Coordinator(Opts, Fab);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  FabricScheduleReport Report =
+      Coordinator.streamParameterizations(Net, Source, Sink);
+  for (std::thread &T : Workers)
+    T.join();
+
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  EXPECT_EQ(Report.LostSimulations, 0u);
+  EXPECT_EQ(Report.NodeDeaths, 0u);
+  EXPECT_EQ(Report.DuplicateBatches, 0u);
+  uint64_t WorkerSims = 0;
+  for (const WorkerReport &R : Reports) {
+    EXPECT_EQ(R.ExitReason, "coordinator goodbye");
+    WorkerSims += R.Simulations;
+  }
+  EXPECT_EQ(WorkerSims, Points);
+
+  for (size_t I = 0; I < Points; ++I) {
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
+    Status S = compareOutcomesBitExact(Sink.Outcomes[I], Reference[I]);
+    EXPECT_TRUE(bool(S)) << "outcome " << I << ": " << S.message();
+  }
+}
+
+TEST(FabricTcpTest, WorkerSeesTransportCloseWhenCoordinatorDrops) {
+  auto ListenerOr = TcpListener::create(0);
+  ASSERT_TRUE(ListenerOr.ok()) << ListenerOr.message();
+  std::unique_ptr<TcpListener> Listener = std::move(*ListenerOr);
+  const uint16_t Port = Listener->port();
+
+  const ReactionNetwork Net = makeBrusselatorNetwork();
+  WorkerReport Report;
+  std::thread Worker([&] {
+    auto EndpointOr = connectTcpWorker("127.0.0.1", Port, 30.0);
+    ASSERT_TRUE(EndpointOr.ok()) << EndpointOr.message();
+    SchedOptions Local;
+    Local.Devices = {"psg-engine"};
+    NodeWorker W(CostModel::paperSetup(), **EndpointOr, Local, 0.02);
+    Report = W.serve(Net);
+  });
+
+  auto EndpointOr = Listener->acceptWorkers(1, 30.0);
+  ASSERT_TRUE(EndpointOr.ok()) << EndpointOr.message();
+  // Drop the coordinator endpoint without a goodbye: the worker must
+  // notice the closed transport and exit rather than spin on a dead
+  // socket.
+  EndpointOr->reset();
+  Worker.join();
+  EXPECT_EQ(Report.ExitReason, "transport closed");
+  EXPECT_EQ(Report.Grants, 0u);
+}

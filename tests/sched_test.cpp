@@ -14,6 +14,7 @@
 
 #include "core/BatchEngine.h"
 #include "core/ParameterSpace.h"
+#include "sched/DeliveryLedger.h"
 #include "sched/ShardedExecutor.h"
 #include "sim/Oracle.h"
 
@@ -415,4 +416,153 @@ TEST(ShardedExecutorTest, SchedMetricsAreExported) {
                    Report.ShardImbalance);
   EXPECT_DOUBLE_EQ(M.gaugeValue("psg.sched.modeled_makespan_s"),
                    Report.ModeledMakespanSeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// DeliveryLedger: the shared exactly-once / ordered-flush stage.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Records every (FirstIndex, size) delivery in call order.
+class FlushLog final : public OutcomeSink {
+public:
+  std::vector<std::pair<size_t, size_t>> Calls;
+  void consumeSubBatch(size_t FirstIndex,
+                       std::vector<SimulationOutcome> &Batch) override {
+    Calls.emplace_back(FirstIndex, Batch.size());
+  }
+};
+
+std::vector<SimulationOutcome> blankOutcomes(size_t N) {
+  return std::vector<SimulationOutcome>(N);
+}
+
+} // namespace
+
+TEST(DeliveryLedgerTest, OrderedFlushStaysContiguousUnderOutOfOrderAccepts) {
+  DeliveryLedger Ledger(/*Ordered=*/true);
+  FlushLog Sink;
+
+  // Arrivals: 8, 16, 0, 4, 20, 12 (chunk 4). Flushes must start exactly
+  // at the next undelivered index every time, with no gaps and no
+  // overlap, whatever order the shards complete in.
+  auto A = Ledger.accept(8, blankOutcomes(4), Sink);
+  EXPECT_FALSE(A.Duplicate);
+  EXPECT_EQ(A.FlushedSimulations, 0u);
+  EXPECT_EQ(Ledger.pendingBatches(), 1u);
+
+  A = Ledger.accept(16, blankOutcomes(4), Sink);
+  EXPECT_EQ(A.FlushedSimulations, 0u);
+  EXPECT_EQ(Ledger.pendingSimulations(), 8u);
+
+  A = Ledger.accept(0, blankOutcomes(4), Sink);
+  EXPECT_EQ(A.FlushedSimulations, 4u); // 0..3 only; 4..7 still missing.
+  EXPECT_EQ(Ledger.nextToDeliver(), 4u);
+
+  A = Ledger.accept(4, blankOutcomes(4), Sink);
+  EXPECT_EQ(A.FlushedSimulations, 8u); // 4..7 plus buffered 8..11.
+  EXPECT_EQ(Ledger.nextToDeliver(), 12u);
+
+  A = Ledger.accept(20, blankOutcomes(4), Sink);
+  EXPECT_EQ(A.FlushedSimulations, 0u);
+
+  A = Ledger.accept(12, blankOutcomes(4), Sink);
+  EXPECT_EQ(A.FlushedSimulations, 12u); // 12..23 drains everything.
+  EXPECT_EQ(Ledger.nextToDeliver(), 24u);
+  EXPECT_EQ(Ledger.deliveredSimulations(), 24u);
+  EXPECT_EQ(Ledger.pendingBatches(), 0u);
+  EXPECT_EQ(Ledger.pendingSimulations(), 0u);
+
+  // The sink saw ascending contiguous sub-batches and nothing else.
+  size_t Expected = 0;
+  for (const auto &[First, Size] : Sink.Calls) {
+    EXPECT_EQ(First, Expected);
+    Expected = First + Size;
+  }
+  EXPECT_EQ(Expected, 24u);
+}
+
+TEST(DeliveryLedgerTest, DuplicateShardsAreDroppedWhole) {
+  for (const bool Ordered : {true, false}) {
+    DeliveryLedger Ledger(Ordered);
+    FlushLog Sink;
+    EXPECT_FALSE(Ledger.accept(0, blankOutcomes(4), Sink).Duplicate);
+    EXPECT_TRUE(Ledger.accept(0, blankOutcomes(4), Sink).Duplicate)
+        << "ordered " << Ordered;
+    // A duplicate of a still-buffered shard is dropped too.
+    EXPECT_FALSE(Ledger.accept(8, blankOutcomes(4), Sink).Duplicate);
+    EXPECT_TRUE(Ledger.accept(8, blankOutcomes(4), Sink).Duplicate)
+        << "ordered " << Ordered;
+    EXPECT_FALSE(Ledger.accept(4, blankOutcomes(4), Sink).Duplicate);
+    EXPECT_EQ(Ledger.deliveredSimulations(), 12u) << "ordered " << Ordered;
+    size_t Sum = 0;
+    for (const auto &[First, Size] : Sink.Calls)
+      Sum += Size;
+    EXPECT_EQ(Sum, 12u) << "ordered " << Ordered;
+  }
+}
+
+TEST(DeliveryLedgerTest, UnorderedModeDeliversImmediatelyAndRecycles) {
+  DeliveryLedger Ledger(/*Ordered=*/false);
+  FlushLog Sink;
+  std::vector<SimulationOutcome> Recycle;
+  auto A = Ledger.accept(12, blankOutcomes(4), Sink, &Recycle);
+  EXPECT_FALSE(A.Duplicate);
+  EXPECT_EQ(A.FlushedSimulations, 4u);
+  EXPECT_EQ(Sink.Calls.size(), 1u);
+  EXPECT_EQ(Sink.Calls[0].first, 12u);
+  EXPECT_GE(Recycle.capacity(), 4u); // The consumed buffer came back.
+  EXPECT_EQ(Ledger.pendingBatches(), 0u);
+}
+
+TEST(ShardedExecutorTest, OrderedDeliveryFlushesContiguouslyOutOfOrder) {
+  // Regression for the pending-map flush: a slow personality next to
+  // three fast ones completes shards far out of order, yet with
+  // OrderedDelivery every sink call must start exactly at the next
+  // undelivered global index.
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 64;
+  const uint64_t Chunk = 4;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+  Opts.Sched.Devices = {"cpu-lsoda", "psg-engine", "psg-engine",
+                        "psg-engine"};
+  Opts.Sched.ChunkSize = Chunk;
+  Opts.Sched.WorkersPerDevice = 1;
+  Opts.Sched.OrderedDelivery = true;
+
+  class ContiguousSink final : public OutcomeSink {
+  public:
+    size_t Expected = 0;
+    size_t Calls = 0;
+    bool Contiguous = true;
+    void consumeSubBatch(size_t FirstIndex,
+                         std::vector<SimulationOutcome> &Batch) override {
+      if (FirstIndex != Expected)
+        Contiguous = false;
+      Expected = FirstIndex + Batch.size();
+      ++Calls;
+    }
+  };
+
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  ContiguousSink Sink;
+  const ShardScheduleReport Report =
+      Executor.streamParameterizations(Net, nullptr, Source, Sink);
+
+  EXPECT_TRUE(Sink.Contiguous)
+      << "an ordered flush skipped or repeated an index";
+  EXPECT_EQ(Sink.Expected, Points) << "stream ended short";
+  EXPECT_GE(Sink.Calls, Points / Chunk / 2) << "suspiciously few flushes";
+  EXPECT_EQ(Report.Stream.Simulations, Points);
+  EXPECT_EQ(Report.LostSimulations, 0u);
 }

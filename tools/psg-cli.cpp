@@ -21,6 +21,8 @@
 #include "analysis/SteadyState.h"
 #include "analysis/StreamReducers.h"
 #include "core/BatchEngine.h"
+#include "fabric/NodeWorker.h"
+#include "fabric/TcpFabric.h"
 #include "io/ResultsIo.h"
 #include "rbm/Conservation.h"
 #include "rbm/CuratedModels.h"
@@ -157,6 +159,77 @@ void applySchedOptions(const Options &O, EngineOptions &Opts) {
     Opts.Sched.ChunkSize = O.getUnsigned("shard-chunk", 0);
 }
 
+/// Holds the coordinator-side TCP endpoint for the lifetime of a
+/// distributed run; FabricOptions::Endpoint is non-owning.
+struct FabricSession {
+  std::unique_ptr<TcpListener> Listener;
+  std::unique_ptr<FabricEndpoint> Endpoint;
+};
+
+/// Parses the cross-node flags shared by simulate and psa1d: with
+/// `--coordinator PORT --nodes N`, binds the port, blocks until N
+/// workers connect, and enables the fabric path in \p Opts.
+FabricSession applyFabricOptions(const Options &O, EngineOptions &Opts) {
+  FabricSession S;
+  if (!O.has("coordinator"))
+    return S;
+  const unsigned Port = O.getUnsigned("coordinator", 0);
+  if (Port > 65535)
+    fatalError("--coordinator needs a TCP port (0 = ephemeral)");
+  const unsigned Nodes = O.getUnsigned("nodes", 1);
+  if (Nodes == 0)
+    fatalError("--nodes must be at least 1");
+
+  auto Listener = TcpListener::create(static_cast<uint16_t>(Port));
+  if (!Listener)
+    fatalError(Listener.message());
+  S.Listener = std::move(*Listener);
+  std::fprintf(stderr,
+               "coordinator:        port %u, waiting for %u worker(s)\n",
+               (unsigned)S.Listener->port(), Nodes);
+  auto Endpoint =
+      S.Listener->acceptWorkers(Nodes, O.getDouble("accept-timeout", 120.0));
+  if (!Endpoint)
+    fatalError(Endpoint.message());
+  S.Endpoint = std::move(*Endpoint);
+
+  Opts.Fabric.Endpoint = S.Endpoint.get();
+  for (unsigned N = 1; N <= Nodes; ++N)
+    Opts.Fabric.Workers.push_back(N);
+  if (O.has("grant-size"))
+    Opts.Fabric.GrantSize = O.getUnsigned("grant-size", 0);
+  return S;
+}
+
+/// Prints the cross-node telemetry of a distributed run from the
+/// frozen metrics snapshot.
+void printFabricTelemetry(const MetricsSnapshot &M, size_t Nodes) {
+  std::printf("fabric:             %llu shards over %zu node(s), %llu "
+              "requeues, %llu deaths, %llu rejoins\n",
+              (unsigned long long)M.counterValue("psg.fabric.shards"),
+              Nodes,
+              (unsigned long long)M.counterValue("psg.fabric.requeues"),
+              (unsigned long long)M.counterValue("psg.fabric.node_deaths"),
+              (unsigned long long)M.counterValue("psg.fabric.node_rejoins"));
+  std::printf(
+      "fabric delivery:    %llu duplicates suppressed, %llu stale "
+      "batches, %llu lost simulations\n",
+      (unsigned long long)M.counterValue("psg.fabric.duplicates_suppressed"),
+      (unsigned long long)M.counterValue("psg.fabric.stale_batches"),
+      (unsigned long long)M.counterValue("psg.fabric.lost_simulations"));
+  std::printf("fabric balance:     modeled makespan %.4g s, imbalance "
+              "%.3f, mean utilization %.3f\n",
+              M.gaugeValue("psg.fabric.modeled_makespan_s"),
+              M.gaugeValue("psg.fabric.shard_imbalance"),
+              M.gaugeValue("psg.fabric.node_utilization"));
+  std::printf("fabric wire:        %llu frames / %llu bytes sent, %llu "
+              "frames / %llu bytes received\n",
+              (unsigned long long)M.counterValue("psg.fabric.frames_sent"),
+              (unsigned long long)M.counterValue("psg.fabric.bytes_sent"),
+              (unsigned long long)M.counterValue("psg.fabric.frames_received"),
+              (unsigned long long)M.counterValue("psg.fabric.bytes_received"));
+}
+
 /// Prints the scheduler telemetry of a sharded run from the frozen
 /// metrics snapshot.
 void printSchedTelemetry(const MetricsSnapshot &M,
@@ -204,6 +277,11 @@ int usage() {
       "      (and, with --out, appended to the CSV) as it finishes,\n"
       "      and at most --inflight sub-batches of outcomes are ever\n"
       "      resident; prints overlap ratio and peak residency\n"
+      "  worker <model> --connect HOST:PORT [--simulator NAME]\n"
+      "         [--devices N|LIST] [--shard-chunk C] [--heartbeat S]\n"
+      "      serve shard grants from a remote coordinator: runs each\n"
+      "      grant through a local multi-device executor and streams\n"
+      "      the outcomes back until the coordinator says goodbye\n"
       "  steady <model> [--maxtime T] [--timescale S]\n"
       "      search for a steady state by implicit integration\n"
       "  generate --species N --reactions M [--seed S] [--out F]\n"
@@ -218,6 +296,15 @@ int usage() {
       "                          (one logical device per entry)\n"
       "  --shard-chunk C         base shard size in simulations\n"
       "                          (default: the sub-batch size)\n"
+      "\n"
+      "cross-node distribution (simulate, psa1d):\n"
+      "  --coordinator PORT      listen on PORT (0 = ephemeral) and\n"
+      "                          distribute the sweep across connected\n"
+      "                          `psg-cli worker` nodes\n"
+      "  --nodes N               workers to wait for (default 1)\n"
+      "  --grant-size G          simulations per shard grant (default:\n"
+      "                          chunk x node device count)\n"
+      "  --accept-timeout S      worker admission deadline (default 120)\n"
       "\n"
       "global options (any command):\n"
       "  --metrics-json F.json   write the process metrics snapshot\n"
@@ -302,6 +389,7 @@ int cmdSimulate(const Options &O) {
   Opts.EndTime = O.getDouble("tend", 10.0);
   Opts.OutputSamples = O.getUnsigned("samples", 101);
   applySchedOptions(O, Opts);
+  FabricSession Fab = applyFabricOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
   const unsigned Batch = O.getUnsigned("batch", 1);
@@ -328,7 +416,9 @@ int cmdSimulate(const Options &O) {
               Report.SimulationTime.total(),
               Report.IntegrationTime.total(), Opts.SimulatorName.c_str());
   std::printf("host wall time:     %.4g s\n", Report.HostWallSeconds);
-  if (Opts.Sched.enabled())
+  if (Opts.Fabric.enabled())
+    printFabricTelemetry(Report.Metrics, Opts.Fabric.Workers.size());
+  else if (Opts.Sched.enabled())
     printSchedTelemetry(Report.Metrics, Opts.Sched.Devices);
 
   const std::string Out = O.get("out", "trajectory.csv");
@@ -385,6 +475,7 @@ int cmdPsa1d(const Options &O) {
   if (O.has("sub-batch"))
     Opts.SubBatchSize = O.getUnsigned("sub-batch", 64);
   applySchedOptions(O, Opts);
+  FabricSession Fab = applyFabricOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
   const size_t Points = O.getUnsigned("points", 17);
@@ -424,7 +515,9 @@ int cmdPsa1d(const Options &O) {
                 "resident, overlap ratio %.3f\n",
                 (unsigned long long)Report.SubBatches,
                 Report.PeakResidentOutcomes, Report.OverlapRatio);
-    if (Opts.Sched.enabled())
+    if (Opts.Fabric.enabled())
+      printFabricTelemetry(Report.Metrics, Opts.Fabric.Workers.size());
+    else if (Opts.Sched.enabled())
       printSchedTelemetry(Report.Metrics, Opts.Sched.Devices);
     return 0;
   }
@@ -437,7 +530,9 @@ int cmdPsa1d(const Options &O) {
     std::printf("%14.6g %14.6g\n", R.AxisValues[I], R.Metric[I]);
   std::printf("\n%zu simulations, modeled %.4g s\n", R.Report.Simulations,
               R.Report.SimulationTime.total());
-  if (Opts.Sched.enabled())
+  if (Opts.Fabric.enabled())
+    printFabricTelemetry(R.Report.Metrics, Opts.Fabric.Workers.size());
+  else if (Opts.Sched.enabled())
     printSchedTelemetry(R.Report.Metrics, Opts.Sched.Devices);
 
   if (O.has("out")) {
@@ -447,6 +542,50 @@ int cmdPsa1d(const Options &O) {
     if (Status S = Csv.saveToFile(O.get("out", "")); !S)
       fatalError(S.message());
   }
+  return 0;
+}
+
+int cmdWorker(const Options &O) {
+  if (O.Positional.empty())
+    return usage();
+  ReactionNetwork Net = loadModelOrDie(O.Positional[0]);
+
+  const std::string Connect = O.get("connect", "");
+  const size_t Colon = Connect.rfind(':');
+  unsigned Port = 0;
+  if (Colon == std::string::npos ||
+      !parseUnsigned(Connect.substr(Colon + 1), Port) || Port == 0 ||
+      Port > 65535)
+    fatalError("worker needs --connect HOST:PORT");
+  const std::string Host =
+      Colon == 0 ? std::string("127.0.0.1") : Connect.substr(0, Colon);
+
+  // The worker's local fleet reuses the --devices grammar; default is
+  // one device of --simulator.
+  EngineOptions Probe;
+  Probe.SimulatorName = O.get("simulator", "psg-engine");
+  applySchedOptions(O, Probe);
+  SchedOptions Local = Probe.Sched;
+  if (Local.Devices.empty())
+    Local.Devices = {Probe.SimulatorName};
+
+  auto Endpoint = connectTcpWorker(Host, static_cast<uint16_t>(Port),
+                                   O.getDouble("connect-timeout", 120.0));
+  if (!Endpoint)
+    fatalError(Endpoint.message());
+  std::fprintf(stderr, "worker:             node %u, %zu device(s), %s\n",
+               (unsigned)(*Endpoint)->id(), Local.Devices.size(),
+               Connect.c_str());
+
+  NodeWorker Worker(CostModel::paperSetup(), **Endpoint, Local,
+                    O.getDouble("heartbeat", 0.05));
+  WorkerReport R = Worker.serve(Net);
+  std::printf("worker done:        %llu grants, %llu simulations, %llu "
+              "heartbeats, modeled %.4g s busy (%s)\n",
+              (unsigned long long)R.Grants,
+              (unsigned long long)R.Simulations,
+              (unsigned long long)R.Heartbeats, R.ModeledBusySeconds,
+              R.ExitReason.c_str());
   return 0;
 }
 
@@ -512,6 +651,8 @@ int runCommand(const std::string &Command, const Options &O) {
     return cmdSimulate(O);
   if (Command == "psa1d")
     return cmdPsa1d(O);
+  if (Command == "worker")
+    return cmdWorker(O);
   if (Command == "steady")
     return cmdSteady(O);
   if (Command == "generate")
