@@ -396,6 +396,14 @@ FabricScheduleReport NodeCoordinator::streamParameterizations(
         // owner was declared dead: the late result rescues it.
         for (auto QIt = Requeue.begin(); QIt != Requeue.end(); ++QIt)
           if (QIt->First == B.First) {
+            if (B.Outcomes.size() != QIt->Count) {
+              logMessage(LogLevel::Warning,
+                         "fabric: dropping OutcomeBatch for shard %llu from "
+                         "node %u: %zu outcomes for a %llu-simulation shard",
+                         (unsigned long long)B.First, N.Id, B.Outcomes.size(),
+                         (unsigned long long)QIt->Count);
+              return;
+            }
             ++Rep.StaleEpochBatches;
             StaleC.add();
             if (!Fabric.AcceptStaleResults)
@@ -411,6 +419,19 @@ FabricScheduleReport NodeCoordinator::streamParameterizations(
         return;
       }
       InFlightShard &F = It->second;
+      // A batch whose outcome count disagrees with the shard's cut
+      // would corrupt the ledger's ordered-flush cursor and the
+      // exactly-once accounting (the asserts guarding contiguity
+      // compile out in release builds) — drop it and let the re-queue
+      // ladder resolve the shard.
+      if (B.Outcomes.size() != F.Count) {
+        logMessage(LogLevel::Warning,
+                   "fabric: dropping OutcomeBatch for shard %llu from node "
+                   "%u: %zu outcomes for a %llu-simulation shard",
+                   (unsigned long long)B.First, N.Id, B.Outcomes.size(),
+                   (unsigned long long)F.Count);
+        return;
+      }
       const bool Stale = B.Epoch != F.Epoch || N.Id != F.Owner;
       if (Stale) {
         ++Rep.StaleEpochBatches;
@@ -418,11 +439,19 @@ FabricScheduleReport NodeCoordinator::streamParameterizations(
         if (!Fabric.AcceptStaleResults)
           return;
         // Accept the stale result; the current owner's eventual answer
-        // will be suppressed as a duplicate.
+        // will be suppressed as a duplicate. The owner will never
+        // resolve this grant through the normal completion path, so
+        // retire both its queue slot and the grant's estimate from its
+        // virtual finish — leaving the estimate in Assigned would skew
+        // placement away from that node for the rest of the run.
         if (deliverBatch(std::move(B), N)) {
           auto OwnerIt = Nodes.find(F.Owner);
-          if (OwnerIt != Nodes.end() && OwnerIt->second.InFlightGrants > 0)
-            --OwnerIt->second.InFlightGrants;
+          if (OwnerIt != Nodes.end()) {
+            OwnerIt->second.Assigned =
+                std::max(0.0, OwnerIt->second.Assigned - F.EstimateSeconds);
+            if (OwnerIt->second.InFlightGrants > 0)
+              --OwnerIt->second.InFlightGrants;
+          }
           InFlights.erase(It);
         }
         return;

@@ -14,7 +14,11 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 using namespace psg;
@@ -195,8 +199,39 @@ WorkerReport NodeWorker::serve(const ReactionNetwork &Net) {
       Cursor += N;
       return N;
     };
-    ShardScheduleReport R =
-        Executor->streamParameterizations(Net, Compiled, Src, Sink);
+    // The local run blocks this thread for as long as the grant takes —
+    // routinely far past HeartbeatTimeoutSeconds for real ODE sweeps —
+    // so liveness must keep flowing from a pump thread, or the
+    // coordinator falsely declares this node dead mid-grant, re-queues
+    // the shard, and (with every node computing) can abort the whole
+    // sweep. The pump is the endpoint's only user while the executor
+    // runs; joining it before the OutcomeBatch send restores single-
+    // threaded access.
+    ShardScheduleReport R;
+    {
+      std::mutex PumpMutex;
+      std::condition_variable PumpCv;
+      bool PumpDone = false;
+      std::thread Pump([&] {
+        std::unique_lock<std::mutex> Lock(PumpMutex);
+        for (;;) {
+          PumpCv.wait_for(
+              Lock, std::chrono::duration<double>(HeartbeatIntervalSeconds));
+          if (PumpDone)
+            return;
+          Lock.unlock();
+          sendHeartbeat(1); // One grant adopted and in progress.
+          Lock.lock();
+        }
+      });
+      R = Executor->streamParameterizations(Net, Compiled, Src, Sink);
+      {
+        std::lock_guard<std::mutex> Lock(PumpMutex);
+        PumpDone = true;
+      }
+      PumpCv.notify_all();
+      Pump.join();
+    }
 
     OutcomeBatchMsg B;
     B.ShardId = G.ShardId;

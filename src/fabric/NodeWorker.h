@@ -6,9 +6,12 @@
 ///
 /// \file
 /// The worker side of cross-node sweep distribution: an event loop that
-/// announces itself (Hello), heartbeats while idle, runs each ShardGrant
-/// through a local warm multi-device ShardedExecutor, and streams the
-/// serialized outcomes back as OutcomeBatch frames. The worker re-cuts
+/// announces itself (Hello), heartbeats while idle AND while computing
+/// (a pump thread keeps liveness flowing through the blocking local
+/// run, so a grant that outlasts the coordinator's heartbeat timeout is
+/// not a false death), runs each ShardGrant through a local warm
+/// multi-device ShardedExecutor, and streams the serialized outcomes
+/// back as OutcomeBatch frames. The worker re-cuts
 /// each grant at the reference chunk the grant prescribes, so the global
 /// sub-batch boundaries — and bit-exactness — survive distribution.
 ///

@@ -68,7 +68,7 @@ bool recvFrame(int Fd, std::vector<uint8_t> &Buf, std::vector<uint8_t> &Out,
       return true;
     }
     if (Buf.size() >= FrameHeaderBytes && Need == 0)
-      return false; // Bad magic: the stream is garbage.
+      return false; // Bad magic or oversize length: the stream is garbage.
     const double Left = Deadline - secondsSince(Start);
     if (Left <= 0)
       return false;
@@ -180,8 +180,9 @@ private:
     for (;;) {
       size_t Need = framedSize(C.RecvBuf.data(), C.RecvBuf.size());
       if (Need == 0) {
-        // Bad magic with a full header present: the stream can never
-        // resynchronize, so drop the peer.
+        // Bad magic (or a payload length past the protocol cap) with a
+        // full header present: the stream can never resynchronize, so
+        // drop the peer before buffering anything it declared.
         if (C.RecvBuf.size() >= FrameHeaderBytes)
           dropPeer(C);
         return;

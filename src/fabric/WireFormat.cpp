@@ -6,7 +6,10 @@
 
 #include "fabric/WireFormat.h"
 
+#include "support/Logging.h"
 #include "support/StringUtils.h"
+
+#include <cstdlib>
 
 namespace psg {
 
@@ -34,6 +37,17 @@ const char *messageTypeName(MessageType Type) {
 
 std::vector<uint8_t> encodeFrame(MessageType Type,
                                  const std::vector<uint8_t> &Payload) {
+  // The length field is a u32 and receivers cap it at
+  // MaxFramePayloadBytes; silently truncating here would emit a frame
+  // the peer rejects forever (the shard never resolves), so fail loudly
+  // at the producer instead.
+  if (Payload.size() > MaxFramePayloadBytes) {
+    logMessage(LogLevel::Error,
+               "fabric: %s payload of %zu bytes exceeds the %zu-byte frame "
+               "cap; shrink the grant (GrantSize / OutputSamples)",
+               messageTypeName(Type), Payload.size(), MaxFramePayloadBytes);
+    std::abort();
+  }
   WireWriter W;
   W.writeU32(FabricMagic);
   W.writeU16(FabricVersion);
@@ -99,6 +113,11 @@ size_t framedSize(const uint8_t *Data, size_t Size) {
   R.readU8(Reserved);
   R.readU32(Length);
   if (Magic != FabricMagic)
+    return 0;
+  // A declared payload past the protocol cap is indistinguishable from
+  // garbage: report "unframeable" rather than ask the caller to buffer
+  // up to 4 GiB before parseFrame gets a chance to reject it.
+  if (Length > MaxFramePayloadBytes)
     return 0;
   return FrameHeaderBytes + Length;
 }

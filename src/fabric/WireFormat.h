@@ -125,6 +125,11 @@ struct NodeGoodbyeMsg {
 
 constexpr size_t FrameHeaderBytes = 16;
 
+/// Hard cap on a frame's payload. Encoders refuse to produce a larger
+/// frame and the receive paths refuse to buffer one, so a corrupt or
+/// hostile length field can never drive multi-GiB allocations.
+constexpr size_t MaxFramePayloadBytes = size_t(1) << 30;
+
 /// A parsed frame: type plus a view into the payload bytes (borrowed
 /// from the buffer handed to parseFrame).
 struct FrameView {
@@ -140,12 +145,15 @@ std::vector<uint8_t> encodeFrame(MessageType Type,
 /// Validates magic/version/length/CRC and returns a payload view, or a
 /// failure Status naming what was wrong (truncation, corruption, ...).
 ErrorOr<FrameView> parseFrame(const std::vector<uint8_t> &Frame,
-                              size_t MaxPayloadBytes = size_t(1) << 30);
+                              size_t MaxPayloadBytes = MaxFramePayloadBytes);
 
 /// If \p Frame holds at least a complete header, returns the total
 /// frame size (header + payload length field) without validating the
 /// payload — the TCP receive path uses this to find frame boundaries.
-/// Returns 0 when the header is incomplete or the magic is wrong.
+/// Returns 0 when the header is incomplete, the magic is wrong, or the
+/// declared payload exceeds MaxFramePayloadBytes (the stream can never
+/// be trusted past such a header, so callers treat 0-with-a-full-header
+/// as a poisoned peer).
 size_t framedSize(const uint8_t *Data, size_t Size);
 
 //===----------------------------------------------------------------------===//

@@ -32,6 +32,7 @@
 #include "support/Metrics.h"
 
 #include <gtest/gtest.h>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -517,6 +518,145 @@ TEST(FabricTest, ExhaustedRequeueSurfacesAbortedOutcomes) {
               std::string::npos)
         << "sim " << I;
   }
+}
+
+TEST(FabricTest, ComputeLongerThanHeartbeatTimeoutIsNotAFalseDeath) {
+  // A grant whose local compute outlasts HeartbeatTimeoutSeconds must
+  // not get its node declared dead: the worker pumps heartbeats from a
+  // side thread while its blocking executor runs. Without the pump,
+  // every node silently computing past the timeout is killed, its
+  // shards re-queue, and a healthy sweep can collapse into Aborted
+  // outcomes via the stall ladder.
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 16;
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+  const std::vector<SimulationOutcome> Reference =
+      referenceOutcomes(Net, "psg-engine", Sweep, Chunk);
+
+  LoopbackFabric Fabric;
+  std::unique_ptr<FabricEndpoint> CoordEp =
+      Fabric.createEndpoint(CoordinatorNode);
+  std::unique_ptr<FabricEndpoint> WorkerEp = Fabric.createEndpoint(1);
+  std::thread Worker([&] {
+    SchedOptions Local;
+    Local.Devices = {"psg-engine"};
+    Local.WorkersPerDevice = 1;
+    // Straggle (never kill) every local shard attempt for ~3x the
+    // heartbeat timeout: the executor blocks the worker's event loop
+    // far past the point the old code would have gone silent.
+    Local.FaultInjector = [](size_t, unsigned, unsigned) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      return false;
+    };
+    NodeWorker W(CostModel::paperSetup(), *WorkerEp, Local, 0.01);
+    W.serve(Net);
+  });
+
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+  FabricOptions Fab;
+  Fab.Endpoint = CoordEp.get();
+  Fab.Workers = {1};
+  Fab.HeartbeatIntervalSeconds = 0.005;
+  Fab.HeartbeatTimeoutSeconds = 0.05; // Far shorter than one compute.
+  NodeCoordinator Coord(Opts, Fab);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  FabricScheduleReport R = Coord.streamParameterizations(Net, Source, Sink);
+  Fabric.shutdown();
+  Worker.join();
+
+  EXPECT_EQ(R.NodeDeaths, 0u);
+  EXPECT_EQ(R.Requeues, 0u);
+  EXPECT_EQ(R.LostSimulations, 0u);
+  EXPECT_EQ(R.Stream.Simulations, Points);
+  EXPECT_EQ(R.Stream.Failures, 0u);
+  EXPECT_TRUE(Sink.Monotone);
+  expectBitExact(Sink, Reference, "long compute");
+}
+
+TEST(FabricTest, MismatchedOutcomeCountBatchesAreDropped) {
+  // An OutcomeBatch whose outcome count disagrees with the shard's cut
+  // would corrupt the ledger's ordered-flush cursor and the resident
+  // accounting; the coordinator must drop it and stay correct when the
+  // (well-formed) answer arrives afterwards.
+  ReactionNetwork Net = makeBrusselatorNetwork();
+  ParameterSpace Space(Net);
+  Space.addAxis(rateAxis(0, 0.5, 3.0));
+  const size_t Points = 8; // Exactly one shard.
+  const uint64_t Chunk = 8;
+  const std::vector<Parameterization> Sweep = makeSweep(Space, Points);
+
+  LoopbackFabric Fabric;
+  std::unique_ptr<FabricEndpoint> CoordEp =
+      Fabric.createEndpoint(CoordinatorNode);
+  std::unique_ptr<FabricEndpoint> WorkerEp = Fabric.createEndpoint(1);
+
+  // A hand-rolled worker that adopts the grant and answers twice: first
+  // with one outcome too few (must be dropped), then with the correct
+  // count (must be delivered exactly once).
+  std::thread Worker([&] {
+    HelloMsg Hello;
+    Hello.Node = 1;
+    WorkerEp->send(CoordinatorNode, encodeHello(Hello));
+    for (;;) {
+      ReceivedFrame RF;
+      const PollStatus Ps = WorkerEp->poll(RF, 0.05);
+      if (Ps == PollStatus::Closed)
+        return;
+      if (Ps == PollStatus::Timeout) {
+        HeartbeatMsg Hb;
+        Hb.Node = 1;
+        WorkerEp->send(CoordinatorNode, encodeHeartbeat(Hb));
+        continue;
+      }
+      ErrorOr<FrameView> View = parseFrame(RF.Bytes);
+      ASSERT_TRUE(View.ok());
+      if (View->Type == MessageType::NodeGoodbye)
+        return;
+      if (View->Type != MessageType::ShardGrant)
+        continue;
+      ErrorOr<ShardGrantMsg> G = decodeShardGrant(*View);
+      ASSERT_TRUE(G.ok());
+      OutcomeBatchMsg B;
+      B.ShardId = G->ShardId;
+      B.Epoch = G->Epoch;
+      B.First = G->First;
+      B.Node = 1;
+      B.Outcomes.resize(G->RateConstantSets.size() - 1); // Short by one.
+      WorkerEp->send(CoordinatorNode, encodeOutcomeBatch(B));
+      B.Outcomes.resize(G->RateConstantSets.size());
+      WorkerEp->send(CoordinatorNode, encodeOutcomeBatch(B));
+    }
+  });
+
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = 2.0;
+  Opts.OutputSamples = 3;
+  FabricOptions Fab;
+  Fab.Endpoint = CoordEp.get();
+  Fab.Workers = {1};
+  Fab.HeartbeatIntervalSeconds = 0.005;
+  NodeCoordinator Coord(Opts, Fab);
+  size_t Next = 0;
+  ParameterizationSource Source = sourceOver(Sweep, Next);
+  IndexedSink Sink(Points);
+  FabricScheduleReport R = Coord.streamParameterizations(Net, Source, Sink);
+  Fabric.shutdown();
+  Worker.join();
+
+  EXPECT_EQ(R.Stream.Simulations, Points);
+  EXPECT_EQ(R.LostSimulations, 0u);
+  EXPECT_EQ(R.DuplicateBatches, 0u); // Dropped before the ledger, not after.
+  for (size_t I = 0; I < Points; ++I)
+    EXPECT_EQ(Sink.Deliveries[I], 1u) << "sim " << I;
 }
 
 TEST(FabricTest, FaultScriptsAreContentKeyedAndCounted) {

@@ -464,6 +464,23 @@ TEST(WireFormatTest, OversizePayloadLengthIsRejectedBeforeAllocation) {
   EXPECT_FALSE(V.ok());
 }
 
+TEST(WireFormatTest, FramedSizeRefusesOversizeDeclaredPayloads) {
+  // The TCP reassembly path sizes its buffering off framedSize before
+  // parseFrame ever validates the frame: a hostile length field past
+  // the protocol cap must read as unframeable (0) — the same verdict a
+  // bad magic gets — not as a multi-GiB buffering demand.
+  HeartbeatMsg Beat;
+  std::vector<uint8_t> Frame = encodeHeartbeat(Beat);
+  const uint32_t Huge = 0xFFFFFFFFu;
+  std::memcpy(Frame.data() + 8, &Huge, 4);
+  EXPECT_EQ(framedSize(Frame.data(), Frame.size()), 0u);
+  // Exactly at the cap still frames.
+  const uint32_t AtCap = static_cast<uint32_t>(MaxFramePayloadBytes);
+  std::memcpy(Frame.data() + 8, &AtCap, 4);
+  EXPECT_EQ(framedSize(Frame.data(), Frame.size()),
+            FrameHeaderBytes + MaxFramePayloadBytes);
+}
+
 TEST(WireFormatTest, RandomGarbageNeverParses) {
   Rng Generator(20260808);
   for (int Trial = 0; Trial < 2000; ++Trial) {
