@@ -6,6 +6,7 @@
 
 #include "core/BatchEngine.h"
 
+#include "device/DeviceRuntime.h"
 #include "fabric/NodeCoordinator.h"
 #include "sched/ShardedExecutor.h"
 #include "support/Error.h"
@@ -64,7 +65,14 @@ void fillFromStream(EngineReport &Report, StreamReport &&Streamed) {
 
 BatchEngine::BatchEngine(const CostModel &Model, EngineOptions Options)
     : Opts(std::move(Options)), Model(Model) {
-  auto SimOrErr = createSimulator(Opts.SimulatorName, Model);
+  auto KindOrErr = parseRuntimeKind(Opts.Runtime);
+  if (!KindOrErr)
+    fatalError(KindOrErr.message());
+  auto RuntimeOrErr = createDeviceRuntime(*KindOrErr, Model.gpu());
+  if (!RuntimeOrErr)
+    fatalError(RuntimeOrErr.message());
+  auto SimOrErr = createSimulator(Opts.SimulatorName, Model, /*HostWorkers=*/0,
+                                  std::move(*RuntimeOrErr));
   if (!SimOrErr)
     fatalError(SimOrErr.message());
   Sim = std::move(*SimOrErr);

@@ -44,6 +44,13 @@ class NodeCoordinator;
 struct EngineOptions {
   /// Simulator personality ("psg-engine", "cpu-lsoda", ...).
   std::string SimulatorName = "psg-engine";
+  /// Device runtime executing the personality's kernels: "host" (the
+  /// modeled device, always available) or "cuda" (the real-GPU seam;
+  /// needs a PSG_WITH_CUDA build and a working device). Parsed by
+  /// parseRuntimeKind; engine construction fails on a runtime that is
+  /// not available in this build. Sharded runs give each logical device
+  /// its own runtime instance of this kind.
+  std::string Runtime = "host";
   /// Sub-batch size; 512 maximizes modeled throughput on the Titan X.
   uint64_t SubBatchSize = 512;
   /// Sub-batches in flight in streaming runs. 1 serializes generation

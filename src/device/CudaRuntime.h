@@ -1,0 +1,40 @@
+//===- device/CudaRuntime.h - Real-GPU runtime seam -------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CUDA implementation seam of the device runtime. Memory, streams
+/// and events map directly onto the CUDA runtime API; kernel launch is
+/// the one part that cannot be generic — the C++ kernel bodies the
+/// simulators pass today are host callables, so until the native kernel
+/// port lands, launch() falls back to host execution after the data
+/// lives in device memory and would be wrong. CudaRuntime therefore
+/// refuses to construct unless a working device is present AND refuses
+/// launch() with a fatal error, making the seam impossible to ship
+/// half-working by accident.
+///
+/// Built only under PSG_WITH_CUDA. Without a CUDA toolkit the stub
+/// declarations in device/CudaStubs.h stand in for <cuda_runtime.h> so
+/// the configuration still compiles (the CI stub leg); construction
+/// then fails with the stub's "no device" error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_CUDARUNTIME_H
+#define PSG_DEVICE_CUDARUNTIME_H
+
+#include "device/DeviceRuntime.h"
+
+namespace psg {
+
+/// Creates the CUDA runtime over \p Spec, or fails with the CUDA error
+/// string when no usable device exists (always, under the stubs). The
+/// definition lives in CudaRuntime.cpp so CUDA types stay out of every
+/// other translation unit.
+ErrorOr<std::unique_ptr<DeviceRuntime>> createCudaRuntime(DeviceSpec Spec);
+
+} // namespace psg
+
+#endif // PSG_DEVICE_CUDARUNTIME_H

@@ -1,0 +1,92 @@
+//===- device/CudaStubs.h - CUDA runtime API stubs --------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stub declarations of the slice of the CUDA runtime API that
+/// device/CudaRuntime.cpp uses, for building the PSG_WITH_CUDA=ON
+/// configuration on machines without a CUDA toolkit (the CI stub leg,
+/// the reproduction container). Every entry point reports "no device",
+/// so CudaRuntime compiles and links everywhere but construction fails
+/// loudly until a real toolkit and GPU are present — then
+/// <cuda_runtime.h> is picked up instead and these stubs are never
+/// seen.
+///
+/// Only included from CudaRuntime.cpp, and only when
+/// __has_include(<cuda_runtime.h>) is false; the signatures match the
+/// CUDA runtime so the .cpp compiles unchanged against either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_CUDASTUBS_H
+#define PSG_DEVICE_CUDASTUBS_H
+
+#include <cstddef>
+
+// Matches the CUDA runtime's enum values for the errors we produce.
+enum cudaError_t {
+  cudaSuccess = 0,
+  cudaErrorNoDevice = 100,
+};
+
+enum cudaMemcpyKind {
+  cudaMemcpyHostToDevice = 1,
+  cudaMemcpyDeviceToHost = 2,
+};
+
+using cudaStream_t = struct CUstream_st *;
+using cudaEvent_t = struct CUevent_st *;
+
+inline cudaError_t cudaGetDeviceCount(int *Count) {
+  if (Count)
+    *Count = 0;
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaSetDevice(int) { return cudaErrorNoDevice; }
+inline cudaError_t cudaMalloc(void **Ptr, size_t) {
+  if (Ptr)
+    *Ptr = nullptr;
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaFree(void *) { return cudaErrorNoDevice; }
+inline cudaError_t cudaMemset(void *, int, size_t) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaMemcpyAsync(void *, const void *, size_t,
+                                   cudaMemcpyKind, cudaStream_t) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaStreamCreate(cudaStream_t *Stream) {
+  if (Stream)
+    *Stream = nullptr;
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaStreamDestroy(cudaStream_t) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaStreamSynchronize(cudaStream_t) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaEventCreate(cudaEvent_t *Event) {
+  if (Event)
+    *Event = nullptr;
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaEventDestroy(cudaEvent_t) { return cudaErrorNoDevice; }
+inline cudaError_t cudaEventRecord(cudaEvent_t, cudaStream_t) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaStreamWaitEvent(cudaStream_t, cudaEvent_t,
+                                       unsigned int) {
+  return cudaErrorNoDevice;
+}
+inline cudaError_t cudaDeviceSynchronize() { return cudaErrorNoDevice; }
+inline const char *cudaGetErrorString(cudaError_t Error) {
+  return Error == cudaSuccess ? "no error"
+                              : "no CUDA-capable device is detected "
+                                "(psg stub CUDA runtime)";
+}
+
+#endif // PSG_DEVICE_CUDASTUBS_H

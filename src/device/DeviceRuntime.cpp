@@ -1,0 +1,66 @@
+//===- device/DeviceRuntime.cpp -------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/DeviceRuntime.h"
+
+#include "device/HostRuntime.h"
+#ifdef PSG_WITH_CUDA
+#include "device/CudaRuntime.h"
+#endif
+
+using namespace psg;
+
+// Anchor the vtables of the interface classes in this translation unit.
+DeviceBuffer::~DeviceBuffer() = default;
+Event::~Event() = default;
+Stream::~Stream() = default;
+DeviceRuntime::~DeviceRuntime() = default;
+
+const char *psg::runtimeKindName(RuntimeKind Kind) {
+  switch (Kind) {
+  case RuntimeKind::Host:
+    return "host";
+  case RuntimeKind::Cuda:
+    return "cuda";
+  }
+  return "unknown";
+}
+
+ErrorOr<RuntimeKind> psg::parseRuntimeKind(const std::string &Name) {
+  if (Name == "host")
+    return RuntimeKind::Host;
+  if (Name == "cuda")
+    return RuntimeKind::Cuda;
+  return ErrorOr<RuntimeKind>::failure("unknown runtime '" + Name +
+                                       "' (known: host, cuda)");
+}
+
+bool psg::cudaRuntimeCompiledIn() {
+#ifdef PSG_WITH_CUDA
+  return true;
+#else
+  return false;
+#endif
+}
+
+ErrorOr<std::unique_ptr<DeviceRuntime>>
+psg::createDeviceRuntime(RuntimeKind Kind, DeviceSpec Spec,
+                         unsigned HostWorkers) {
+  switch (Kind) {
+  case RuntimeKind::Host:
+    return std::unique_ptr<DeviceRuntime>(
+        std::make_unique<HostRuntime>(std::move(Spec), HostWorkers));
+  case RuntimeKind::Cuda:
+#ifdef PSG_WITH_CUDA
+    return createCudaRuntime(std::move(Spec));
+#else
+    return ErrorOr<std::unique_ptr<DeviceRuntime>>::failure(
+        "cuda runtime not compiled in (rebuild with -DPSG_WITH_CUDA=ON)");
+#endif
+  }
+  return ErrorOr<std::unique_ptr<DeviceRuntime>>::failure(
+      "unknown runtime kind");
+}

@@ -1,0 +1,241 @@
+//===- device/DeviceRuntime.h - Device execution runtime --------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The device-runtime abstraction every execution backend implements:
+/// streams (ordered asynchronous work queues), device buffers (typed
+/// allocate/upload/download with byte accounting), events (record/wait
+/// for cross-stream dependencies) and kernel launch through an execution
+/// configuration record — the CUDA vocabulary (stream / cudaMalloc /
+/// cudaMemcpyAsync / event / <<<grid, block>>>) expressed backend-
+/// neutrally.
+///
+/// Two implementations exist:
+///
+///  * HostRuntime (device/HostRuntime.h): the modeled device. Kernels
+///    really run on the host thread pool through vgpu::VirtualDevice,
+///    "device memory" is host memory, and every operation feeds the same
+///    launch/cost accounting as before — results are bit-exact with the
+///    pre-runtime code.
+///  * CudaRuntime (device/CudaRuntime.h, behind PSG_WITH_CUDA): the seam
+///    for a real GPU. It compiles against stub declarations when no
+///    toolkit is present and fails loudly at construction until the
+///    native kernel port lands.
+///
+/// Semantics contract (pinned by the runtime-conformance suite in
+/// tests/device_runtime_test.cpp; any future backend must pass it):
+///
+///  * Operations enqueued on one stream execute in FIFO order.
+///  * Stream::synchronize returns only after every enqueued op finished.
+///  * Event::record marks the point a stream has reached; a wait on a
+///    recorded event orders the waiting stream after that point. Waiting
+///    on a never-recorded event completes immediately (CUDA semantics).
+///  * upload/download move exact bytes: a download after an upload of
+///    the same range returns a bit-identical image (including NaN
+///    payloads and -0.0).
+///  * Kernel launches through a runtime observe the same KernelContext
+///    semantics as vgpu::VirtualDevice::launchKernel (thread/block
+///    indices, worker indices, child-grid accounting).
+///
+/// A runtime and its streams are externally synchronized: one logical
+/// device owner drives them (the sharded executor's device thread, a
+/// simulator's batch loop). The byte/launch counters are therefore plain
+/// fields, like vgpu::DeviceCounters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_DEVICERUNTIME_H
+#define PSG_DEVICE_DEVICERUNTIME_H
+
+#include "support/Error.h"
+#include "support/FunctionRef.h"
+#include "vgpu/DeviceSpec.h"
+#include "vgpu/VirtualDevice.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace psg {
+
+/// The execution configuration of one kernel launch — the runtime-
+/// neutral mirror of CUDA's <<<grid, block, sharedMem, stream>>> plus
+/// the kernel identity used for accounting and tracing.
+struct LaunchConfig {
+  std::string KernelName;
+  uint64_t GridThreads = 0;  ///< Logical threads across the whole grid.
+  unsigned BlockDim = 32;    ///< Threads per block.
+  size_t SharedMemBytes = 0; ///< Modeled dynamic shared memory per block.
+};
+
+/// A typed device allocation. sizeBytes() is exact; deviceData() is the
+/// address kernels dereference — host memory for the host runtime, a
+/// device pointer (which host code must not touch) for a real backend.
+class DeviceBuffer {
+public:
+  virtual ~DeviceBuffer();
+  virtual size_t sizeBytes() const = 0;
+  virtual void *deviceData() = 0;
+  const void *deviceData() const {
+    return const_cast<DeviceBuffer *>(this)->deviceData();
+  }
+
+  /// Elements of \p T the buffer holds (rounding down).
+  template <typename T> size_t sizeAs() const { return sizeBytes() / sizeof(T); }
+};
+
+/// A cross-stream ordering point (cudaEvent_t).
+class Event {
+public:
+  virtual ~Event();
+  /// True once some stream recorded this event.
+  virtual bool recorded() const = 0;
+};
+
+/// An ordered asynchronous work queue (cudaStream_t). Ops may complete
+/// eagerly (the host runtime) or truly asynchronously (a real backend);
+/// either way FIFO order within the stream and the synchronize/event
+/// contracts hold.
+class Stream {
+public:
+  virtual ~Stream();
+
+  virtual const std::string &name() const = 0;
+
+  /// Copies \p Bytes from host \p Src into \p Dst at \p DstOffsetBytes
+  /// (H2D, cudaMemcpyAsync). The range must lie inside the buffer.
+  virtual void upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
+                      size_t DstOffsetBytes = 0) = 0;
+
+  /// Copies \p Bytes from \p Src at \p SrcOffsetBytes to host \p Dst
+  /// (D2H). Completion is only guaranteed after synchronize().
+  virtual void download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
+                        size_t SrcOffsetBytes = 0) = 0;
+
+  /// Launches a kernel in stream order. Body must be thread-safe across
+  /// logical threads; the call's completion semantics follow the stream
+  /// (the host runtime runs it eagerly and returns the real record).
+  virtual LaunchRecord launch(const LaunchConfig &Config,
+                              FunctionRef<void(KernelContext &)> Body) = 0;
+
+  /// Enqueues a host-side stage in stream order (cudaLaunchHostFunc):
+  /// the glue the sharded executor uses for work that is host code today
+  /// but sits between device transfers.
+  virtual void hostTask(const std::string &Name,
+                        FunctionRef<void()> Task) = 0;
+
+  /// Records \p E at the stream's current position.
+  virtual void record(Event &E) = 0;
+
+  /// Orders subsequent work on this stream after \p E's recorded
+  /// position. Waiting on a never-recorded event is a no-op.
+  virtual void wait(const Event &E) = 0;
+
+  /// Blocks the host until every enqueued operation completed.
+  virtual void synchronize() = 0;
+};
+
+/// Cumulative transfer/allocation accounting of one runtime. Mirrors
+/// vgpu::DeviceCounters for the memory system; exported by the host
+/// runtime as `psg.device.*` metrics.
+struct RuntimeCounters {
+  uint64_t BuffersAllocated = 0;
+  uint64_t BytesAllocated = 0;     ///< Cumulative allocation volume.
+  uint64_t BytesResident = 0;      ///< Currently allocated bytes.
+  uint64_t PeakBytesResident = 0;  ///< High-water mark of BytesResident.
+  uint64_t Uploads = 0;
+  uint64_t UploadBytes = 0;
+  uint64_t Downloads = 0;
+  uint64_t DownloadBytes = 0;
+  uint64_t StreamsCreated = 0;
+  uint64_t EventsRecorded = 0;
+  uint64_t EventWaits = 0;
+  uint64_t HostTasks = 0;
+  uint64_t KernelLaunches = 0; ///< Through streams and the default path.
+};
+
+/// One execution backend: a device spec, streams, buffers, events, and
+/// kernel launch. Owned per logical device (each sharded-executor device
+/// and each single-device engine holds its own runtime instance).
+class DeviceRuntime {
+public:
+  virtual ~DeviceRuntime();
+
+  /// Stable backend identifier ("host", "cuda").
+  virtual const char *name() const = 0;
+
+  virtual const DeviceSpec &spec() const = 0;
+
+  /// Distinct host worker indices kernel bodies may observe (see
+  /// ThreadPool::parallelism); simulators size per-worker scratch to it.
+  virtual unsigned hostParallelism() const = 0;
+
+  virtual std::unique_ptr<Stream> createStream(std::string Name) = 0;
+  virtual std::unique_ptr<Event> createEvent() = 0;
+
+  /// Allocates \p Bytes of device memory (cudaMalloc). Zero-filled, so
+  /// a download before any upload reads defined bytes.
+  virtual std::unique_ptr<DeviceBuffer> allocate(size_t Bytes) = 0;
+
+  /// Launches on the default stream (the CUDA null stream), blocking
+  /// until the grid completed.
+  virtual LaunchRecord launchKernel(const LaunchConfig &Config,
+                                    FunctionRef<void(KernelContext &)> Body) = 0;
+
+  /// Blocks until every stream of this runtime drained
+  /// (cudaDeviceSynchronize).
+  virtual void synchronize() = 0;
+
+  /// Kernel-side accounting (launches, logical threads, child grids).
+  virtual const DeviceCounters &deviceCounters() const = 0;
+
+  /// Memory/stream-side accounting.
+  virtual const RuntimeCounters &counters() const = 0;
+
+  /// Typed allocation helper: \p Count elements of \p T.
+  template <typename T> std::unique_ptr<DeviceBuffer> allocateArray(size_t Count) {
+    return allocate(Count * sizeof(T));
+  }
+};
+
+/// Typed transfer helpers over the byte interface.
+template <typename T>
+void uploadArray(Stream &S, DeviceBuffer &Dst, const T *Src, size_t Count,
+                 size_t DstOffsetElems = 0) {
+  S.upload(Dst, Src, Count * sizeof(T), DstOffsetElems * sizeof(T));
+}
+template <typename T>
+void downloadArray(Stream &S, const DeviceBuffer &Src, T *Dst, size_t Count,
+                   size_t SrcOffsetElems = 0) {
+  S.download(Src, Dst, Count * sizeof(T), SrcOffsetElems * sizeof(T));
+}
+
+/// The selectable backends. Host is always available; Cuda requires a
+/// PSG_WITH_CUDA build and a working device at construction time.
+enum class RuntimeKind { Host, Cuda };
+
+/// Stable display name ("host", "cuda").
+const char *runtimeKindName(RuntimeKind Kind);
+
+/// Parses a runtime name; fails with the known-name list on anything
+/// else (the psg-cli --runtime grammar).
+ErrorOr<RuntimeKind> parseRuntimeKind(const std::string &Name);
+
+/// True when this build carries the CUDA backend (PSG_WITH_CUDA=ON).
+bool cudaRuntimeCompiledIn();
+
+/// Creates a runtime of \p Kind over \p Spec. \p HostWorkers caps the
+/// host pool backing the host runtime (0 = hardware concurrency).
+/// Fails — loudly, with an actionable message — when the backend is not
+/// compiled in or its device cannot be initialized; it never returns a
+/// half-constructed runtime.
+ErrorOr<std::unique_ptr<DeviceRuntime>>
+createDeviceRuntime(RuntimeKind Kind, DeviceSpec Spec,
+                    unsigned HostWorkers = 0);
+
+} // namespace psg
+
+#endif // PSG_DEVICE_DEVICERUNTIME_H

@@ -1,0 +1,104 @@
+//===- device/HostRuntime.cpp ---------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/HostRuntime.h"
+
+#include "support/Metrics.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace psg;
+
+HostBuffer::~HostBuffer() {
+  Parent.Counters.BytesResident -= Storage.size();
+}
+
+std::unique_ptr<Stream> HostRuntime::createStream(std::string Name) {
+  ++Counters.StreamsCreated;
+  metrics().counter("psg.device.streams").add();
+  return std::make_unique<HostStream>(*this, std::move(Name));
+}
+
+std::unique_ptr<Event> HostRuntime::createEvent() {
+  return std::make_unique<HostEvent>();
+}
+
+std::unique_ptr<DeviceBuffer> HostRuntime::allocate(size_t Bytes) {
+  ++Counters.BuffersAllocated;
+  Counters.BytesAllocated += Bytes;
+  Counters.BytesResident += Bytes;
+  if (Counters.BytesResident > Counters.PeakBytesResident)
+    Counters.PeakBytesResident = Counters.BytesResident;
+  MetricsRegistry &M = metrics();
+  M.counter("psg.device.buffers").add();
+  M.counter("psg.device.alloc_bytes").add(Bytes);
+  return std::make_unique<HostBuffer>(*this, Bytes);
+}
+
+LaunchRecord
+HostRuntime::launchKernel(const LaunchConfig &Config,
+                          FunctionRef<void(KernelContext &)> Body) {
+  ++Counters.KernelLaunches;
+  metrics().counter("psg.device.kernel_launches").add();
+  return Device.launchKernel(Config.KernelName, Config.GridThreads,
+                             Config.BlockDim, Body);
+}
+
+void HostStream::upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
+                        size_t DstOffsetBytes) {
+  assert(DstOffsetBytes + Bytes <= Dst.sizeBytes() &&
+         "upload outside the buffer");
+  if (Bytes != 0)
+    std::memcpy(static_cast<unsigned char *>(Dst.deviceData()) +
+                    DstOffsetBytes,
+                Src, Bytes);
+  ++Parent.Counters.Uploads;
+  Parent.Counters.UploadBytes += Bytes;
+  metrics().counter("psg.device.upload_bytes").add(Bytes);
+}
+
+void HostStream::download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
+                          size_t SrcOffsetBytes) {
+  assert(SrcOffsetBytes + Bytes <= Src.sizeBytes() &&
+         "download outside the buffer");
+  if (Bytes != 0)
+    std::memcpy(Dst,
+                static_cast<const unsigned char *>(Src.deviceData()) +
+                    SrcOffsetBytes,
+                Bytes);
+  ++Parent.Counters.Downloads;
+  Parent.Counters.DownloadBytes += Bytes;
+  metrics().counter("psg.device.download_bytes").add(Bytes);
+}
+
+LaunchRecord HostStream::launch(const LaunchConfig &Config,
+                                FunctionRef<void(KernelContext &)> Body) {
+  return Parent.launchKernel(Config, Body);
+}
+
+void HostStream::hostTask(const std::string &Name,
+                          FunctionRef<void()> Task) {
+  (void)Name;
+  Task();
+  ++Parent.Counters.HostTasks;
+  metrics().counter("psg.device.host_tasks").add();
+}
+
+void HostStream::record(Event &E) {
+  static_cast<HostEvent &>(E).Recorded = true;
+  ++Parent.Counters.EventsRecorded;
+  metrics().counter("psg.device.events_recorded").add();
+}
+
+void HostStream::wait(const Event &E) {
+  // Eager streams have already completed everything a recorded event
+  // covers; waiting on a never-recorded event is a defined no-op (CUDA
+  // semantics). Only the accounting remains.
+  (void)E;
+  ++Parent.Counters.EventWaits;
+  metrics().counter("psg.device.event_waits").add();
+}

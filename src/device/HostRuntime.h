@@ -1,0 +1,133 @@
+//===- device/HostRuntime.h - Modeled-device runtime ------------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host implementation of the device runtime: the modeled device of
+/// the paper reproduction. Kernel launches execute on the owned
+/// vgpu::VirtualDevice (real host integration, modeled device timing),
+/// device buffers are zero-initialized host allocations, and stream
+/// operations complete eagerly — each op finishes before the enqueue
+/// call returns, which is a legal scheduling of an ordered FIFO queue
+/// and keeps results bit-exact with the pre-runtime code while adding
+/// no threads.
+///
+/// Transfer and launch volumes are mirrored into the metrics registry
+/// as `psg.device.*` so sweep reports can show per-run upload/download
+/// traffic next to the modeled PCIe/overlap numbers of the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_HOSTRUNTIME_H
+#define PSG_DEVICE_HOSTRUNTIME_H
+
+#include "device/DeviceRuntime.h"
+
+#include <vector>
+
+namespace psg {
+
+/// DeviceRuntime over the virtual device. Externally synchronized, like
+/// the VirtualDevice it wraps.
+class HostRuntime final : public DeviceRuntime {
+public:
+  /// \p HostWorkers = 0 uses the hardware concurrency.
+  explicit HostRuntime(DeviceSpec Spec, unsigned HostWorkers = 0)
+      : Device(std::move(Spec), HostWorkers) {}
+
+  const char *name() const override { return "host"; }
+  const DeviceSpec &spec() const override { return Device.spec(); }
+  unsigned hostParallelism() const override {
+    return Device.hostParallelism();
+  }
+
+  std::unique_ptr<Stream> createStream(std::string Name) override;
+  std::unique_ptr<Event> createEvent() override;
+  std::unique_ptr<DeviceBuffer> allocate(size_t Bytes) override;
+
+  LaunchRecord launchKernel(const LaunchConfig &Config,
+                            FunctionRef<void(KernelContext &)> Body) override;
+
+  /// All host streams are eager, so the runtime is always drained.
+  void synchronize() override {}
+
+  const DeviceCounters &deviceCounters() const override {
+    return Device.counters();
+  }
+  const RuntimeCounters &counters() const override { return Counters; }
+
+  /// The wrapped virtual device (for cost-model calibration paths that
+  /// need the raw launch accounting).
+  VirtualDevice &virtualDevice() { return Device; }
+
+private:
+  friend class HostStream;
+  friend class HostBuffer;
+
+  VirtualDevice Device;
+  RuntimeCounters Counters;
+};
+
+/// Host "device memory": a zero-initialized byte vector. deviceData()
+/// is the storage itself, so host-runtime kernels read and write it in
+/// place and downloads are plain memcpy.
+class HostBuffer final : public DeviceBuffer {
+public:
+  HostBuffer(HostRuntime &Parent, size_t Bytes)
+      : Parent(Parent), Storage(Bytes, 0) {}
+  ~HostBuffer() override;
+
+  size_t sizeBytes() const override { return Storage.size(); }
+  void *deviceData() override { return Storage.data(); }
+
+private:
+  HostRuntime &Parent;
+  std::vector<unsigned char> Storage;
+};
+
+/// Host event: a completion flag. Because host streams are eager, a
+/// recorded event is always already "reached"; wait() only validates
+/// ordering (recorded-before-waited is checked by the conformance
+/// suite through the counters).
+class HostEvent final : public Event {
+public:
+  bool recorded() const override { return Recorded; }
+
+private:
+  friend class HostStream;
+  bool Recorded = false;
+};
+
+/// Host stream: eager FIFO. Every enqueue runs the operation to
+/// completion in program order on the calling thread — kernels still
+/// spread over the virtual device's pool — so FIFO order, synchronize()
+/// and event semantics hold trivially and bit-exactness with direct
+/// VirtualDevice use is preserved.
+class HostStream final : public Stream {
+public:
+  HostStream(HostRuntime &Parent, std::string Name)
+      : Parent(Parent), StreamName(std::move(Name)) {}
+
+  const std::string &name() const override { return StreamName; }
+
+  void upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
+              size_t DstOffsetBytes = 0) override;
+  void download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
+                size_t SrcOffsetBytes = 0) override;
+  LaunchRecord launch(const LaunchConfig &Config,
+                      FunctionRef<void(KernelContext &)> Body) override;
+  void hostTask(const std::string &Name, FunctionRef<void()> Task) override;
+  void record(Event &E) override;
+  void wait(const Event &E) override;
+  void synchronize() override {}
+
+private:
+  HostRuntime &Parent;
+  std::string StreamName;
+};
+
+} // namespace psg
+
+#endif // PSG_DEVICE_HOSTRUNTIME_H

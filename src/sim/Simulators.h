@@ -27,9 +27,9 @@
 #ifndef PSG_SIM_SIMULATORS_H
 #define PSG_SIM_SIMULATORS_H
 
+#include "device/DeviceRuntime.h"
 #include "sim/SimWorkspace.h"
 #include "sim/Simulator.h"
-#include "vgpu/VirtualDevice.h"
 
 namespace psg {
 
@@ -58,11 +58,16 @@ private:
 /// gpu-fine's BDF fallback.
 class SimdLaneSimulator : public Simulator {
 public:
-  /// \p HostWorkers caps the host pool backing the virtual device
+  /// \p HostWorkers caps the host pool backing the private host runtime
   /// (0 = hardware concurrency); the sharded scheduler uses it to pin
   /// each logical device to a slice of the machine.
   explicit SimdLaneSimulator(CostModel Model, unsigned LaneWidth = 8,
                              unsigned HostWorkers = 0);
+
+  /// Launches through a caller-owned \p Runtime (must be non-null)
+  /// instead of constructing a private host runtime.
+  SimdLaneSimulator(CostModel Model, std::shared_ptr<DeviceRuntime> Runtime,
+                    unsigned LaneWidth = 8);
 
   std::string name() const override { return "simd-lanes"; }
   Backend backend() const override { return Backend::CpuSimdLanes; }
@@ -72,7 +77,7 @@ public:
 
 private:
   CostModel Model;
-  VirtualDevice Device;
+  std::shared_ptr<DeviceRuntime> Runtime;
   SimWorkerPool Workers; ///< One reusable slot per host worker.
   unsigned LaneWidth;
 };
@@ -81,6 +86,7 @@ private:
 class CoarseGpuSimulator : public Simulator {
 public:
   explicit CoarseGpuSimulator(CostModel Model, unsigned HostWorkers = 0);
+  CoarseGpuSimulator(CostModel Model, std::shared_ptr<DeviceRuntime> Runtime);
 
   std::string name() const override { return "gpu-coarse"; }
   Backend backend() const override { return Backend::GpuCoarse; }
@@ -88,7 +94,7 @@ public:
 
 private:
   CostModel Model;
-  VirtualDevice Device;
+  std::shared_ptr<DeviceRuntime> Runtime;
   SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 
@@ -97,6 +103,7 @@ private:
 class FineGpuSimulator : public Simulator {
 public:
   explicit FineGpuSimulator(CostModel Model, unsigned HostWorkers = 0);
+  FineGpuSimulator(CostModel Model, std::shared_ptr<DeviceRuntime> Runtime);
 
   std::string name() const override { return "gpu-fine"; }
   Backend backend() const override { return Backend::GpuFine; }
@@ -104,7 +111,7 @@ public:
 
 private:
   CostModel Model;
-  VirtualDevice Device;
+  std::shared_ptr<DeviceRuntime> Runtime;
   SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 
@@ -114,6 +121,7 @@ private:
 class FineCoarseSimulator : public Simulator {
 public:
   explicit FineCoarseSimulator(CostModel Model, unsigned HostWorkers = 0);
+  FineCoarseSimulator(CostModel Model, std::shared_ptr<DeviceRuntime> Runtime);
 
   std::string name() const override { return "psg-engine"; }
   Backend backend() const override { return Backend::GpuFineCoarse; }
@@ -129,7 +137,7 @@ public:
 
 private:
   CostModel Model;
-  VirtualDevice Device;
+  std::shared_ptr<DeviceRuntime> Runtime;
   SimWorkerPool Workers; ///< One reusable slot per host worker.
 };
 

@@ -38,7 +38,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::runChunks(unsigned Worker, size_t &DoneOut, double &BusyOut) {
   DoneOut = 0;
   BusyOut = 0.0;
-  const std::function<void(size_t, unsigned)> &Body = *Current.Body;
+  const FunctionRef<void(size_t, unsigned)> Body = Current.Body;
   const size_t Count = Current.Count;
   const size_t ChunkSize = Current.ChunkSize;
   const size_t NumChunks = Current.NumChunks;
@@ -81,8 +81,8 @@ void ThreadPool::workerLoop(unsigned Worker) {
   }
 }
 
-void ThreadPool::parallelFor(
-    size_t Count, const std::function<void(size_t, unsigned)> &Body) {
+void ThreadPool::parallelFor(size_t Count,
+                             FunctionRef<void(size_t, unsigned)> Body) {
   if (Count == 0)
     return;
   WallTimer JobTimer;
@@ -92,7 +92,7 @@ void ThreadPool::parallelFor(
     assert(!HasJob && "nested parallelFor is not supported");
     // Static chunking: a few chunks per participant amortizes the atomic
     // claim while still balancing uneven per-index costs.
-    Current.Body = &Body;
+    Current.Body = Body;
     Current.Count = Count;
     Current.ChunkSize = std::max<size_t>(1, Count / (4 * parallelism()));
     Current.NumChunks = (Count + Current.ChunkSize - 1) / Current.ChunkSize;
@@ -131,7 +131,6 @@ void ThreadPool::parallelFor(
   }
 }
 
-void ThreadPool::parallelFor(size_t Count,
-                             const std::function<void(size_t)> &Body) {
+void ThreadPool::parallelFor(size_t Count, FunctionRef<void(size_t)> Body) {
   parallelFor(Count, [&Body](size_t Index, unsigned) { Body(Index); });
 }

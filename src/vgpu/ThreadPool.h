@@ -21,10 +21,11 @@
 #ifndef PSG_VGPU_THREADPOOL_H
 #define PSG_VGPU_THREADPOOL_H
 
+#include "support/FunctionRef.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -53,16 +54,17 @@ public:
   /// and blocks until all indices completed. Body must be thread-safe.
   /// Each invocation's Worker argument is < parallelism() and identifies
   /// the participant executing it, so Body may index per-worker state
-  /// without synchronization.
-  void parallelFor(size_t Count,
-                   const std::function<void(size_t, unsigned)> &Body);
+  /// without synchronization. Body is a non-owning FunctionRef — no
+  /// allocation per job — which is safe because parallelFor blocks until
+  /// every participant has left the body.
+  void parallelFor(size_t Count, FunctionRef<void(size_t, unsigned)> Body);
 
   /// Worker-index-oblivious convenience overload.
-  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+  void parallelFor(size_t Count, FunctionRef<void(size_t)> Body);
 
 private:
   struct Job {
-    const std::function<void(size_t, unsigned)> *Body = nullptr;
+    FunctionRef<void(size_t, unsigned)> Body;
     size_t Count = 0;
     size_t ChunkSize = 1;
     size_t NumChunks = 0;

@@ -17,7 +17,7 @@ using namespace psg;
 LaunchRecord
 VirtualDevice::launchKernel(const std::string &Name, uint64_t Threads,
                             unsigned BlockDim,
-                            const std::function<void(KernelContext &)> &Body) {
+                            FunctionRef<void(KernelContext &)> Body) {
   assert(Threads > 0 && BlockDim > 0 && "empty kernel launch");
   MetricsRegistry &M = metrics();
   TraceSpan Span("vgpu.kernel." + Name, "vgpu");

@@ -17,12 +17,12 @@
 #ifndef PSG_VGPU_VIRTUALDEVICE_H
 #define PSG_VGPU_VIRTUALDEVICE_H
 
+#include "support/FunctionRef.h"
 #include "vgpu/DeviceSpec.h"
 #include "vgpu/ThreadPool.h"
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <string>
 
 namespace psg {
@@ -67,9 +67,11 @@ public:
 
   /// Records a dynamic-parallelism child grid of \p Threads logical
   /// threads and runs \p Body for each (synchronously, as after a CUDA
-  /// child-grid sync). Returns the number of child threads run.
-  uint64_t launchChildGrid(uint64_t Threads,
-                           const std::function<void(uint64_t)> &Body) {
+  /// child-grid sync). Returns the number of child threads run. Body is
+  /// a non-owning FunctionRef: child-grid launches sit on the per-step
+  /// hot path of the fine-grained simulators, and the previous
+  /// std::function parameter could allocate per launch.
+  uint64_t launchChildGrid(uint64_t Threads, FunctionRef<void(uint64_t)> Body) {
     ChildCounter.fetch_add(1, std::memory_order_relaxed);
     for (uint64_t I = 0; I < Threads; ++I)
       Body(I);
@@ -100,10 +102,12 @@ public:
 
   /// Launches a kernel over \p Threads logical threads with block size
   /// \p BlockDim; Body receives a KernelContext per logical thread.
-  /// Returns the launch record. Body must be thread-safe across indices.
-  LaunchRecord
-  launchKernel(const std::string &Name, uint64_t Threads, unsigned BlockDim,
-               const std::function<void(KernelContext &)> &Body);
+  /// Returns the launch record. Body must be thread-safe across indices
+  /// and is taken by non-owning FunctionRef (no per-launch allocation);
+  /// launchKernel blocks until every logical thread has run.
+  LaunchRecord launchKernel(const std::string &Name, uint64_t Threads,
+                            unsigned BlockDim,
+                            FunctionRef<void(KernelContext &)> Body);
 
 private:
   DeviceSpec Spec;

@@ -1,0 +1,369 @@
+//===- tests/device_runtime_test.cpp - Runtime conformance suite ----------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime-conformance suite: pins the DeviceRuntime semantics
+/// contract (stream FIFO order, event record/wait, bit-exact buffer
+/// round trips, launch and transfer accounting) that every backend must
+/// satisfy. Today it runs against the host runtime; a CUDA backend must
+/// pass the same suite unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "device/DeviceRuntime.h"
+#include "device/HostRuntime.h"
+#include "vgpu/CostModel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+/// One factory per conformant backend; the suite runs against each.
+std::unique_ptr<DeviceRuntime> makeRuntime(unsigned HostWorkers = 2) {
+  auto RT = createDeviceRuntime(RuntimeKind::Host, DeviceSpec::titanX(),
+                                HostWorkers);
+  EXPECT_TRUE(RT.ok()) << RT.message();
+  return std::move(*RT);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factory and selection.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeFactoryTest, ParsesKnownKinds) {
+  auto Host = parseRuntimeKind("host");
+  ASSERT_TRUE(Host.ok());
+  EXPECT_EQ(*Host, RuntimeKind::Host);
+  auto Cuda = parseRuntimeKind("cuda");
+  ASSERT_TRUE(Cuda.ok());
+  EXPECT_EQ(*Cuda, RuntimeKind::Cuda);
+  EXPECT_STREQ(runtimeKindName(RuntimeKind::Host), "host");
+  EXPECT_STREQ(runtimeKindName(RuntimeKind::Cuda), "cuda");
+}
+
+TEST(RuntimeFactoryTest, UnknownKindFailsWithKnownNames) {
+  auto Bad = parseRuntimeKind("warp-drive");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("warp-drive"), std::string::npos);
+  EXPECT_NE(Bad.message().find("host"), std::string::npos);
+  EXPECT_NE(Bad.message().find("cuda"), std::string::npos);
+}
+
+TEST(RuntimeFactoryTest, HostRuntimeConstructs) {
+  auto RT = makeRuntime();
+  ASSERT_TRUE(RT);
+  EXPECT_STREQ(RT->name(), "host");
+  EXPECT_GE(RT->hostParallelism(), 1u);
+  EXPECT_EQ(RT->spec().Name, DeviceSpec::titanX().Name);
+}
+
+TEST(RuntimeFactoryTest, CudaUnavailableFailsCleanly) {
+  if (cudaRuntimeCompiledIn())
+    GTEST_SKIP() << "CUDA backend compiled in; availability probed at runtime";
+  auto RT = createDeviceRuntime(RuntimeKind::Cuda, DeviceSpec::titanX());
+  ASSERT_FALSE(RT.ok());
+  EXPECT_NE(RT.message().find("PSG_WITH_CUDA"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Buffers: allocation, round trips, accounting.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeBufferTest, AllocateIsZeroFilled) {
+  auto RT = makeRuntime();
+  auto Buf = RT->allocate(64);
+  ASSERT_TRUE(Buf);
+  EXPECT_EQ(Buf->sizeBytes(), 64u);
+  EXPECT_EQ(Buf->sizeAs<double>(), 8u);
+  std::vector<unsigned char> Host(64, 0xAB);
+  auto S = RT->createStream("probe");
+  S->download(*Buf, Host.data(), Host.size());
+  S->synchronize();
+  for (unsigned char B : Host)
+    EXPECT_EQ(B, 0u);
+}
+
+TEST(RuntimeBufferTest, RoundTripIsBitExact) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("xfer");
+  // Payload chosen to catch any numeric (non-bytewise) copy path: a NaN
+  // with a nonstandard payload, both zero signs, denormals, infinities.
+  std::vector<double> Src = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             -1.0 / 3.0,
+                             6.02214076e23};
+  uint64_t PayloadNaN = 0x7ff8dec0dec0dec0ull;
+  std::memcpy(&Src[2], &PayloadNaN, sizeof(double));
+
+  auto Buf = RT->allocateArray<double>(Src.size());
+  uploadArray(*S, *Buf, Src.data(), Src.size());
+  std::vector<double> Dst(Src.size(), 12345.0);
+  downloadArray(*S, *Buf, Dst.data(), Dst.size());
+  S->synchronize();
+  EXPECT_EQ(std::memcmp(Src.data(), Dst.data(), Src.size() * sizeof(double)),
+            0);
+  // The NaN payload specifically must survive untouched.
+  uint64_t Back = 0;
+  std::memcpy(&Back, &Dst[2], sizeof(double));
+  EXPECT_EQ(Back, PayloadNaN);
+  // And -0.0 must keep its sign bit.
+  EXPECT_TRUE(std::signbit(Dst[1]));
+  EXPECT_FALSE(std::signbit(Dst[0]));
+}
+
+TEST(RuntimeBufferTest, OffsetTransfersAddressTheRightBytes) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("xfer");
+  auto Buf = RT->allocateArray<double>(8);
+  std::vector<double> Lo = {1, 2, 3, 4};
+  std::vector<double> Hi = {5, 6, 7, 8};
+  uploadArray(*S, *Buf, Hi.data(), Hi.size(), /*DstOffsetElems=*/4);
+  uploadArray(*S, *Buf, Lo.data(), Lo.size(), /*DstOffsetElems=*/0);
+  std::vector<double> Mid(4, 0);
+  downloadArray(*S, *Buf, Mid.data(), Mid.size(), /*SrcOffsetElems=*/2);
+  S->synchronize();
+  EXPECT_EQ(Mid, (std::vector<double>{3, 4, 5, 6}));
+}
+
+TEST(RuntimeBufferTest, CountersTrackAllocationAndTransfers) {
+  auto RT = makeRuntime();
+  {
+    auto A = RT->allocate(128);
+    auto B = RT->allocate(64);
+    EXPECT_EQ(RT->counters().BuffersAllocated, 2u);
+    EXPECT_EQ(RT->counters().BytesAllocated, 192u);
+    EXPECT_EQ(RT->counters().BytesResident, 192u);
+    EXPECT_EQ(RT->counters().PeakBytesResident, 192u);
+
+    auto S = RT->createStream("xfer");
+    std::vector<unsigned char> Host(64, 1);
+    S->upload(*A, Host.data(), 64);
+    S->upload(*A, Host.data(), 32, /*DstOffsetBytes=*/64);
+    S->download(*B, Host.data(), 16);
+    S->synchronize();
+    EXPECT_EQ(RT->counters().Uploads, 2u);
+    EXPECT_EQ(RT->counters().UploadBytes, 96u);
+    EXPECT_EQ(RT->counters().Downloads, 1u);
+    EXPECT_EQ(RT->counters().DownloadBytes, 16u);
+  }
+  // Freeing returns residency but not the cumulative totals or the peak.
+  EXPECT_EQ(RT->counters().BytesResident, 0u);
+  EXPECT_EQ(RT->counters().BytesAllocated, 192u);
+  EXPECT_EQ(RT->counters().PeakBytesResident, 192u);
+}
+
+//===----------------------------------------------------------------------===//
+// Streams: FIFO order, host tasks, synchronize.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeStreamTest, OpsOnOneStreamRunInFifoOrder) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("fifo");
+  std::vector<int> Order;
+  auto Buf = RT->allocateArray<int>(1);
+  int One = 1;
+  S->hostTask("first", [&] { Order.push_back(1); });
+  uploadArray(*S, *Buf, &One, 1);
+  S->hostTask("second", [&] { Order.push_back(2); });
+  S->launch({"fifo-kernel", 1, 32},
+            [&](KernelContext &) { Order.push_back(3); });
+  S->hostTask("third", [&] { Order.push_back(4); });
+  S->synchronize();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RuntimeStreamTest, DownloadAfterUploadSeesTheUpload) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("rw");
+  auto Buf = RT->allocateArray<uint64_t>(256);
+  std::vector<uint64_t> Src(256);
+  for (size_t I = 0; I < Src.size(); ++I)
+    Src[I] = I * I + 17;
+  uploadArray(*S, *Buf, Src.data(), Src.size());
+  std::vector<uint64_t> Dst(256, 0);
+  downloadArray(*S, *Buf, Dst.data(), Dst.size());
+  S->synchronize();
+  EXPECT_EQ(Src, Dst);
+}
+
+TEST(RuntimeStreamTest, KernelSeesUploadedBytesAndDownloadSeesKernelWrites) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("pipeline");
+  const size_t N = 1024;
+  auto Buf = RT->allocateArray<double>(N);
+  std::vector<double> Src(N);
+  for (size_t I = 0; I < N; ++I)
+    Src[I] = 0.25 * static_cast<double>(I);
+  uploadArray(*S, *Buf, Src.data(), N);
+  S->launch({"scale2", N, 32}, [&](KernelContext &Ctx) {
+    double *Data = static_cast<double *>(Buf->deviceData());
+    Data[Ctx.threadIndex()] *= 2.0;
+  });
+  std::vector<double> Dst(N, 0);
+  downloadArray(*S, *Buf, Dst.data(), N);
+  S->synchronize();
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Dst[I], 0.5 * static_cast<double>(I)) << I;
+}
+
+TEST(RuntimeStreamTest, StreamsAreNamedAndCounted) {
+  auto RT = makeRuntime();
+  auto A = RT->createStream("dev0");
+  auto B = RT->createStream("dev1");
+  EXPECT_EQ(A->name(), "dev0");
+  EXPECT_EQ(B->name(), "dev1");
+  EXPECT_EQ(RT->counters().StreamsCreated, 2u);
+  A->hostTask("noop", [] {});
+  EXPECT_EQ(RT->counters().HostTasks, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Events: record/wait semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeEventTest, RecordMarksTheEvent) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("ev");
+  auto E = RT->createEvent();
+  EXPECT_FALSE(E->recorded());
+  S->record(*E);
+  EXPECT_TRUE(E->recorded());
+  EXPECT_EQ(RT->counters().EventsRecorded, 1u);
+}
+
+TEST(RuntimeEventTest, WaitBeforeRecordIsANoOp) {
+  // CUDA semantics: waiting on an event that was never recorded does not
+  // block; later work on the waiting stream proceeds.
+  auto RT = makeRuntime();
+  auto S = RT->createStream("ev");
+  auto E = RT->createEvent();
+  S->wait(*E);
+  bool Ran = false;
+  S->hostTask("after-wait", [&] { Ran = true; });
+  S->synchronize();
+  EXPECT_TRUE(Ran);
+  EXPECT_FALSE(E->recorded());
+  EXPECT_EQ(RT->counters().EventWaits, 1u);
+}
+
+TEST(RuntimeEventTest, CrossStreamWaitOrdersAfterRecordedPoint) {
+  auto RT = makeRuntime();
+  auto Producer = RT->createStream("producer");
+  auto Consumer = RT->createStream("consumer");
+  auto Ready = RT->createEvent();
+  auto Buf = RT->allocateArray<int>(1);
+  int FortyTwo = 42;
+  uploadArray(*Producer, *Buf, &FortyTwo, 1);
+  Producer->record(*Ready);
+  Consumer->wait(*Ready);
+  int Seen = 0;
+  downloadArray(*Consumer, *Buf, &Seen, 1);
+  Consumer->synchronize();
+  EXPECT_EQ(Seen, 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel launch: VirtualDevice-equivalent context semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeLaunchTest, LaunchRecordMatchesGeometry) {
+  auto RT = makeRuntime();
+  LaunchRecord R = RT->launchKernel({"geometry", 100, 32},
+                                    [](KernelContext &) {});
+  EXPECT_EQ(R.KernelName, "geometry");
+  EXPECT_EQ(R.LogicalThreads, 100u);
+  EXPECT_EQ(R.Blocks, 4u); // ceil(100 / 32)
+  EXPECT_EQ(RT->counters().KernelLaunches, 1u);
+  EXPECT_EQ(RT->deviceCounters().KernelLaunches, 1u);
+  EXPECT_EQ(RT->deviceCounters().LogicalThreadsRun, 100u);
+}
+
+TEST(RuntimeLaunchTest, EveryLogicalThreadRunsOnce) {
+  auto RT = makeRuntime();
+  const uint64_t N = 777;
+  std::vector<std::atomic<int>> Hits(N);
+  RT->launchKernel({"coverage", N, 32}, [&](KernelContext &Ctx) {
+    ++Hits[Ctx.threadIndex()];
+    EXPECT_LT(Ctx.workerIndex(), RT->hostParallelism());
+    EXPECT_EQ(Ctx.gridSize(), N);
+  });
+  for (uint64_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+TEST(RuntimeLaunchTest, ChildGridsFeedDeviceCounters) {
+  auto RT = makeRuntime();
+  const uint64_t Parents = 8;
+  std::atomic<uint64_t> ChildThreads{0};
+  LaunchRecord R =
+      RT->launchKernel({"parent", Parents, 32}, [&](KernelContext &Ctx) {
+        ChildThreads += Ctx.launchChildGrid(
+            3, [&](uint64_t) { /* child work */ });
+      });
+  EXPECT_EQ(R.ChildGrids, Parents);
+  EXPECT_EQ(ChildThreads.load(), Parents * 3);
+  EXPECT_EQ(RT->deviceCounters().ChildGridLaunches, Parents);
+}
+
+TEST(RuntimeLaunchTest, StreamLaunchAndDefaultLaunchShareAccounting) {
+  auto RT = makeRuntime();
+  auto S = RT->createStream("launches");
+  RT->launchKernel({"a", 10, 32}, [](KernelContext &) {});
+  S->launch({"b", 20, 32}, [](KernelContext &) {});
+  S->synchronize();
+  EXPECT_EQ(RT->counters().KernelLaunches, 2u);
+  EXPECT_EQ(RT->deviceCounters().KernelLaunches, 2u);
+  EXPECT_EQ(RT->deviceCounters().LogicalThreadsRun, 30u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-exactness across runtime handles: the same kernel body over the
+// same inputs yields identical bytes regardless of which runtime
+// instance (or worker count) executes it.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeConformanceTest, ResultsIndependentOfWorkerCount) {
+  const size_t N = 512;
+  std::vector<double> Input(N);
+  for (size_t I = 0; I < N; ++I)
+    Input[I] = std::sin(static_cast<double>(I) * 0.01) + 1e-3;
+
+  auto RunWith = [&](unsigned Workers) {
+    auto RT = makeRuntime(Workers);
+    auto S = RT->createStream("bench");
+    auto Buf = RT->allocateArray<double>(N);
+    uploadArray(*S, *Buf, Input.data(), N);
+    S->launch({"stiff-ish", N, 32}, [&](KernelContext &Ctx) {
+      double *Data = static_cast<double *>(Buf->deviceData());
+      double X = Data[Ctx.threadIndex()];
+      for (int Step = 0; Step < 50; ++Step)
+        X = X + 0.01 * (1.0 - X * X); // logistic-style update
+      Data[Ctx.threadIndex()] = X;
+    });
+    std::vector<double> Out(N);
+    downloadArray(*S, *Buf, Out.data(), N);
+    S->synchronize();
+    return Out;
+  };
+
+  std::vector<double> One = RunWith(1);
+  std::vector<double> Four = RunWith(4);
+  EXPECT_EQ(std::memcmp(One.data(), Four.data(), N * sizeof(double)), 0);
+}

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "device/HostRuntime.h"
 #include "vgpu/CostModel.h"
 #include "vgpu/DeviceSpec.h"
 #include "vgpu/ThreadPool.h"
@@ -12,6 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
 #include <numeric>
 
 using namespace psg;
@@ -163,6 +168,87 @@ TEST(VirtualDeviceTest, ChildGridsAreCounted) {
       });
   EXPECT_EQ(R.ChildGrids, 8u);
   EXPECT_EQ(Dev.counters().ChildGridLaunches, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Host-runtime conformance: the same contracts through the DeviceRuntime
+// interface. The full backend-agnostic suite lives in
+// device_runtime_test.cpp; these cases pin the HostRuntime ↔
+// VirtualDevice equivalences specifically.
+//===----------------------------------------------------------------------===//
+
+TEST(HostRuntimeConformanceTest, StreamOpsRunInFifoOrder) {
+  HostRuntime RT(DeviceSpec::titanX(), 2);
+  auto S = RT.createStream("fifo");
+  std::vector<int> Order;
+  S->hostTask("a", [&] { Order.push_back(1); });
+  S->launch({"k", 4, 32}, [&](KernelContext &C) {
+    if (C.threadIndex() == 0) {
+      static std::mutex M;
+      std::lock_guard<std::mutex> Lock(M);
+      Order.push_back(2);
+    }
+  });
+  S->hostTask("b", [&] { Order.push_back(3); });
+  S->synchronize();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(HostRuntimeConformanceTest, EventWaitBeforeRecordDoesNotBlock) {
+  HostRuntime RT(DeviceSpec::titanX(), 1);
+  auto S = RT.createStream("ev");
+  auto E = RT.createEvent();
+  S->wait(*E); // Never recorded: must be a no-op, per CUDA semantics.
+  bool Ran = false;
+  S->hostTask("after", [&] { Ran = true; });
+  S->synchronize();
+  EXPECT_TRUE(Ran);
+  S->record(*E);
+  EXPECT_TRUE(E->recorded());
+  EXPECT_EQ(RT.counters().EventWaits, 1u);
+  EXPECT_EQ(RT.counters().EventsRecorded, 1u);
+}
+
+TEST(HostRuntimeConformanceTest, BufferRoundTripPreservesNanAndSignedZero) {
+  HostRuntime RT(DeviceSpec::titanX(), 1);
+  auto S = RT.createStream("xfer");
+  std::vector<double> Src = {-0.0, 0.0,
+                             std::numeric_limits<double>::quiet_NaN()};
+  uint64_t PayloadNaN = 0x7ff40123456789abull;
+  std::memcpy(&Src[2], &PayloadNaN, sizeof(double));
+  auto Buf = RT.allocateArray<double>(Src.size());
+  uploadArray(*S, *Buf, Src.data(), Src.size());
+  std::vector<double> Dst(Src.size(), 7.0);
+  downloadArray(*S, *Buf, Dst.data(), Dst.size());
+  S->synchronize();
+  EXPECT_EQ(std::memcmp(Src.data(), Dst.data(), Src.size() * sizeof(double)),
+            0);
+  EXPECT_TRUE(std::signbit(Dst[0]));
+  EXPECT_FALSE(std::signbit(Dst[1]));
+}
+
+TEST(HostRuntimeConformanceTest, CountersAfterNestedChildGrids) {
+  HostRuntime RT(DeviceSpec::titanX(), 1);
+  // Parent grid of 6 threads, each launching one child grid of 5: the
+  // runtime's device counters must match direct VirtualDevice use.
+  std::atomic<uint64_t> ChildThreads{0};
+  LaunchRecord R = RT.launchKernel({"parent", 6, 2}, [&](KernelContext &C) {
+    ChildThreads += C.launchChildGrid(5, [](uint64_t) {});
+  });
+  EXPECT_EQ(R.ChildGrids, 6u);
+  EXPECT_EQ(ChildThreads.load(), 30u);
+  EXPECT_EQ(RT.deviceCounters().ChildGridLaunches, 6u);
+  EXPECT_EQ(RT.deviceCounters().KernelLaunches, 1u);
+  EXPECT_EQ(RT.counters().KernelLaunches, 1u);
+
+  VirtualDevice Direct(DeviceSpec::titanX(), 1);
+  Direct.launchKernel("parent", 6, 2, [&](KernelContext &C) {
+    C.launchChildGrid(5, [](uint64_t) {});
+  });
+  EXPECT_EQ(Direct.counters().ChildGridLaunches,
+            RT.deviceCounters().ChildGridLaunches);
+  EXPECT_EQ(Direct.counters().LogicalThreadsRun,
+            RT.deviceCounters().LogicalThreadsRun);
 }
 
 //===----------------------------------------------------------------------===//

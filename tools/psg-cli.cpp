@@ -21,6 +21,7 @@
 #include "analysis/SteadyState.h"
 #include "analysis/StreamReducers.h"
 #include "core/BatchEngine.h"
+#include "device/DeviceRuntime.h"
 #include "fabric/NodeWorker.h"
 #include "fabric/TcpFabric.h"
 #include "io/ResultsIo.h"
@@ -47,6 +48,9 @@ namespace {
 struct Options {
   std::vector<std::string> Positional;
   std::map<std::string, std::string> Values;
+  /// Times each flag appeared; validation rejects conflicting repeats
+  /// (parse itself keeps the last value).
+  std::map<std::string, unsigned> Occurrences;
 
   static Options parse(int Argc, char **Argv, int Begin) {
     Options O;
@@ -54,6 +58,7 @@ struct Options {
       std::string Arg = Argv[I];
       if (Arg.rfind("--", 0) == 0) {
         const std::string Key = Arg.substr(2);
+        ++O.Occurrences[Key];
         if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0)
           O.Values[Key] = Argv[++I];
         else
@@ -84,7 +89,20 @@ struct Options {
     return V;
   }
   bool has(const std::string &Key) const { return Values.count(Key) > 0; }
+  unsigned occurrences(const std::string &Key) const {
+    auto It = Occurrences.find(Key);
+    return It == Occurrences.end() ? 0 : It->second;
+  }
 };
+
+/// Prints a clean option-validation error and returns the usage exit
+/// code (2). Option mistakes must take this path, not fatalError: the
+/// user gets a message and a sane exit status instead of an abort from
+/// the middle of engine construction.
+int cliError(const std::string &Message) {
+  std::fprintf(stderr, "psg-cli: error: %s\n", Message.c_str());
+  return 2;
+}
 
 bool endsWith(const std::string &S, const std::string &Suffix) {
   return S.size() >= Suffix.size() &&
@@ -140,11 +158,13 @@ void saveModelOrDie(const ReactionNetwork &Net, const std::string &Path) {
 /// --devices takes either a count (that many copies of --simulator) or a
 /// comma-separated personality list ("gpu-coarse,gpu-coarse,simd-lanes"),
 /// and --shard-chunk overrides the base shard size.
-void applySchedOptions(const Options &O, EngineOptions &Opts) {
+Status applySchedOptions(const Options &O, EngineOptions &Opts) {
   if (O.has("devices")) {
     const std::string Spec = O.get("devices", "");
     unsigned Count = 0;
     if (parseUnsigned(Spec, Count)) {
+      if (Count == 0)
+        return Status::failure("--devices must be at least 1");
       Opts.Sched.Devices.assign(Count, Opts.SimulatorName);
     } else {
       for (const std::string &Name : split(Spec, ','))
@@ -152,11 +172,42 @@ void applySchedOptions(const Options &O, EngineOptions &Opts) {
           Opts.Sched.Devices.push_back(Name);
     }
     if (Opts.Sched.Devices.empty())
-      fatalError("--devices needs a device count or a comma-separated "
-                 "personality list");
+      return Status::failure(
+          "--devices needs a device count or a comma-separated "
+          "personality list");
   }
   if (O.has("shard-chunk"))
     Opts.Sched.ChunkSize = O.getUnsigned("shard-chunk", 0);
+  return Status::success();
+}
+
+/// Parses and validates --runtime for the commands that construct a
+/// BatchEngine: rejects repeats, unknown names, and backends this build
+/// cannot actually provide — all before engine construction.
+Status applyRuntimeOption(const Options &O, EngineOptions &Opts) {
+  if (O.occurrences("runtime") > 1)
+    return Status::failure("--runtime given more than once (pass a single "
+                           "runtime: host, cuda)");
+  if (!O.has("runtime"))
+    return Status::success();
+  const std::string Name = O.get("runtime", "host");
+  auto KindOrErr = parseRuntimeKind(Name);
+  if (!KindOrErr)
+    return KindOrErr.status();
+  if (*KindOrErr == RuntimeKind::Cuda) {
+    if (!cudaRuntimeCompiledIn())
+      return Status::failure(
+          "runtime 'cuda' is not available in this build (rebuild with "
+          "-DPSG_WITH_CUDA=ON)");
+    // Probe construction now: a missing driver/device should surface as
+    // a clean CLI error, not an engine-construction abort mid-run.
+    auto Probe =
+        createDeviceRuntime(*KindOrErr, CostModel::paperSetup().gpu());
+    if (!Probe)
+      return Probe.status();
+  }
+  Opts.Runtime = Name;
+  return Status::success();
 }
 
 /// Holds the coordinator-side TCP endpoint for the lifetime of a
@@ -263,14 +314,15 @@ int usage() {
       "      and the initial-Jacobian stiffness estimate\n"
       "  simulate <model> [--tend T] [--samples K] [--batch B]\n"
       "           [--perturb] [--seed S] [--simulator NAME] [--out F.csv]\n"
-      "           [--devices N|LIST] [--shard-chunk C]\n"
+      "           [--runtime host|cuda] [--devices N|LIST] "
+      "[--shard-chunk C]\n"
       "      run a (optionally perturbed) batch; writes the first\n"
       "      trajectory as CSV and prints the engine report\n"
       "  psa1d <model> --species NAME | --reaction IDX\n"
       "        --lo X --hi Y [--log] [--points P]\n"
       "        [--reporter NAME] [--tend T] [--out F.csv]\n"
       "        [--stream] [--inflight N] [--sub-batch B]\n"
-      "        [--devices N|LIST] [--shard-chunk C]\n"
+      "        [--runtime host|cuda] [--devices N|LIST] [--shard-chunk C]\n"
       "      sweep one parameter; reports the reporter's final value.\n"
       "      --stream drives the bounded-memory pipeline explicitly:\n"
       "      points are generated lazily, each sub-batch is reduced\n"
@@ -288,6 +340,12 @@ int usage() {
       "      emit a synthetic mass-action model\n"
       "  convert <in> <out>\n"
       "      convert between the text format and the SBML subset\n"
+      "\n"
+      "device runtime (simulate, psa1d):\n"
+      "  --runtime host|cuda     execution backend for the simulator's\n"
+      "                          kernels: host (the modeled device,\n"
+      "                          default) or cuda (needs a PSG_WITH_CUDA\n"
+      "                          build and a working GPU)\n"
       "\n"
       "multi-device sharding (simulate, psa1d):\n"
       "  --devices N             shard the sweep across N logical devices\n"
@@ -388,7 +446,10 @@ int cmdSimulate(const Options &O) {
   Opts.SimulatorName = O.get("simulator", "psg-engine");
   Opts.EndTime = O.getDouble("tend", 10.0);
   Opts.OutputSamples = O.getUnsigned("samples", 101);
-  applySchedOptions(O, Opts);
+  if (Status S = applySchedOptions(O, Opts); !S)
+    return cliError(S.message());
+  if (Status S = applyRuntimeOption(O, Opts); !S)
+    return cliError(S.message());
   FabricSession Fab = applyFabricOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
@@ -474,7 +535,10 @@ int cmdPsa1d(const Options &O) {
   Opts.InFlight = O.getUnsigned("inflight", 2);
   if (O.has("sub-batch"))
     Opts.SubBatchSize = O.getUnsigned("sub-batch", 64);
-  applySchedOptions(O, Opts);
+  if (Status S = applySchedOptions(O, Opts); !S)
+    return cliError(S.message());
+  if (Status S = applyRuntimeOption(O, Opts); !S)
+    return cliError(S.message());
   FabricSession Fab = applyFabricOptions(O, Opts);
   BatchEngine Engine(CostModel::paperSetup(), Opts);
 
@@ -564,7 +628,8 @@ int cmdWorker(const Options &O) {
   // one device of --simulator.
   EngineOptions Probe;
   Probe.SimulatorName = O.get("simulator", "psg-engine");
-  applySchedOptions(O, Probe);
+  if (Status S = applySchedOptions(O, Probe); !S)
+    return cliError(S.message());
   SchedOptions Local = Probe.Sched;
   if (Local.Devices.empty())
     Local.Devices = {Probe.SimulatorName};
