@@ -1,0 +1,359 @@
+//===- bench/bench_micro_device.cpp ---------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Device-runtime pipelining microbenchmark: the eager serial schedule
+/// against the asynchronous double-buffered one, with and without the
+/// pooled buffer allocator, on a transfer-heavy sharded sweep.
+///
+/// Each case streams the same short-horizon sweep through a one-device
+/// sched::ShardedExecutor. The short integration horizon and small shard
+/// chunk make the per-shard host work — parameterization packing, buffer
+/// allocation, upload/download copies, delivery — a large fraction of the
+/// schedule, which is exactly the regime where the async runtime's
+/// three-stream pipeline (upload k+1 / integrate k / download k-1) earns
+/// its keep. The eager rows run the identical dataflow with every stage
+/// completing inline, i.e. the pre-pipeline serial schedule.
+///
+/// Unlike the engine-level stream bench, the overlap ratio recorded here
+/// is MEASURED: stage intervals are timestamped on the stream workers
+/// themselves and intersected with the compute-stream cover
+/// (ShardScheduleReport::MeasuredTransferOverlap). Eager rows must show
+/// ~0 overlap; async rows must genuinely hide transfers. The gated
+/// quantity is host wall-clock sims/s — this bench exists to prove the
+/// async pipeline wins real time, not modeled time.
+///
+/// Output: a psg-bench-device-v1 JSON document (default
+/// BENCH_device.json) with per-case throughput, measured overlap, and
+/// pool counter deltas, plus per-model async-vs-eager speedups.
+/// `--baseline FILE` embeds a previously saved run object verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchEngine.h"
+#include "rbm/CuratedModels.h"
+#include "sched/ShardedExecutor.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "vgpu/CostModel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace psg;
+
+namespace {
+
+struct RuntimeCase {
+  const char *Label;   ///< "eager", "async", "async+pool".
+  const char *Runtime; ///< EngineOptions::Runtime name.
+  size_t PoolBytes;    ///< EngineOptions::PoolMaxCachedBytes.
+};
+
+struct CaseResult {
+  std::string ModelName;
+  std::string Runtime; ///< The case label, the baseline match key.
+  unsigned Devices = 0;
+  uint64_t Sims = 0;
+  uint64_t Chunk = 0;
+  uint64_t Shards = 0;
+  double BestWallSeconds = 0.0;
+  double MeanWallSeconds = 0.0;
+  double SimsPerSecond = 0.0; ///< Host wall-clock throughput.
+  double OverlapRatio = 0.0;  ///< Measured, from stream timestamps.
+  double TransferWallSeconds = 0.0;
+  double TransferHiddenSeconds = 0.0;
+  uint64_t PoolHits = 0;   ///< Delta across the timed reps.
+  uint64_t PoolMisses = 0; ///< Delta across the timed reps.
+  size_t Failures = 0;
+};
+
+/// The sweep every case runs: curated defaults with ±10% rate-constant
+/// jitter, identical draws per case so the integration work matches.
+std::vector<Parameterization> makeSweep(const ReactionNetwork &Net,
+                                        uint64_t Sims, uint64_t Seed) {
+  std::vector<double> Defaults;
+  Defaults.reserve(Net.numReactions());
+  for (size_t R = 0; R < Net.numReactions(); ++R)
+    Defaults.push_back(Net.reaction(R).RateConstant);
+
+  Rng Generator(Seed);
+  std::vector<Parameterization> Params(Sims);
+  for (Parameterization &P : Params) {
+    P.InitialState = Net.initialState();
+    P.RateConstants = Defaults;
+    for (double &K : P.RateConstants)
+      K *= 0.9 + 0.2 * Generator.uniform();
+  }
+  return Params;
+}
+
+/// Discards every outcome; the bench measures the pipeline, not a
+/// reduction.
+class NullSink final : public OutcomeSink {
+public:
+  size_t Count = 0;
+  void consumeSubBatch(size_t, std::vector<SimulationOutcome> &B) override {
+    Count += B.size();
+  }
+};
+
+CaseResult measureCase(const ReactionNetwork &Net, const std::string &Name,
+                       double EndTime, uint64_t Sims, uint64_t Chunk,
+                       const RuntimeCase &RC, unsigned Reps) {
+  EngineOptions Opts;
+  Opts.SubBatchSize = Chunk;
+  Opts.EndTime = EndTime;
+  Opts.OutputSamples = 0;
+  Opts.Solver.RelTol = 1e-6;
+  Opts.Solver.AbsTol = 1e-9;
+  Opts.Runtime = RC.Runtime;
+  Opts.PoolMaxCachedBytes = RC.PoolBytes;
+  Opts.Sched.Devices = {"gpu-coarse"};
+  Opts.Sched.ChunkSize = Chunk;
+  Opts.Sched.WorkersPerDevice = 1;
+  ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
+
+  const std::vector<Parameterization> Params = makeSweep(Net, Sims, 42);
+  auto runOnce = [&]() -> ShardScheduleReport {
+    size_t Next = 0;
+    ParameterizationSource Source =
+        [&](size_t MaxCount, std::vector<Parameterization> &Out) -> size_t {
+      const size_t Count = std::min(MaxCount, Params.size() - Next);
+      for (size_t I = 0; I < Count; ++I)
+        Out.push_back(Params[Next + I]);
+      Next += Count;
+      return Count;
+    };
+    NullSink Sink;
+    return Executor.streamParameterizations(Net, nullptr, Source, Sink);
+  };
+
+  // Warmup: worker pools, the compiled model, throughput estimates, and
+  // (on the pooled row) the allocator bins reach steady state.
+  runOnce();
+
+  CaseResult R;
+  R.ModelName = Name;
+  R.Runtime = RC.Label;
+  R.Devices = 1;
+  R.Sims = Sims;
+  R.Chunk = Chunk;
+  const MetricsSnapshot Before = metrics().snapshot();
+  double Best = 0.0, Sum = 0.0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    WallTimer Timer;
+    const ShardScheduleReport Report = runOnce();
+    const double Wall = Timer.seconds();
+    Sum += Wall;
+    if (Rep == 0 || Wall < Best) {
+      Best = Wall;
+      R.Shards = Report.Shards;
+      R.OverlapRatio = Report.MeasuredTransferOverlap;
+      R.TransferWallSeconds = Report.MeasuredTransferSeconds;
+      R.TransferHiddenSeconds = Report.MeasuredHiddenTransferSeconds;
+      R.Failures = Report.Stream.Failures;
+    }
+  }
+  const MetricsSnapshot After = metrics().snapshot();
+  R.PoolHits = After.counterValue("psg.device.pool_hits") -
+               Before.counterValue("psg.device.pool_hits");
+  R.PoolMisses = After.counterValue("psg.device.pool_misses") -
+                 Before.counterValue("psg.device.pool_misses");
+  R.BestWallSeconds = Best;
+  R.MeanWallSeconds = Sum / Reps;
+  R.SimsPerSecond =
+      Best > 0.0 ? static_cast<double>(Sims) / Best : 0.0;
+  std::printf("  %-14s %-10s %10.0f sims/s wall (overlap %.3f, "
+              "transfers %.3gs hidden %.3gs, pool %llu/%llu)\n",
+              Name.c_str(), RC.Label, R.SimsPerSecond, R.OverlapRatio,
+              R.TransferWallSeconds, R.TransferHiddenSeconds,
+              (unsigned long long)R.PoolHits,
+              (unsigned long long)R.PoolMisses);
+  return R;
+}
+
+void appendJsonCase(std::string &Out, const CaseResult &R, bool Last) {
+  char Buf[640];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      {\"model\": \"%s\", \"runtime\": \"%s\", \"devices\": %u, "
+      "\"sims\": %llu, \"chunk\": %llu, \"shards\": %llu, "
+      "\"best_wall_s\": %.6e, \"mean_wall_s\": %.6e, "
+      "\"sims_per_sec\": %.1f, \"overlap_ratio\": %.6f, "
+      "\"transfer_wall_s\": %.6e, \"transfer_hidden_s\": %.6e, "
+      "\"pool_hits\": %llu, \"pool_misses\": %llu, \"failures\": %zu}%s\n",
+      R.ModelName.c_str(), R.Runtime.c_str(), R.Devices,
+      (unsigned long long)R.Sims, (unsigned long long)R.Chunk,
+      (unsigned long long)R.Shards, R.BestWallSeconds, R.MeanWallSeconds,
+      R.SimsPerSecond, R.OverlapRatio, R.TransferWallSeconds,
+      R.TransferHiddenSeconds, (unsigned long long)R.PoolHits,
+      (unsigned long long)R.PoolMisses, R.Failures, Last ? "" : ",");
+  Out += Buf;
+}
+
+std::string runObjectJson(const std::string &Label,
+                          const std::vector<CaseResult> &Results) {
+  std::string Out;
+  Out += "{\n    \"label\": \"" + Label + "\",\n";
+  Out += "    \"personality\": \"gpu-coarse\",\n";
+  Out += "    \"metric\": \"host_wall_throughput\",\n";
+  // Wall-clock overlap needs at least two hardware threads; the gate
+  // in psg-bench-compare reads this to avoid failing a uniprocessor.
+  Out += "    \"hw_threads\": " +
+         std::to_string(std::max(1u, std::thread::hardware_concurrency())) +
+         ",\n";
+  Out += "    \"cases\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I)
+    appendJsonCase(Out, Results[I], I + 1 == Results.size());
+  Out += "    ],\n";
+  // Cases per model run eager first; each async row's speedup is its
+  // wall throughput over its model's eager row.
+  Out += "    \"speedups\": [\n";
+  std::string Rows;
+  double EagerThroughput = 0.0;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CaseResult &R = Results[I];
+    if (R.Runtime == "eager") {
+      EagerThroughput = R.SimsPerSecond;
+      continue;
+    }
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"model\": \"%s\", \"runtime\": \"%s\", "
+                  "\"speedup\": %.3f}%s\n",
+                  R.ModelName.c_str(), R.Runtime.c_str(),
+                  EagerThroughput > 0.0
+                      ? R.SimsPerSecond / EagerThroughput
+                      : 0.0,
+                  I + 1 < Results.size() ? "," : "");
+    Rows += Buf;
+  }
+  if (!Rows.empty() && Rows[Rows.size() - 2] == ',')
+    Rows.erase(Rows.size() - 2, 1);
+  Out += Rows;
+  Out += "    ]\n  }";
+  return Out;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  std::string S = Ss.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == ' '))
+    S.pop_back();
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_device.json";
+  std::string BaselinePath;
+  std::string Label = "current";
+  bool CasesOnly = false;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto next = [&]() -> std::string {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--json")
+      JsonPath = next();
+    else if (Arg == "--baseline")
+      BaselinePath = next();
+    else if (Arg == "--label")
+      Label = next();
+    else if (Arg == "--cases-only")
+      CasesOnly = true;
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--baseline PATH] [--label TEXT] "
+                   "[--reps N] [--cases-only]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== micro-device: eager vs async double-buffered runtime ==\n");
+  const ReactionNetwork Brussel = makeBrusselatorNetwork();
+  const ReactionNetwork Decay = makeDecayChainNetwork(8, 0.5);
+
+  // Short horizons and small chunks: many shards, little integration
+  // per shard, so staging/transfer/delivery is a large slice of the
+  // schedule — the transfer-heavy regime the async pipeline targets.
+  struct Sweep {
+    const ReactionNetwork *Net;
+    const char *Name;
+    double EndTime;
+    uint64_t Sims;
+    uint64_t Chunk;
+  };
+  const Sweep Sweeps[] = {{&Brussel, "brusselator", 2.0, 1024, 32},
+                          {&Decay, "decay-chain-8", 2.0, 1024, 32}};
+
+  const RuntimeCase Runtimes[] = {
+      {"eager", "host", 0},
+      {"async", "host-async", 0},
+      {"async+pool", "host-async", 64ull << 20},
+  };
+
+  metrics().reset();
+  std::vector<CaseResult> Results;
+  for (const Sweep &S : Sweeps)
+    for (const RuntimeCase &RC : Runtimes)
+      Results.push_back(
+          measureCase(*S.Net, S.Name, S.EndTime, S.Sims, S.Chunk, RC, Reps));
+
+  const MetricsSnapshot Snapshot = metrics().snapshot();
+  const std::string RunJson = runObjectJson(Label, Results);
+
+  std::string Doc;
+  if (CasesOnly) {
+    Doc = RunJson;
+    Doc += "\n";
+  } else {
+    Doc += "{\n  \"schema\": \"psg-bench-device-v1\",\n";
+    std::string Baseline = BaselinePath.empty() ? "" : slurp(BaselinePath);
+    Doc += "  \"baseline\": ";
+    Doc += Baseline.empty() ? "null" : Baseline;
+    Doc += ",\n  \"current\": ";
+    Doc += RunJson;
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ",\n  \"counters\": {\"psg.device.pool_hits\": %llu, "
+        "\"psg.device.pool_misses\": %llu, "
+        "\"psg.device.upload_bytes\": %llu, "
+        "\"psg.device.download_bytes\": %llu, "
+        "\"psg.sched.lost_simulations\": %llu}\n}\n",
+        (unsigned long long)Snapshot.counterValue("psg.device.pool_hits"),
+        (unsigned long long)Snapshot.counterValue("psg.device.pool_misses"),
+        (unsigned long long)Snapshot.counterValue("psg.device.upload_bytes"),
+        (unsigned long long)Snapshot.counterValue("psg.device.download_bytes"),
+        (unsigned long long)Snapshot.counterValue(
+            "psg.sched.lost_simulations"));
+    Doc += Buf;
+  }
+
+  std::ofstream Out(JsonPath);
+  Out << Doc;
+  Out.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

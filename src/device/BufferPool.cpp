@@ -1,0 +1,76 @@
+//===- device/BufferPool.cpp ----------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/BufferPool.h"
+
+#include "support/Metrics.h"
+
+#include <cstring>
+
+using namespace psg;
+
+size_t BufferPool::binBytes(size_t Bytes) {
+  size_t Bin = MinBinBytes;
+  while (Bin < Bytes)
+    Bin <<= 1;
+  return Bin;
+}
+
+static size_t binIndex(size_t BinSize) {
+  size_t Index = 0;
+  for (size_t Bin = BufferPool::MinBinBytes; Bin < BinSize; Bin <<= 1)
+    ++Index;
+  return Index;
+}
+
+std::vector<unsigned char> BufferPool::acquire(size_t Bytes) {
+  const size_t Bin = binBytes(Bytes);
+  const size_t Index = binIndex(Bin);
+  {
+    std::lock_guard<std::mutex> Lock(Mx);
+    if (Index < Bins.size() && !Bins[Index].empty()) {
+      std::vector<unsigned char> Storage = std::move(Bins[Index].back());
+      Bins[Index].pop_back();
+      CachedBytes -= Storage.size();
+      Counters.PoolBytesCached.store(CachedBytes, std::memory_order_relaxed);
+      Counters.PoolHits.fetch_add(1, std::memory_order_relaxed);
+      metrics().counter("psg.device.pool_hits").add();
+      metrics().gauge("psg.device.pool_bytes_cached").set(
+          static_cast<double>(CachedBytes));
+      // Reused storage carries the previous tenant's bytes; the
+      // allocate() contract promises zero fill.
+      std::memset(Storage.data(), 0, Storage.size());
+      return Storage;
+    }
+  }
+  Counters.PoolMisses.fetch_add(1, std::memory_order_relaxed);
+  metrics().counter("psg.device.pool_misses").add();
+  return std::vector<unsigned char>(Bin, 0);
+}
+
+void BufferPool::release(std::vector<unsigned char> Storage) {
+  if (Storage.empty())
+    return;
+  const size_t Index = binIndex(Storage.size());
+  std::lock_guard<std::mutex> Lock(Mx);
+  if (CachedBytes + Storage.size() > MaxCachedBytes)
+    return; // Over the ceiling (or pooling disabled): free to the system.
+  if (Bins.size() <= Index)
+    Bins.resize(Index + 1);
+  CachedBytes += Storage.size();
+  Counters.PoolBytesCached.store(CachedBytes, std::memory_order_relaxed);
+  metrics().gauge("psg.device.pool_bytes_cached").set(
+      static_cast<double>(CachedBytes));
+  Bins[Index].push_back(std::move(Storage));
+}
+
+void BufferPool::drain() {
+  std::lock_guard<std::mutex> Lock(Mx);
+  Bins.clear();
+  CachedBytes = 0;
+  Counters.PoolBytesCached.store(0, std::memory_order_relaxed);
+  metrics().gauge("psg.device.pool_bytes_cached").set(0.0);
+}

@@ -1,0 +1,83 @@
+//===- device/BufferPool.h - Size-classed buffer pool -----------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A size-classed pooled allocator for device buffers, in the style of
+/// CUB's CachingDeviceAllocator: freed storage is parked in power-of-two
+/// bins and handed back to later allocations of the same class instead
+/// of round-tripping through the system allocator. The sharded
+/// executor's double-buffered pipeline allocates and frees two buffers
+/// per shard; without the pool that churn serializes on malloc and, on
+/// a real device, on cudaMalloc's implicit device synchronize.
+///
+/// Thread-safe: the async runtime's stream workers allocate and free
+/// concurrently. Accounting (hits, misses, cached bytes) feeds the
+/// owning runtime's counters and the `psg.device.pool_*` metrics. The
+/// pool is drained on destruction — no storage outlives the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_BUFFERPOOL_H
+#define PSG_DEVICE_BUFFERPOOL_H
+
+#include "device/DeviceRuntime.h"
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace psg {
+
+/// Power-of-two-binned cache of byte vectors. acquire() returns storage
+/// whose capacity is the bin size covering the request (zeroed over the
+/// requested length, preserving the allocate() zero-fill contract);
+/// release() parks storage back into its bin unless the cache ceiling
+/// would be exceeded, in which case it is freed to the system.
+class BufferPool {
+public:
+  /// \p MaxCachedBytes caps the bytes parked across all bins; 0
+  /// disables caching (every acquire misses, every release frees).
+  explicit BufferPool(AtomicRuntimeCounters &Counters,
+                      size_t MaxCachedBytes = 64ull << 20)
+      : Counters(Counters), MaxCachedBytes(MaxCachedBytes) {}
+  ~BufferPool() { drain(); }
+
+  BufferPool(const BufferPool &) = delete;
+  BufferPool &operator=(const BufferPool &) = delete;
+
+  /// Smallest storage class handed out; sub-256-byte requests share one
+  /// bin so tiny result buffers still pool.
+  static constexpr size_t MinBinBytes = 256;
+
+  /// The bin (storage) size covering \p Bytes: the smallest power of
+  /// two >= max(Bytes, MinBinBytes).
+  static size_t binBytes(size_t Bytes);
+
+  /// Returns zero-filled storage of exactly binBytes(Bytes) length.
+  std::vector<unsigned char> acquire(size_t Bytes);
+
+  /// Returns \p Storage (a former acquire() result) to its bin, or
+  /// frees it when the cache is full or pooling is disabled.
+  void release(std::vector<unsigned char> Storage);
+
+  /// Frees every cached byte (runtime destruction, explicit trim).
+  void drain();
+
+  size_t maxCachedBytes() const { return MaxCachedBytes; }
+
+private:
+  AtomicRuntimeCounters &Counters;
+  size_t MaxCachedBytes;
+
+  std::mutex Mx;
+  size_t CachedBytes = 0; ///< Guarded by Mx; mirrored to the counters.
+  /// Bins[I] caches storage of size MinBinBytes << I.
+  std::vector<std::vector<std::vector<unsigned char>>> Bins;
+};
+
+} // namespace psg
+
+#endif // PSG_DEVICE_BUFFERPOOL_H

@@ -66,8 +66,8 @@ public:
   void download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
                 size_t SrcOffsetBytes = 0) override;
   LaunchRecord launch(const LaunchConfig &Config,
-                      FunctionRef<void(KernelContext &)> Body) override;
-  void hostTask(const std::string &Name, FunctionRef<void()> Task) override;
+                      std::function<void(KernelContext &)> Body) override;
+  void hostTask(const std::string &Name, std::function<void()> Task) override;
   void record(Event &E) override;
   void wait(const Event &E) override;
   void synchronize() override;
@@ -93,7 +93,7 @@ public:
     cudaStream_t Handle = nullptr;
     if (cudaError_t Err = cudaStreamCreate(&Handle))
       fatalError(cudaMessage("cudaStreamCreate", Err));
-    ++Counters.StreamsCreated;
+    Counters.StreamsCreated.fetch_add(1, std::memory_order_relaxed);
     return std::make_unique<CudaStream>(*this, std::move(Name), Handle);
   }
 
@@ -110,11 +110,7 @@ public:
       fatalError(cudaMessage("cudaMalloc", Err));
     if (cudaError_t Err = cudaMemset(Ptr, 0, Bytes))
       fatalError(cudaMessage("cudaMemset", Err));
-    ++Counters.BuffersAllocated;
-    Counters.BytesAllocated += Bytes;
-    Counters.BytesResident += Bytes;
-    if (Counters.BytesResident > Counters.PeakBytesResident)
-      Counters.PeakBytesResident = Counters.BytesResident;
+    Counters.recordAllocation(Bytes);
     return std::make_unique<CudaBuffer>(*this, Ptr, Bytes);
   }
 
@@ -132,7 +128,7 @@ public:
   }
 
   const DeviceCounters &deviceCounters() const override { return Kernel; }
-  const RuntimeCounters &counters() const override { return Counters; }
+  RuntimeCounters counters() const override { return Counters.snapshot(); }
 
 private:
   friend class CudaBuffer;
@@ -140,12 +136,12 @@ private:
 
   DeviceSpec Spec;
   DeviceCounters Kernel;
-  RuntimeCounters Counters;
+  AtomicRuntimeCounters Counters;
 };
 
 CudaBuffer::~CudaBuffer() {
   cudaFree(Ptr);
-  Parent.Counters.BytesResident -= Bytes;
+  Parent.Counters.recordFree(Bytes);
 }
 
 void CudaStream::upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
@@ -154,8 +150,8 @@ void CudaStream::upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
   if (cudaError_t Err = cudaMemcpyAsync(Target, Src, Bytes,
                                         cudaMemcpyHostToDevice, Handle))
     fatalError(cudaMessage("cudaMemcpyAsync(H2D)", Err));
-  ++Parent.Counters.Uploads;
-  Parent.Counters.UploadBytes += Bytes;
+  Parent.Counters.Uploads.fetch_add(1, std::memory_order_relaxed);
+  Parent.Counters.UploadBytes.fetch_add(Bytes, std::memory_order_relaxed);
 }
 
 void CudaStream::download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
@@ -166,24 +162,25 @@ void CudaStream::download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
           cudaMemcpyAsync(Dst, const_cast<void *>(Source), Bytes,
                           cudaMemcpyDeviceToHost, Handle))
     fatalError(cudaMessage("cudaMemcpyAsync(D2H)", Err));
-  ++Parent.Counters.Downloads;
-  Parent.Counters.DownloadBytes += Bytes;
+  Parent.Counters.Downloads.fetch_add(1, std::memory_order_relaxed);
+  Parent.Counters.DownloadBytes.fetch_add(Bytes, std::memory_order_relaxed);
 }
 
 LaunchRecord CudaStream::launch(const LaunchConfig &Config,
-                                FunctionRef<void(KernelContext &)> Body) {
-  return Parent.launchKernel(Config, Body);
+                                std::function<void(KernelContext &)> Body) {
+  return Parent.launchKernel(Config,
+                             [&Body](KernelContext &Ctx) { Body(Ctx); });
 }
 
 void CudaStream::hostTask(const std::string &Name,
-                          FunctionRef<void()> Task) {
+                          std::function<void()> Task) {
   // A faithful port would use cudaLaunchHostFunc; until the native
   // kernels exist, draining the stream before the host stage gives the
   // same ordering.
   (void)Name;
   synchronize();
   Task();
-  ++Parent.Counters.HostTasks;
+  Parent.Counters.HostTasks.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CudaStream::record(Event &E) {
@@ -191,7 +188,7 @@ void CudaStream::record(Event &E) {
   if (cudaError_t Err = cudaEventRecord(CE.handle(), Handle))
     fatalError(cudaMessage("cudaEventRecord", Err));
   CE.markRecorded();
-  ++Parent.Counters.EventsRecorded;
+  Parent.Counters.EventsRecorded.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CudaStream::wait(const Event &E) {
@@ -200,7 +197,7 @@ void CudaStream::wait(const Event &E) {
     return;           // a no-op.
   if (cudaError_t Err = cudaStreamWaitEvent(Handle, CE.handle(), 0))
     fatalError(cudaMessage("cudaStreamWaitEvent", Err));
-  ++Parent.Counters.EventWaits;
+  Parent.Counters.EventWaits.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CudaStream::synchronize() {

@@ -6,6 +6,7 @@
 
 #include "device/DeviceRuntime.h"
 
+#include "device/AsyncHostRuntime.h"
 #include "device/HostRuntime.h"
 #ifdef PSG_WITH_CUDA
 #include "device/CudaRuntime.h"
@@ -23,6 +24,8 @@ const char *psg::runtimeKindName(RuntimeKind Kind) {
   switch (Kind) {
   case RuntimeKind::Host:
     return "host";
+  case RuntimeKind::HostAsync:
+    return "host-async";
   case RuntimeKind::Cuda:
     return "cuda";
   }
@@ -32,10 +35,12 @@ const char *psg::runtimeKindName(RuntimeKind Kind) {
 ErrorOr<RuntimeKind> psg::parseRuntimeKind(const std::string &Name) {
   if (Name == "host")
     return RuntimeKind::Host;
+  if (Name == "host-async")
+    return RuntimeKind::HostAsync;
   if (Name == "cuda")
     return RuntimeKind::Cuda;
-  return ErrorOr<RuntimeKind>::failure("unknown runtime '" + Name +
-                                       "' (known: host, cuda)");
+  return ErrorOr<RuntimeKind>::failure(
+      "unknown runtime '" + Name + "' (known: host, host-async, cuda)");
 }
 
 bool psg::cudaRuntimeCompiledIn() {
@@ -48,11 +53,14 @@ bool psg::cudaRuntimeCompiledIn() {
 
 ErrorOr<std::unique_ptr<DeviceRuntime>>
 psg::createDeviceRuntime(RuntimeKind Kind, DeviceSpec Spec,
-                         unsigned HostWorkers) {
+                         unsigned HostWorkers, const RuntimeOptions &Options) {
   switch (Kind) {
   case RuntimeKind::Host:
     return std::unique_ptr<DeviceRuntime>(
         std::make_unique<HostRuntime>(std::move(Spec), HostWorkers));
+  case RuntimeKind::HostAsync:
+    return std::unique_ptr<DeviceRuntime>(std::make_unique<AsyncHostRuntime>(
+        std::move(Spec), HostWorkers, Options));
   case RuntimeKind::Cuda:
 #ifdef PSG_WITH_CUDA
     return createCudaRuntime(std::move(Spec));

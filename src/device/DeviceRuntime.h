@@ -13,20 +13,27 @@
 /// cudaMemcpyAsync / event / <<<grid, block>>>) expressed backend-
 /// neutrally.
 ///
-/// Two implementations exist:
+/// Three implementations exist:
 ///
 ///  * HostRuntime (device/HostRuntime.h): the modeled device. Kernels
 ///    really run on the host thread pool through vgpu::VirtualDevice,
 ///    "device memory" is host memory, and every operation feeds the same
 ///    launch/cost accounting as before — results are bit-exact with the
-///    pre-runtime code.
+///    pre-runtime code. Streams complete eagerly at enqueue.
+///  * AsyncHostRuntime (device/AsyncHostRuntime.h): the same modeled
+///    device behind truly asynchronous streams — each stream is a
+///    worker-thread-backed FIFO queue, events are epoch-tagged condition
+///    waits, and buffers come from a size-classed pool
+///    (device/BufferPool.h). This is the concurrency template the real
+///    CUDA backend implements verbatim.
 ///  * CudaRuntime (device/CudaRuntime.h, behind PSG_WITH_CUDA): the seam
 ///    for a real GPU. It compiles against stub declarations when no
 ///    toolkit is present and fails loudly at construction until the
 ///    native kernel port lands.
 ///
 /// Semantics contract (pinned by the runtime-conformance suite in
-/// tests/device_runtime_test.cpp; any future backend must pass it):
+/// tests/device_runtime_test.cpp, parameterized over eager and async
+/// runtimes; any future backend must pass it):
 ///
 ///  * Operations enqueued on one stream execute in FIFO order.
 ///  * Stream::synchronize returns only after every enqueued op finished.
@@ -35,15 +42,19 @@
 ///    on a never-recorded event completes immediately (CUDA semantics).
 ///  * upload/download move exact bytes: a download after an upload of
 ///    the same range returns a bit-identical image (including NaN
-///    payloads and -0.0).
+///    payloads and -0.0). On an asynchronous runtime the host memory an
+///    upload reads (or a download writes) must stay valid and untouched
+///    until the op is known complete (stream/event/runtime synchronize)
+///    — exactly cudaMemcpyAsync's rule.
 ///  * Kernel launches through a runtime observe the same KernelContext
 ///    semantics as vgpu::VirtualDevice::launchKernel (thread/block
 ///    indices, worker indices, child-grid accounting).
 ///
-/// A runtime and its streams are externally synchronized: one logical
-/// device owner drives them (the sharded executor's device thread, a
-/// simulator's batch loop). The byte/launch counters are therefore plain
-/// fields, like vgpu::DeviceCounters.
+/// Streams of an asynchronous runtime run ops on their own worker
+/// threads, so runtime counters are accumulated atomically and
+/// allocate/free is thread-safe; counters() returns a coherent
+/// snapshot. Creating/destroying streams and events remains the
+/// responsibility of one owner per runtime.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +66,9 @@
 #include "vgpu/DeviceSpec.h"
 #include "vgpu/VirtualDevice.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -116,16 +129,20 @@ public:
                         size_t SrcOffsetBytes = 0) = 0;
 
   /// Launches a kernel in stream order. Body must be thread-safe across
-  /// logical threads; the call's completion semantics follow the stream
-  /// (the host runtime runs it eagerly and returns the real record).
+  /// logical threads and is owned by the stream until it ran (async
+  /// streams execute it later on their worker). The returned record is
+  /// the real one on an eager stream; an asynchronous stream returns the
+  /// geometry predicted from \p Config (child-grid counts land in the
+  /// device counters once the grid retires).
   virtual LaunchRecord launch(const LaunchConfig &Config,
-                              FunctionRef<void(KernelContext &)> Body) = 0;
+                              std::function<void(KernelContext &)> Body) = 0;
 
   /// Enqueues a host-side stage in stream order (cudaLaunchHostFunc):
   /// the glue the sharded executor uses for work that is host code today
-  /// but sits between device transfers.
+  /// but sits between device transfers. The stream owns \p Task until it
+  /// ran.
   virtual void hostTask(const std::string &Name,
-                        FunctionRef<void()> Task) = 0;
+                        std::function<void()> Task) = 0;
 
   /// Records \p E at the stream's current position.
   virtual void record(Event &E) = 0;
@@ -140,7 +157,9 @@ public:
 
 /// Cumulative transfer/allocation accounting of one runtime. Mirrors
 /// vgpu::DeviceCounters for the memory system; exported by the host
-/// runtime as `psg.device.*` metrics.
+/// runtimes as `psg.device.*` metrics. A plain-field snapshot — live
+/// accumulation happens in AtomicRuntimeCounters because stream workers
+/// update concurrently.
 struct RuntimeCounters {
   uint64_t BuffersAllocated = 0;
   uint64_t BytesAllocated = 0;     ///< Cumulative allocation volume.
@@ -155,6 +174,72 @@ struct RuntimeCounters {
   uint64_t EventWaits = 0;
   uint64_t HostTasks = 0;
   uint64_t KernelLaunches = 0; ///< Through streams and the default path.
+  uint64_t PoolHits = 0;       ///< Allocations served from the buffer pool.
+  uint64_t PoolMisses = 0;     ///< Allocations that went to the system.
+  uint64_t PoolBytesCached = 0; ///< Bytes currently parked in the pool.
+};
+
+/// Thread-safe accumulator behind RuntimeCounters. Every runtime owns
+/// one and snapshots it in counters(); stream worker threads update it
+/// concurrently with the owner, so each field is a relaxed atomic and
+/// the residency high-water mark is maintained with a CAS loop (the
+/// read-modify-write would otherwise race).
+struct AtomicRuntimeCounters {
+  std::atomic<uint64_t> BuffersAllocated{0};
+  std::atomic<uint64_t> BytesAllocated{0};
+  std::atomic<uint64_t> BytesResident{0};
+  std::atomic<uint64_t> PeakBytesResident{0};
+  std::atomic<uint64_t> Uploads{0};
+  std::atomic<uint64_t> UploadBytes{0};
+  std::atomic<uint64_t> Downloads{0};
+  std::atomic<uint64_t> DownloadBytes{0};
+  std::atomic<uint64_t> StreamsCreated{0};
+  std::atomic<uint64_t> EventsRecorded{0};
+  std::atomic<uint64_t> EventWaits{0};
+  std::atomic<uint64_t> HostTasks{0};
+  std::atomic<uint64_t> KernelLaunches{0};
+  std::atomic<uint64_t> PoolHits{0};
+  std::atomic<uint64_t> PoolMisses{0};
+  std::atomic<uint64_t> PoolBytesCached{0};
+
+  /// Accounts one allocation of \p Bytes and advances the resident
+  /// high-water mark.
+  void recordAllocation(uint64_t Bytes) {
+    BuffersAllocated.fetch_add(1, std::memory_order_relaxed);
+    BytesAllocated.fetch_add(Bytes, std::memory_order_relaxed);
+    uint64_t Now = BytesResident.fetch_add(Bytes, std::memory_order_relaxed) +
+                   Bytes;
+    uint64_t Peak = PeakBytesResident.load(std::memory_order_relaxed);
+    while (Now > Peak && !PeakBytesResident.compare_exchange_weak(
+                             Peak, Now, std::memory_order_relaxed))
+      ;
+  }
+
+  /// Accounts one free of \p Bytes.
+  void recordFree(uint64_t Bytes) {
+    BytesResident.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
+
+  RuntimeCounters snapshot() const {
+    RuntimeCounters C;
+    C.BuffersAllocated = BuffersAllocated.load(std::memory_order_relaxed);
+    C.BytesAllocated = BytesAllocated.load(std::memory_order_relaxed);
+    C.BytesResident = BytesResident.load(std::memory_order_relaxed);
+    C.PeakBytesResident = PeakBytesResident.load(std::memory_order_relaxed);
+    C.Uploads = Uploads.load(std::memory_order_relaxed);
+    C.UploadBytes = UploadBytes.load(std::memory_order_relaxed);
+    C.Downloads = Downloads.load(std::memory_order_relaxed);
+    C.DownloadBytes = DownloadBytes.load(std::memory_order_relaxed);
+    C.StreamsCreated = StreamsCreated.load(std::memory_order_relaxed);
+    C.EventsRecorded = EventsRecorded.load(std::memory_order_relaxed);
+    C.EventWaits = EventWaits.load(std::memory_order_relaxed);
+    C.HostTasks = HostTasks.load(std::memory_order_relaxed);
+    C.KernelLaunches = KernelLaunches.load(std::memory_order_relaxed);
+    C.PoolHits = PoolHits.load(std::memory_order_relaxed);
+    C.PoolMisses = PoolMisses.load(std::memory_order_relaxed);
+    C.PoolBytesCached = PoolBytesCached.load(std::memory_order_relaxed);
+    return C;
+  }
 };
 
 /// One execution backend: a device spec, streams, buffers, events, and
@@ -164,8 +249,14 @@ class DeviceRuntime {
 public:
   virtual ~DeviceRuntime();
 
-  /// Stable backend identifier ("host", "cuda").
+  /// Stable backend identifier ("host", "host-async", "cuda").
   virtual const char *name() const = 0;
+
+  /// True when stream operations really overlap with the enqueueing
+  /// thread (worker-backed streams, real device queues). Eager runtimes
+  /// return false; callers use this to pick measured vs modeled overlap
+  /// reporting.
+  virtual bool asynchronous() const { return false; }
 
   virtual const DeviceSpec &spec() const = 0;
 
@@ -181,7 +272,8 @@ public:
   virtual std::unique_ptr<DeviceBuffer> allocate(size_t Bytes) = 0;
 
   /// Launches on the default stream (the CUDA null stream), blocking
-  /// until the grid completed.
+  /// until the grid completed. Not ordered against explicit streams;
+  /// callers that need ordering enqueue through Stream::launch.
   virtual LaunchRecord launchKernel(const LaunchConfig &Config,
                                     FunctionRef<void(KernelContext &)> Body) = 0;
 
@@ -192,8 +284,9 @@ public:
   /// Kernel-side accounting (launches, logical threads, child grids).
   virtual const DeviceCounters &deviceCounters() const = 0;
 
-  /// Memory/stream-side accounting.
-  virtual const RuntimeCounters &counters() const = 0;
+  /// Memory/stream-side accounting: a coherent snapshot of the atomic
+  /// accumulators (safe to call while stream workers run).
+  virtual RuntimeCounters counters() const = 0;
 
   /// Typed allocation helper: \p Count elements of \p T.
   template <typename T> std::unique_ptr<DeviceBuffer> allocateArray(size_t Count) {
@@ -213,11 +306,12 @@ void downloadArray(Stream &S, const DeviceBuffer &Src, T *Dst, size_t Count,
   S.download(Src, Dst, Count * sizeof(T), SrcOffsetElems * sizeof(T));
 }
 
-/// The selectable backends. Host is always available; Cuda requires a
-/// PSG_WITH_CUDA build and a working device at construction time.
-enum class RuntimeKind { Host, Cuda };
+/// The selectable backends. Host and HostAsync are always available;
+/// Cuda requires a PSG_WITH_CUDA build and a working device at
+/// construction time.
+enum class RuntimeKind { Host, HostAsync, Cuda };
 
-/// Stable display name ("host", "cuda").
+/// Stable display name ("host", "host-async", "cuda").
 const char *runtimeKindName(RuntimeKind Kind);
 
 /// Parses a runtime name; fails with the known-name list on anything
@@ -227,14 +321,24 @@ ErrorOr<RuntimeKind> parseRuntimeKind(const std::string &Name);
 /// True when this build carries the CUDA backend (PSG_WITH_CUDA=ON).
 bool cudaRuntimeCompiledIn();
 
+/// Backend knobs beyond the device spec. Only the asynchronous runtimes
+/// consult the pool settings today; the eager host runtime allocates
+/// directly.
+struct RuntimeOptions {
+  /// Ceiling on bytes the buffer pool may keep cached across frees.
+  /// 0 disables pooling entirely (every free returns to the system).
+  size_t PoolMaxCachedBytes = 64ull << 20;
+};
+
 /// Creates a runtime of \p Kind over \p Spec. \p HostWorkers caps the
-/// host pool backing the host runtime (0 = hardware concurrency).
+/// host pool backing the host runtimes (0 = hardware concurrency).
 /// Fails — loudly, with an actionable message — when the backend is not
 /// compiled in or its device cannot be initialized; it never returns a
 /// half-constructed runtime.
 ErrorOr<std::unique_ptr<DeviceRuntime>>
 createDeviceRuntime(RuntimeKind Kind, DeviceSpec Spec,
-                    unsigned HostWorkers = 0);
+                    unsigned HostWorkers = 0,
+                    const RuntimeOptions &Options = RuntimeOptions());
 
 } // namespace psg
 

@@ -13,12 +13,10 @@
 
 using namespace psg;
 
-HostBuffer::~HostBuffer() {
-  Parent.Counters.BytesResident -= Storage.size();
-}
+HostBuffer::~HostBuffer() { Parent.Counters.recordFree(Storage.size()); }
 
 std::unique_ptr<Stream> HostRuntime::createStream(std::string Name) {
-  ++Counters.StreamsCreated;
+  Counters.StreamsCreated.fetch_add(1, std::memory_order_relaxed);
   metrics().counter("psg.device.streams").add();
   return std::make_unique<HostStream>(*this, std::move(Name));
 }
@@ -28,11 +26,7 @@ std::unique_ptr<Event> HostRuntime::createEvent() {
 }
 
 std::unique_ptr<DeviceBuffer> HostRuntime::allocate(size_t Bytes) {
-  ++Counters.BuffersAllocated;
-  Counters.BytesAllocated += Bytes;
-  Counters.BytesResident += Bytes;
-  if (Counters.BytesResident > Counters.PeakBytesResident)
-    Counters.PeakBytesResident = Counters.BytesResident;
+  Counters.recordAllocation(Bytes);
   MetricsRegistry &M = metrics();
   M.counter("psg.device.buffers").add();
   M.counter("psg.device.alloc_bytes").add(Bytes);
@@ -42,7 +36,7 @@ std::unique_ptr<DeviceBuffer> HostRuntime::allocate(size_t Bytes) {
 LaunchRecord
 HostRuntime::launchKernel(const LaunchConfig &Config,
                           FunctionRef<void(KernelContext &)> Body) {
-  ++Counters.KernelLaunches;
+  Counters.KernelLaunches.fetch_add(1, std::memory_order_relaxed);
   metrics().counter("psg.device.kernel_launches").add();
   return Device.launchKernel(Config.KernelName, Config.GridThreads,
                              Config.BlockDim, Body);
@@ -56,8 +50,8 @@ void HostStream::upload(DeviceBuffer &Dst, const void *Src, size_t Bytes,
     std::memcpy(static_cast<unsigned char *>(Dst.deviceData()) +
                     DstOffsetBytes,
                 Src, Bytes);
-  ++Parent.Counters.Uploads;
-  Parent.Counters.UploadBytes += Bytes;
+  Parent.Counters.Uploads.fetch_add(1, std::memory_order_relaxed);
+  Parent.Counters.UploadBytes.fetch_add(Bytes, std::memory_order_relaxed);
   metrics().counter("psg.device.upload_bytes").add(Bytes);
 }
 
@@ -70,27 +64,28 @@ void HostStream::download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
                 static_cast<const unsigned char *>(Src.deviceData()) +
                     SrcOffsetBytes,
                 Bytes);
-  ++Parent.Counters.Downloads;
-  Parent.Counters.DownloadBytes += Bytes;
+  Parent.Counters.Downloads.fetch_add(1, std::memory_order_relaxed);
+  Parent.Counters.DownloadBytes.fetch_add(Bytes, std::memory_order_relaxed);
   metrics().counter("psg.device.download_bytes").add(Bytes);
 }
 
 LaunchRecord HostStream::launch(const LaunchConfig &Config,
-                                FunctionRef<void(KernelContext &)> Body) {
-  return Parent.launchKernel(Config, Body);
+                                std::function<void(KernelContext &)> Body) {
+  return Parent.launchKernel(
+      Config, [&Body](KernelContext &Ctx) { Body(Ctx); });
 }
 
 void HostStream::hostTask(const std::string &Name,
-                          FunctionRef<void()> Task) {
+                          std::function<void()> Task) {
   (void)Name;
   Task();
-  ++Parent.Counters.HostTasks;
+  Parent.Counters.HostTasks.fetch_add(1, std::memory_order_relaxed);
   metrics().counter("psg.device.host_tasks").add();
 }
 
 void HostStream::record(Event &E) {
-  static_cast<HostEvent &>(E).Recorded = true;
-  ++Parent.Counters.EventsRecorded;
+  static_cast<HostEvent &>(E).Recorded.store(true, std::memory_order_release);
+  Parent.Counters.EventsRecorded.fetch_add(1, std::memory_order_relaxed);
   metrics().counter("psg.device.events_recorded").add();
 }
 
@@ -99,6 +94,6 @@ void HostStream::wait(const Event &E) {
   // covers; waiting on a never-recorded event is a defined no-op (CUDA
   // semantics). Only the accounting remains.
   (void)E;
-  ++Parent.Counters.EventWaits;
+  Parent.Counters.EventWaits.fetch_add(1, std::memory_order_relaxed);
   metrics().counter("psg.device.event_waits").add();
 }

@@ -56,7 +56,7 @@ public:
   const DeviceCounters &deviceCounters() const override {
     return Device.counters();
   }
-  const RuntimeCounters &counters() const override { return Counters; }
+  RuntimeCounters counters() const override { return Counters.snapshot(); }
 
   /// The wrapped virtual device (for cost-model calibration paths that
   /// need the raw launch accounting).
@@ -67,7 +67,7 @@ private:
   friend class HostBuffer;
 
   VirtualDevice Device;
-  RuntimeCounters Counters;
+  AtomicRuntimeCounters Counters;
 };
 
 /// Host "device memory": a zero-initialized byte vector. deviceData()
@@ -93,11 +93,13 @@ private:
 /// suite through the counters).
 class HostEvent final : public Event {
 public:
-  bool recorded() const override { return Recorded; }
+  bool recorded() const override {
+    return Recorded.load(std::memory_order_acquire);
+  }
 
 private:
   friend class HostStream;
-  bool Recorded = false;
+  std::atomic<bool> Recorded{false};
 };
 
 /// Host stream: eager FIFO. Every enqueue runs the operation to
@@ -117,8 +119,8 @@ public:
   void download(const DeviceBuffer &Src, void *Dst, size_t Bytes,
                 size_t SrcOffsetBytes = 0) override;
   LaunchRecord launch(const LaunchConfig &Config,
-                      FunctionRef<void(KernelContext &)> Body) override;
-  void hostTask(const std::string &Name, FunctionRef<void()> Task) override;
+                      std::function<void(KernelContext &)> Body) override;
+  void hostTask(const std::string &Name, std::function<void()> Task) override;
   void record(Event &E) override;
   void wait(const Event &E) override;
   void synchronize() override {}

@@ -1,0 +1,59 @@
+//===- device/StreamTimeline.cpp ------------------------------------------===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "device/StreamTimeline.h"
+
+#include <algorithm>
+
+using namespace psg;
+
+double StreamTimeline::transferSeconds() const {
+  double Total = 0.0;
+  for (const StageInterval &T : Transfers)
+    Total += T.seconds();
+  return Total;
+}
+
+double StreamTimeline::hiddenTransferSeconds() const {
+  if (Transfers.empty() || Computes.empty())
+    return 0.0;
+
+  // Merge compute intervals into a disjoint, sorted cover so a transfer
+  // overlapped by several compute spans is not double counted.
+  std::vector<StageInterval> Cover = Computes;
+  std::sort(Cover.begin(), Cover.end(),
+            [](const StageInterval &A, const StageInterval &B) {
+              return A.Begin < B.Begin;
+            });
+  std::vector<StageInterval> Merged;
+  for (const StageInterval &C : Cover) {
+    if (!Merged.empty() && C.Begin <= Merged.back().End)
+      Merged.back().End = std::max(Merged.back().End, C.End);
+    else
+      Merged.push_back(C);
+  }
+
+  double Hidden = 0.0;
+  for (const StageInterval &T : Transfers)
+    for (const StageInterval &C : Merged) {
+      if (C.Begin >= T.End)
+        break;
+      if (C.End <= T.Begin)
+        continue;
+      auto Lo = std::max(T.Begin, C.Begin);
+      auto Hi = std::min(T.End, C.End);
+      if (Hi > Lo)
+        Hidden += std::chrono::duration<double>(Hi - Lo).count();
+    }
+  return Hidden;
+}
+
+double StreamTimeline::overlapRatio() const {
+  double Total = transferSeconds();
+  if (Total <= 0.0)
+    return 0.0;
+  return hiddenTransferSeconds() / Total;
+}

@@ -1,0 +1,112 @@
+//===- device/StreamTimeline.h - Measured stream overlap --------*- C++ -*-===//
+//
+// Part of psg, under the BSD 3-Clause License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measuring real (not modeled) overlap between pipeline stages. Stream
+/// ops are bracketed with host timestamps taken on the stream's own
+/// execution thread — FIFO order guarantees the brackets enclose the op
+/// — and the resulting wall-clock intervals are intersected afterwards:
+/// the seconds a transfer interval spends inside any compute interval
+/// are the seconds that transfer was actually hidden. The sharded
+/// executor, the single-device engine window and bench_micro_device all
+/// report overlap through this helper, so the number means the same
+/// thing everywhere.
+///
+/// Also provides StreamFence, the host-side completion primitive the
+/// double-buffered pipelines retire shards with: a final hostTask on
+/// the download stream signals it, and the staging thread waits without
+/// needing a host-blocking event API on Stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSG_DEVICE_STREAMTIMELINE_H
+#define PSG_DEVICE_STREAMTIMELINE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace psg {
+
+/// One half-open wall-clock span [Begin, End) on the steady clock.
+struct StageInterval {
+  std::chrono::steady_clock::time_point Begin{};
+  std::chrono::steady_clock::time_point End{};
+
+  void begin() { Begin = std::chrono::steady_clock::now(); }
+  void end() { End = std::chrono::steady_clock::now(); }
+
+  double seconds() const {
+    return End > Begin ? std::chrono::duration<double>(End - Begin).count()
+                       : 0.0;
+  }
+};
+
+/// Collects transfer and compute intervals over a pipelined run and
+/// computes, at the end, how many transfer seconds were genuinely
+/// hidden under compute. Not thread-safe: record from one thread at a
+/// time (each retire happens on the owning device thread), or merge
+/// per-thread instances.
+class StreamTimeline {
+public:
+  void addTransfer(const StageInterval &I) { maybePush(Transfers, I); }
+  void addCompute(const StageInterval &I) { maybePush(Computes, I); }
+
+  /// Total wall seconds of all transfer intervals.
+  double transferSeconds() const;
+
+  /// Transfer seconds overlapped by at least one compute interval.
+  double hiddenTransferSeconds() const;
+
+  /// hidden / transfer, 0 when nothing transferred.
+  double overlapRatio() const;
+
+  size_t transferCount() const { return Transfers.size(); }
+
+private:
+  static void maybePush(std::vector<StageInterval> &Out,
+                        const StageInterval &I) {
+    if (I.End > I.Begin)
+      Out.push_back(I);
+  }
+
+  std::vector<StageInterval> Transfers;
+  std::vector<StageInterval> Computes;
+};
+
+/// Host-side completion flag signaled from a stream op. wait() gives
+/// the waiter a happens-before edge over everything the signaling op
+/// observed.
+class StreamFence {
+public:
+  void signal() {
+    {
+      std::lock_guard<std::mutex> Lock(Mx);
+      Signaled = true;
+    }
+    Cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mx);
+    Cv.wait(Lock, [this] { return Signaled; });
+  }
+
+  bool signaled() {
+    std::lock_guard<std::mutex> Lock(Mx);
+    return Signaled;
+  }
+
+private:
+  std::mutex Mx;
+  std::condition_variable Cv;
+  bool Signaled = false;
+};
+
+} // namespace psg
+
+#endif // PSG_DEVICE_STREAMTIMELINE_H

@@ -45,8 +45,11 @@ class NodeWorker {
 public:
   /// \p Local configures the worker's device fleet (personality names;
   /// must be non-empty). \p Endpoint must outlive the worker.
+  /// \p Runtime names the device runtime each local device executes on
+  /// ("host", "host-async", "cuda"); validated by engine construction.
   NodeWorker(const CostModel &Model, FabricEndpoint &Endpoint,
-             SchedOptions Local, double HeartbeatIntervalSeconds = 0.05);
+             SchedOptions Local, double HeartbeatIntervalSeconds = 0.05,
+             std::string Runtime = "host");
 
   /// Blocks serving grants against \p Net. Returns when the coordinator
   /// sends NodeGoodbye, the transport closes, or a grant is
@@ -58,6 +61,7 @@ private:
   FabricEndpoint &Endpoint;
   SchedOptions Local;
   double HeartbeatIntervalSeconds;
+  std::string Runtime;
 };
 
 } // namespace psg

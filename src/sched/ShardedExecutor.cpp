@@ -26,6 +26,7 @@
 #include "sched/ShardedExecutor.h"
 
 #include "device/DeviceRuntime.h"
+#include "device/StreamTimeline.h"
 #include "sched/DeliveryLedger.h"
 #include "support/Error.h"
 #include "support/Logging.h"
@@ -78,6 +79,38 @@ struct Shard {
   std::vector<std::vector<double>> InitialStates;
 };
 
+/// One shard in flight through a device's three-stream pipeline. The
+/// staging thread fills it and enqueues the dataflow
+///
+///     upload stream:   [h2d params] --Uploaded-->
+///     compute stream:                 [integrate] --Computed-->
+///     download stream:                              [d2h results] -> Done
+///
+/// then hands the struct to the in-flight window. Nothing here is
+/// touched by the device thread again until Done fires, which gives the
+/// retire a happens-before edge over every field the stages wrote.
+struct PipelinedShard {
+  Shard Sh;
+  BatchSpec Spec;
+  BatchResult Result;
+  bool Killed = false; ///< Fault injector ate the attempt before staging.
+  bool Failed = false; ///< Killed, or the simulator threw mid-integrate.
+  double DispatchSeconds = 0.0; ///< Host wall inside the integrate stage.
+  uint64_t TransferBytes = 0;
+  std::vector<double> Packed;   ///< Upload image; alive until Done.
+  std::vector<double> Returned; ///< Download target; alive until Done.
+  std::unique_ptr<DeviceBuffer> ParamBuf;
+  std::unique_ptr<DeviceBuffer> ResultBuf;
+  std::unique_ptr<Event> Uploaded;
+  std::unique_ptr<Event> Computed;
+  StageInterval UploadSpan, ComputeSpan, DownloadSpan;
+  /// Recycle slot this shard's integrate consumes (unordered delivery);
+  /// the retire refills the same slot, which the next shard staged into
+  /// it cannot observe before then (slots rotate with the window).
+  std::vector<SimulationOutcome> *RecycleSlot = nullptr;
+  StreamFence Done;
+};
+
 } // namespace
 
 struct ShardedExecutor::Impl {
@@ -86,10 +119,19 @@ struct ShardedExecutor::Impl {
   struct DeviceState {
     /// The device runtime this logical device executes on. The simulator
     /// shares it (its kernels launch through the same runtime), and the
-    /// shard pipeline's upload/integrate/download stages run on Pipe, so
+    /// shard pipeline's stages run on the three streams below, so
     /// transfer volumes accrue to this device's runtime counters.
     std::shared_ptr<DeviceRuntime> Runtime;
-    std::unique_ptr<Stream> Pipe;
+    /// Dedicated streams of the double-buffered pipeline: H2D copies,
+    /// integration, and D2H copies each get their own queue (the
+    /// CUDA copy-engine layout), with events enforcing the per-shard
+    /// upload -> integrate -> download dataflow. On an asynchronous
+    /// runtime shard k's integrate really overlaps shard k+1's upload
+    /// and shard k-1's download; the eager runtime runs the same
+    /// dataflow serially and bit-exactly.
+    std::unique_ptr<Stream> Upload;
+    std::unique_ptr<Stream> Compute;
+    std::unique_ptr<Stream> Download;
     std::unique_ptr<Simulator> Sim;
     std::string Name;
     uint64_t Chunk = 0;
@@ -111,7 +153,14 @@ struct ShardedExecutor::Impl {
     double ModeledBusy = 0.0;
     double HostBusy = 0.0;
     DeviceShardReport Report;
-    std::vector<SimulationOutcome> Recycled;
+    /// Rotating recycle buffers for unordered delivery, one per
+    /// pipeline slot so a retiring shard's refill never races the next
+    /// shard's integrate.
+    std::vector<std::vector<SimulationOutcome>> RecycleSlots;
+    uint64_t Staged = 0; ///< Shards staged; indexes RecycleSlots.
+    /// Measured stage intervals of the run (filled at retire, read
+    /// after the device threads joined).
+    StreamTimeline Timeline;
   };
 
   CostModel Model;
@@ -138,14 +187,21 @@ struct ShardedExecutor::Impl {
       // and counters belong to this device alone, and the personality's
       // kernels launch through it (sharing the pinned host-worker
       // slice).
+      RuntimeOptions RtOpts;
+      RtOpts.PoolMaxCachedBytes = Engine.PoolMaxCachedBytes;
       auto RuntimeOrErr =
-          createDeviceRuntime(*KindOrErr, Model.gpu(), Workers);
+          createDeviceRuntime(*KindOrErr, Model.gpu(), Workers, RtOpts);
       if (!RuntimeOrErr)
         fatalError(RuntimeOrErr.message());
       Devices[D].Runtime = std::move(*RuntimeOrErr);
       Devices[D].Name =
           formatString("device%u:%s", D, Sched.Devices[D].c_str());
-      Devices[D].Pipe = Devices[D].Runtime->createStream(Devices[D].Name);
+      Devices[D].Upload =
+          Devices[D].Runtime->createStream(Devices[D].Name + ":h2d");
+      Devices[D].Compute =
+          Devices[D].Runtime->createStream(Devices[D].Name + ":compute");
+      Devices[D].Download =
+          Devices[D].Runtime->createStream(Devices[D].Name + ":d2h");
       auto SimOrErr =
           createSimulator(Sched.Devices[D], Model, Workers,
                           Devices[D].Runtime);
@@ -203,10 +259,18 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
   const bool Ordered = S.Sched.OrderedDelivery;
   const unsigned MaxAttempts = std::max(1u, S.Sched.MaxShardAttempts);
   const uint64_t QueueDepth = std::max<uint64_t>(1, S.Sched.QueueDepth);
-  // Shards generated but not yet delivered (queued + running + pending
-  // reorder); bounds scheduler-resident simulations.
+  // Pipelining ahead only pays on an asynchronous runtime: eager
+  // streams complete every stage inside stageShard, so a deeper window
+  // would just drain shards out of the stealable queues early without
+  // overlapping anything. Depth 1 there keeps the seed scheduler's
+  // exact queue dynamics (and its steal/requeue test surface).
+  const unsigned Depth = S.Devices[0].Runtime->asynchronous()
+                             ? std::max(1u, S.Sched.PipelineDepth)
+                             : 1;
+  // Shards generated but not yet delivered (queued + in the pipeline
+  // window + pending reorder); bounds scheduler-resident simulations.
   const size_t OutstandingCap =
-      static_cast<size_t>(N) * (QueueDepth + 1) + (Ordered ? N : 0);
+      static_cast<size_t>(N) * (QueueDepth + Depth) + (Ordered ? N : 0);
 
   TraceSpan RunSpan("sched.run", "sched");
   MetricsRegistry &M = metrics();
@@ -235,6 +299,9 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
     Dev.Report = DeviceShardReport();
     Dev.Report.Name = Dev.Name;
     Dev.Report.Simulator = Dev.Sim->name();
+    Dev.RecycleSlots.assign(Depth, {});
+    Dev.Staged = 0;
+    Dev.Timeline = StreamTimeline();
   }
 
   std::mutex Mx;
@@ -268,224 +335,280 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
   // acceptance is a scheduler bug.
   auto deliverLocked = [&](size_t First,
                            std::vector<SimulationOutcome> &&Outcomes,
-                           Impl::DeviceState *Recycle) {
+                           std::vector<SimulationOutcome> *Recycle) {
     DeliveryLedger::Acceptance A =
-        Ledger.accept(First, std::move(Outcomes), Sink,
-                      Recycle ? &Recycle->Recycled : nullptr);
+        Ledger.accept(First, std::move(Outcomes), Sink, Recycle);
     assert(!A.Duplicate && "in-process shard delivered twice");
     assert(Resident >= A.FlushedSimulations &&
            "resident accounting underflow");
     Resident -= A.FlushedSimulations;
   };
 
+  // Stages one shard onto device \p Me's three streams and returns its
+  // in-flight record. Called without Mx: every side effect is confined
+  // to the shard record and the device's streams. On an eager runtime
+  // all stages complete before this returns (the pre-pipeline schedule,
+  // bit-exact); on an asynchronous runtime it returns with the dataflow
+  // enqueued and the streams overlapping neighbouring shards.
+  auto stageShard = [&](unsigned Me, Shard &&Sh) {
+    Impl::DeviceState &D = S.Devices[Me];
+    auto P = std::make_unique<PipelinedShard>();
+    PipelinedShard &R = *P;
+    R.Sh = std::move(Sh);
+    R.Killed = S.Sched.FaultInjector &&
+               S.Sched.FaultInjector(R.Sh.First, Me, R.Sh.Attempt);
+    R.Failed = R.Killed;
+    if (R.Killed) {
+      // The dead attempt never touches the streams; the shard still
+      // owns its parameterizations for the re-queue.
+      R.Done.signal();
+      return P;
+    }
+
+    R.Spec.Model = &Net;
+    R.Spec.Compiled = Compiled;
+    R.Spec.Batch = R.Sh.Count;
+    R.Spec.StartTime = S.Engine.StartTime;
+    R.Spec.EndTime = S.Engine.EndTime;
+    R.Spec.OutputSamples = S.Engine.OutputSamples;
+    R.Spec.Options = S.Engine.Solver;
+    R.Spec.RateConstantSets = std::move(R.Sh.RateConstantSets);
+    R.Spec.InitialStates = std::move(R.Sh.InitialStates);
+    if (!Ordered) {
+      R.RecycleSlot = &D.RecycleSlots[D.Staged % D.RecycleSlots.size()];
+      R.Spec.OutcomeBuffer = R.RecycleSlot;
+    }
+    ++D.Staged;
+
+    for (const std::vector<double> &Rates : R.Spec.RateConstantSets)
+      R.Packed.insert(R.Packed.end(), Rates.begin(), Rates.end());
+    for (const std::vector<double> &Y0 : R.Spec.InitialStates)
+      R.Packed.insert(R.Packed.end(), Y0.begin(), Y0.end());
+    R.Returned.resize(R.Sh.Count);
+    R.ParamBuf = D.Runtime->allocateArray<double>(R.Packed.size());
+    R.ResultBuf = D.Runtime->allocateArray<double>(R.Sh.Count);
+    R.Uploaded = D.Runtime->createEvent();
+    R.Computed = D.Runtime->createEvent();
+    R.TransferBytes = (R.Packed.size() + R.Sh.Count) * sizeof(double);
+
+    // Upload stream: push the packed parameterizations, bracketed by
+    // timestamps taken on the stream itself so the interval is the
+    // op's real execution window, then mark the upload point.
+    D.Upload->hostTask("sched.h2d.begin", [&R] { R.UploadSpan.begin(); });
+    uploadArray(*D.Upload, *R.ParamBuf, R.Packed.data(), R.Packed.size());
+    D.Upload->hostTask("sched.h2d.end", [&R] { R.UploadSpan.end(); });
+    D.Upload->record(*R.Uploaded);
+
+    // Compute stream: integrate after the upload landed. The simulator
+    // shares this device's runtime, so its kernels launch through the
+    // same backend the pipeline runs on.
+    Impl::DeviceState *DP = &D;
+    D.Compute->wait(*R.Uploaded);
+    D.Compute->hostTask("sched.integrate", [&R, DP] {
+      TraceSpan ShardSpan("sched.shard", "sched");
+      R.ComputeSpan.begin();
+      WallTimer Timer;
+      try {
+        R.Result = DP->Sim->run(R.Spec);
+      } catch (const std::exception &E) {
+        R.Failed = true;
+        logMessage(LogLevel::Warning, "sched: %s failed shard @%zu: %s",
+                   DP->Name.c_str(), R.Sh.First, E.what());
+      }
+      if (!R.Failed) {
+        // Pack the per-simulation results (final integration times)
+        // into the result buffer. On a real backend the integration
+        // kernel itself would have filled it in device memory.
+        double *Final = static_cast<double *>(R.ResultBuf->deviceData());
+        for (uint64_t I = 0; I < R.Sh.Count; ++I)
+          Final[I] = R.Result.Outcomes[I].Result.FinalTime;
+        ShardSpan.setModeledSeconds(R.Result.SimulationTime.total());
+      }
+      R.DispatchSeconds = Timer.seconds();
+      R.ComputeSpan.end();
+    });
+    D.Compute->record(*R.Computed);
+
+    // Download stream: pull the results after the integrate retired,
+    // then release the shard to the device thread. A failed integrate
+    // downloads the zero-filled result buffer — defined bytes that the
+    // retire discards.
+    D.Download->wait(*R.Computed);
+    D.Download->hostTask("sched.d2h.begin", [&R] { R.DownloadSpan.begin(); });
+    downloadArray(*D.Download, *R.ResultBuf, R.Returned.data(), R.Sh.Count);
+    D.Download->hostTask("sched.retire", [&R] {
+      R.DownloadSpan.end();
+      R.Done.signal();
+    });
+    return P;
+  };
+
+  // Retires one completed shard: scheduling accounting, delivery, and
+  // the failure/re-queue path. Mx must be held and P.Done signaled.
+  auto retireLocked = [&](unsigned Me, PipelinedShard &P) {
+    Impl::DeviceState &D = S.Devices[Me];
+    Shard &Sh = P.Sh;
+    if (P.Failed) {
+      if (!P.Killed) {
+        // The spec still owns the parameterizations; reclaim them so
+        // the re-queued attempt carries identical inputs.
+        Sh.RateConstantSets = std::move(P.Spec.RateConstantSets);
+        Sh.InitialStates = std::move(P.Spec.InitialStates);
+      }
+      ++D.Report.Requeues;
+      D.Assigned -= Sh.EstimateSeconds; // The dead attempt cost nothing.
+      if (Sh.Attempt + 1 < MaxAttempts) {
+        // Bounded re-queue: hand the shard to the next device (not the
+        // one it just died on) at the front of its queue so recovery
+        // is prompt.
+        ++Sh.Attempt;
+        const unsigned Target = (Me + 1) % N;
+        Sh.EstimateSeconds = estimateFor(Target, Sh.Count);
+        S.Devices[Target].QueuedEstimate += Sh.EstimateSeconds;
+        S.Devices[Target].Assigned += Sh.EstimateSeconds;
+        S.Devices[Target].Queue.push_front(std::move(Sh));
+        ++Rep.Requeues;
+        RequeuesC.add();
+        WorkCv.notify_all();
+      } else {
+        // Attempt budget exhausted: deliver the simulations exactly
+        // once, as Aborted failures, so sinks and reductions never
+        // see a gap.
+        std::vector<SimulationOutcome> Lost(Sh.Count);
+        for (SimulationOutcome &O : Lost) {
+          O.Result.Status = IntegrationStatus::Aborted;
+          O.Result.Detail = formatString(
+              "sched: shard dropped after %u attempts", MaxAttempts);
+        }
+        Rep.LostSimulations += Sh.Count;
+        LostC.add(Sh.Count);
+        Rep.Stream.Failures += Sh.Count;
+        Rep.Stream.Simulations += Sh.Count;
+        ++Rep.Stream.SubBatches;
+        deliverLocked(Sh.First, std::move(Lost), nullptr);
+        assert(Outstanding > 0 && "outstanding accounting underflow");
+        --Outstanding;
+        SpaceCv.notify_all();
+      }
+      return;
+    }
+
+    const double Modeled = P.Result.SimulationTime.total();
+    const double PerSim = Modeled / static_cast<double>(Sh.Count);
+    D.EstSecondsPerSim = D.EstSecondsPerSim > 0.0
+                             ? 0.5 * D.EstSecondsPerSim + 0.5 * PerSim
+                             : PerSim;
+    // Replace the shard's estimate with its actual modeled cost, so
+    // the virtual finish time converges on the true device makespan.
+    D.Assigned += Modeled - Sh.EstimateSeconds;
+    D.ModeledBusy += Modeled;
+    D.HostBusy += P.DispatchSeconds;
+    const double TransferSeconds =
+        static_cast<double>(P.TransferBytes) /
+        (S.Model.tunables().PcieBandwidthGBs * 1e9);
+    TransferModeled += TransferSeconds;
+    TransferHidden += S.Model.hiddenPrepareSeconds(TransferSeconds, Modeled);
+    D.Timeline.addTransfer(P.UploadSpan);
+    D.Timeline.addTransfer(P.DownloadSpan);
+    D.Timeline.addCompute(P.ComputeSpan);
+    ++D.Report.Shards;
+    D.Report.Simulations += Sh.Count;
+    ShardsC.add();
+    SimsC.add(Sh.Count);
+    DispatchS.record(P.DispatchSeconds);
+
+    Rep.Stream.TotalStats.merge(P.Result.TotalStats);
+    accumulateModeled(Rep.Stream.IntegrationTime, P.Result.IntegrationTime);
+    accumulateModeled(Rep.Stream.SimulationTime, P.Result.SimulationTime);
+    Rep.Stream.HostWallSeconds += P.Result.HostWallSeconds;
+    Rep.Stream.Failures += P.Result.Failures;
+    Rep.Stream.Simulations += Sh.Count;
+    ++Rep.Stream.SubBatches;
+    deliverLocked(Sh.First, std::move(P.Result.Outcomes),
+                  Ordered ? nullptr : P.RecycleSlot);
+    assert(Outstanding > 0 && "outstanding accounting underflow");
+    --Outstanding;
+    SpaceCv.notify_all();
+    if (Dry)
+      WorkCv.notify_all(); // Virtual finishes moved: re-judge steals.
+  };
+
   auto deviceLoop = [&](unsigned Me) {
     Impl::DeviceState &D = S.Devices[Me];
+    // Shards in flight through this device's streams, retired FIFO.
+    // Depth 2 is the double buffer: the front shard drains (or
+    // integrates) while the back shard stages behind it.
+    std::deque<std::unique_ptr<PipelinedShard>> Window;
     std::unique_lock<std::mutex> Lk(Mx);
     for (;;) {
       Shard Sh;
       bool Have = false;
-      if (!D.Queue.empty()) {
-        Sh = std::move(D.Queue.front());
-        D.Queue.pop_front();
-        D.QueuedEstimate -= Sh.EstimateSeconds;
-        Have = true;
-      } else if (Dry) {
-        // Source dry and nothing local: steal the newest queued shard
-        // from the straggler with the latest modeled virtual finish —
-        // but only when the theft is profitable in modeled time, i.e.
-        // this device would finish the shard before the victim would
-        // have. Host idleness alone is not a reason to steal: on a
-        // serializing host every device looks idle in turn, and
-        // ungated steals would pile a concurrent fleet's work onto
-        // whichever thread the OS favors.
-        int Victim = -1;
-        double VictimFinish = 0.0;
-        for (unsigned J = 0; J < N; ++J)
-          if (J != Me && !S.Devices[J].Queue.empty() &&
-              (Victim < 0 || S.Devices[J].Assigned > VictimFinish)) {
-            Victim = static_cast<int>(J);
-            VictimFinish = S.Devices[J].Assigned;
+      if (Window.size() < Depth) {
+        if (!D.Queue.empty()) {
+          Sh = std::move(D.Queue.front());
+          D.Queue.pop_front();
+          D.QueuedEstimate -= Sh.EstimateSeconds;
+          Have = true;
+        } else if (Dry) {
+          // Source dry and nothing local: steal the newest queued shard
+          // from the straggler with the latest modeled virtual finish —
+          // but only when the theft is profitable in modeled time, i.e.
+          // this device would finish the shard before the victim would
+          // have. Host idleness alone is not a reason to steal: on a
+          // serializing host every device looks idle in turn, and
+          // ungated steals would pile a concurrent fleet's work onto
+          // whichever thread the OS favors.
+          int Victim = -1;
+          double VictimFinish = 0.0;
+          for (unsigned J = 0; J < N; ++J)
+            if (J != Me && !S.Devices[J].Queue.empty() &&
+                (Victim < 0 || S.Devices[J].Assigned > VictimFinish)) {
+              Victim = static_cast<int>(J);
+              VictimFinish = S.Devices[J].Assigned;
+            }
+          if (Victim >= 0) {
+            Impl::DeviceState &V = S.Devices[static_cast<unsigned>(Victim)];
+            const double MyEstimate =
+                estimateFor(Me, V.Queue.back().Count);
+            if (D.Assigned + MyEstimate < V.Assigned) {
+              Sh = std::move(V.Queue.back());
+              V.Queue.pop_back();
+              V.QueuedEstimate -= Sh.EstimateSeconds;
+              V.Assigned -= Sh.EstimateSeconds;
+              Sh.EstimateSeconds = MyEstimate;
+              D.Assigned += MyEstimate;
+              Have = true;
+              ++D.Report.Steals;
+              ++Rep.Steals;
+              StealsC.add();
+            }
           }
-        if (Victim >= 0) {
-          Impl::DeviceState &V = S.Devices[static_cast<unsigned>(Victim)];
-          const double MyEstimate =
-              estimateFor(Me, V.Queue.back().Count);
-          if (D.Assigned + MyEstimate < V.Assigned) {
-            Sh = std::move(V.Queue.back());
-            V.Queue.pop_back();
-            V.QueuedEstimate -= Sh.EstimateSeconds;
-            V.Assigned -= Sh.EstimateSeconds;
-            Sh.EstimateSeconds = MyEstimate;
-            D.Assigned += MyEstimate;
-            Have = true;
-            ++D.Report.Steals;
-            ++Rep.Steals;
-            StealsC.add();
-          } else if (Done) {
-            break;
-          }
-        } else if (Done) {
-          break;
         }
       }
-      if (!Have) {
-        WorkCv.wait(Lk);
+      if (Have) {
+        SpaceCv.notify_all(); // A queue slot freed; coordinator refills.
+        Lk.unlock();
+        auto P = stageShard(Me, std::move(Sh));
+        Window.push_back(std::move(P));
+        Lk.lock();
+        continue; // Keep filling the window while work is queued.
+      }
+      if (!Window.empty()) {
+        // Nothing to stage (window full, queue empty, or no profitable
+        // steal): retire the oldest in-flight shard. The wait happens
+        // unlocked, so other devices keep scheduling while this one
+        // blocks on its pipeline.
+        PipelinedShard &Front = *Window.front();
+        Lk.unlock();
+        Front.Done.wait();
+        Lk.lock();
+        retireLocked(Me, Front);
+        Window.pop_front();
         continue;
       }
-      SpaceCv.notify_all(); // A queue slot freed; coordinator may refill.
-
-      Lk.unlock();
-      const bool Killed =
-          S.Sched.FaultInjector &&
-          S.Sched.FaultInjector(Sh.First, Me, Sh.Attempt);
-      BatchResult Result;
-      bool Failed = Killed;
-      double DispatchSeconds = 0.0;
-      uint64_t ShardTransferBytes = 0;
-      if (!Killed) {
-        BatchSpec Spec;
-        Spec.Model = &Net;
-        Spec.Compiled = Compiled;
-        Spec.Batch = Sh.Count;
-        Spec.StartTime = S.Engine.StartTime;
-        Spec.EndTime = S.Engine.EndTime;
-        Spec.OutputSamples = S.Engine.OutputSamples;
-        Spec.Options = S.Engine.Solver;
-        Spec.RateConstantSets = std::move(Sh.RateConstantSets);
-        Spec.InitialStates = std::move(Sh.InitialStates);
-        if (!Ordered)
-          Spec.OutcomeBuffer = &D.Recycled;
-        TraceSpan ShardSpan("sched.shard", "sched");
-        WallTimer Timer;
-
-        // The shard runs as three stages on this device's stream:
-        // upload the packed parameterizations, integrate (a host task —
-        // the simulator's kernels launch through the same runtime), and
-        // download the per-simulation results. On the host runtime the
-        // stages complete eagerly and bit-exactly; the accounting they
-        // feed (psg.device.* counters, the transfer-overlap gauge) is
-        // what a real backend's async pipeline would report.
-        std::vector<double> Packed;
-        for (const std::vector<double> &Rates : Spec.RateConstantSets)
-          Packed.insert(Packed.end(), Rates.begin(), Rates.end());
-        for (const std::vector<double> &Y0 : Spec.InitialStates)
-          Packed.insert(Packed.end(), Y0.begin(), Y0.end());
-        std::unique_ptr<DeviceBuffer> ParamBuf =
-            D.Runtime->allocateArray<double>(Packed.size());
-        std::unique_ptr<DeviceBuffer> ResultBuf =
-            D.Runtime->allocateArray<double>(Sh.Count);
-        uploadArray(*D.Pipe, *ParamBuf, Packed.data(), Packed.size());
-
-        D.Pipe->hostTask("sched.integrate", [&] {
-          try {
-            Result = D.Sim->run(Spec);
-          } catch (const std::exception &E) {
-            Failed = true;
-            logMessage(LogLevel::Warning, "sched: %s failed shard @%zu: %s",
-                       D.Name.c_str(), Sh.First, E.what());
-          }
-        });
-
-        if (!Failed) {
-          // Pack the per-simulation results (final integration times)
-          // into the result buffer and pull them back. On a real
-          // backend the integration kernel itself would have filled
-          // this buffer in device memory.
-          double *Final = static_cast<double *>(ResultBuf->deviceData());
-          for (uint64_t I = 0; I < Sh.Count; ++I)
-            Final[I] = Result.Outcomes[I].Result.FinalTime;
-          std::vector<double> Returned(Sh.Count);
-          downloadArray(*D.Pipe, *ResultBuf, Returned.data(), Sh.Count);
-          ShardTransferBytes =
-              (Packed.size() + Sh.Count) * sizeof(double);
-        }
-        D.Pipe->synchronize();
-
-        DispatchSeconds = Timer.seconds();
-        ShardSpan.setModeledSeconds(Result.SimulationTime.total());
-        if (Failed) {
-          // The spec still owns the parameterizations; reclaim them so
-          // the re-queued attempt carries identical inputs.
-          Sh.RateConstantSets = std::move(Spec.RateConstantSets);
-          Sh.InitialStates = std::move(Spec.InitialStates);
-        }
-      }
-      Lk.lock();
-
-      if (Failed) {
-        ++D.Report.Requeues;
-        D.Assigned -= Sh.EstimateSeconds; // The dead attempt cost nothing.
-        if (Sh.Attempt + 1 < MaxAttempts) {
-          // Bounded re-queue: hand the shard to the next device (not the
-          // one it just died on) at the front of its queue so recovery
-          // is prompt.
-          ++Sh.Attempt;
-          const unsigned Target = (Me + 1) % N;
-          Sh.EstimateSeconds = estimateFor(Target, Sh.Count);
-          S.Devices[Target].QueuedEstimate += Sh.EstimateSeconds;
-          S.Devices[Target].Assigned += Sh.EstimateSeconds;
-          S.Devices[Target].Queue.push_front(std::move(Sh));
-          ++Rep.Requeues;
-          RequeuesC.add();
-          WorkCv.notify_all();
-        } else {
-          // Attempt budget exhausted: deliver the simulations exactly
-          // once, as Aborted failures, so sinks and reductions never
-          // see a gap.
-          std::vector<SimulationOutcome> Lost(Sh.Count);
-          for (SimulationOutcome &O : Lost) {
-            O.Result.Status = IntegrationStatus::Aborted;
-            O.Result.Detail = formatString(
-                "sched: shard dropped after %u attempts", MaxAttempts);
-          }
-          Rep.LostSimulations += Sh.Count;
-          LostC.add(Sh.Count);
-          Rep.Stream.Failures += Sh.Count;
-          Rep.Stream.Simulations += Sh.Count;
-          ++Rep.Stream.SubBatches;
-          deliverLocked(Sh.First, std::move(Lost), nullptr);
-          assert(Outstanding > 0 && "outstanding accounting underflow");
-          --Outstanding;
-          SpaceCv.notify_all();
-        }
-        continue;
-      }
-
-      const double Modeled = Result.SimulationTime.total();
-      const double PerSim = Modeled / static_cast<double>(Sh.Count);
-      D.EstSecondsPerSim = D.EstSecondsPerSim > 0.0
-                               ? 0.5 * D.EstSecondsPerSim + 0.5 * PerSim
-                               : PerSim;
-      // Replace the shard's estimate with its actual modeled cost, so
-      // the virtual finish time converges on the true device makespan.
-      D.Assigned += Modeled - Sh.EstimateSeconds;
-      D.ModeledBusy += Modeled;
-      D.HostBusy += DispatchSeconds;
-      const double TransferSeconds =
-          static_cast<double>(ShardTransferBytes) /
-          (S.Model.tunables().PcieBandwidthGBs * 1e9);
-      TransferModeled += TransferSeconds;
-      TransferHidden += S.Model.hiddenPrepareSeconds(TransferSeconds, Modeled);
-      ++D.Report.Shards;
-      D.Report.Simulations += Sh.Count;
-      ShardsC.add();
-      SimsC.add(Sh.Count);
-      DispatchS.record(DispatchSeconds);
-
-      Rep.Stream.TotalStats.merge(Result.TotalStats);
-      accumulateModeled(Rep.Stream.IntegrationTime, Result.IntegrationTime);
-      accumulateModeled(Rep.Stream.SimulationTime, Result.SimulationTime);
-      Rep.Stream.HostWallSeconds += Result.HostWallSeconds;
-      Rep.Stream.Failures += Result.Failures;
-      Rep.Stream.Simulations += Sh.Count;
-      ++Rep.Stream.SubBatches;
-      deliverLocked(Sh.First, std::move(Result.Outcomes),
-                    Ordered ? nullptr : &D);
-      assert(Outstanding > 0 && "outstanding accounting underflow");
-      --Outstanding;
-      SpaceCv.notify_all();
-      if (Dry)
-        WorkCv.notify_all(); // Virtual finishes moved: re-judge steals.
+      if (Done)
+        break;
+      WorkCv.wait(Lk);
     }
   };
 
@@ -590,6 +713,25 @@ ShardScheduleReport ShardedExecutor::streamParameterizations(
   M.gauge("psg.device.transfer_hidden_s").set(TransferHidden);
   M.gauge("psg.device.transfer_overlap")
       .set(TransferModeled > 0.0 ? TransferHidden / TransferModeled : 0.0);
+
+  // Measured counterpart of the modeled transfer gauges: real stage
+  // intervals timestamped on the streams themselves. Eager runtimes
+  // serialize the stages (overlap ~0); asynchronous runtimes hide the
+  // transfers behind neighbouring shards' compute.
+  for (unsigned D = 0; D < N; ++D) {
+    Rep.MeasuredTransferSeconds += S.Devices[D].Timeline.transferSeconds();
+    Rep.MeasuredHiddenTransferSeconds +=
+        S.Devices[D].Timeline.hiddenTransferSeconds();
+  }
+  Rep.MeasuredTransferOverlap =
+      Rep.MeasuredTransferSeconds > 0.0
+          ? Rep.MeasuredHiddenTransferSeconds / Rep.MeasuredTransferSeconds
+          : 0.0;
+  M.gauge("psg.device.transfer_wall_s").set(Rep.MeasuredTransferSeconds);
+  M.gauge("psg.device.transfer_hidden_wall_s")
+      .set(Rep.MeasuredHiddenTransferSeconds);
+  M.gauge("psg.device.transfer_overlap_measured")
+      .set(Rep.MeasuredTransferOverlap);
 
   Rep.Stream.HiddenPrepareSeconds = S.Model.hiddenPrepareSeconds(
       Rep.Stream.PrepareWallSeconds, Rep.ModeledMakespanSeconds);

@@ -8,34 +8,76 @@
 /// The runtime-conformance suite: pins the DeviceRuntime semantics
 /// contract (stream FIFO order, event record/wait, bit-exact buffer
 /// round trips, launch and transfer accounting) that every backend must
-/// satisfy. Today it runs against the host runtime; a CUDA backend must
-/// pass the same suite unchanged.
+/// satisfy. The suite is parameterized and runs identically against the
+/// eager host runtime and the asynchronous one (with and without buffer
+/// pooling); a CUDA backend must pass the same suite unchanged. Async-
+/// only behavior — real cross-stream blocking, pool hit accounting, the
+/// seeded multi-stream stress test — lives in its own suites below.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "device/DeviceRuntime.h"
 #include "device/HostRuntime.h"
+#include "support/Metrics.h"
 #include "vgpu/CostModel.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <random>
+#include <thread>
 #include <vector>
 
 using namespace psg;
 
 namespace {
 
-/// One factory per conformant backend; the suite runs against each.
-std::unique_ptr<DeviceRuntime> makeRuntime(unsigned HostWorkers = 2) {
-  auto RT = createDeviceRuntime(RuntimeKind::Host, DeviceSpec::titanX(),
-                                HostWorkers);
+/// One conformance case: a runtime kind plus its pool configuration.
+struct RuntimeCase {
+  const char *Label;
+  RuntimeKind Kind;
+  size_t PoolMaxCachedBytes;
+};
+
+std::unique_ptr<DeviceRuntime> makeRuntime(const RuntimeCase &C,
+                                           unsigned HostWorkers = 2) {
+  RuntimeOptions Options;
+  Options.PoolMaxCachedBytes = C.PoolMaxCachedBytes;
+  auto RT =
+      createDeviceRuntime(C.Kind, DeviceSpec::titanX(), HostWorkers, Options);
   EXPECT_TRUE(RT.ok()) << RT.message();
   return std::move(*RT);
 }
+
+std::unique_ptr<DeviceRuntime> makeAsync(size_t PoolBytes = 1u << 20,
+                                         unsigned HostWorkers = 2) {
+  return makeRuntime({"host_async", RuntimeKind::HostAsync, PoolBytes},
+                     HostWorkers);
+}
+
+/// Every runtime the conformance sections below must not distinguish.
+const RuntimeCase ConformanceCases[] = {
+    {"host", RuntimeKind::Host, 0},
+    {"host_async", RuntimeKind::HostAsync, 64u << 20},
+    {"host_async_nopool", RuntimeKind::HostAsync, 0},
+};
+
+class RuntimeConformance : public ::testing::TestWithParam<RuntimeCase> {
+protected:
+  std::unique_ptr<DeviceRuntime> make(unsigned HostWorkers = 2) const {
+    return makeRuntime(GetParam(), HostWorkers);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Runtimes, RuntimeConformance,
+                         ::testing::ValuesIn(ConformanceCases),
+                         [](const ::testing::TestParamInfo<RuntimeCase> &I) {
+                           return std::string(I.param.Label);
+                         });
 
 } // namespace
 
@@ -47,10 +89,14 @@ TEST(RuntimeFactoryTest, ParsesKnownKinds) {
   auto Host = parseRuntimeKind("host");
   ASSERT_TRUE(Host.ok());
   EXPECT_EQ(*Host, RuntimeKind::Host);
+  auto Async = parseRuntimeKind("host-async");
+  ASSERT_TRUE(Async.ok());
+  EXPECT_EQ(*Async, RuntimeKind::HostAsync);
   auto Cuda = parseRuntimeKind("cuda");
   ASSERT_TRUE(Cuda.ok());
   EXPECT_EQ(*Cuda, RuntimeKind::Cuda);
   EXPECT_STREQ(runtimeKindName(RuntimeKind::Host), "host");
+  EXPECT_STREQ(runtimeKindName(RuntimeKind::HostAsync), "host-async");
   EXPECT_STREQ(runtimeKindName(RuntimeKind::Cuda), "cuda");
 }
 
@@ -59,15 +105,24 @@ TEST(RuntimeFactoryTest, UnknownKindFailsWithKnownNames) {
   ASSERT_FALSE(Bad.ok());
   EXPECT_NE(Bad.message().find("warp-drive"), std::string::npos);
   EXPECT_NE(Bad.message().find("host"), std::string::npos);
+  EXPECT_NE(Bad.message().find("host-async"), std::string::npos);
   EXPECT_NE(Bad.message().find("cuda"), std::string::npos);
 }
 
-TEST(RuntimeFactoryTest, HostRuntimeConstructs) {
-  auto RT = makeRuntime();
-  ASSERT_TRUE(RT);
-  EXPECT_STREQ(RT->name(), "host");
-  EXPECT_GE(RT->hostParallelism(), 1u);
-  EXPECT_EQ(RT->spec().Name, DeviceSpec::titanX().Name);
+TEST(RuntimeFactoryTest, HostRuntimesConstruct) {
+  auto Host = makeRuntime({"host", RuntimeKind::Host, 0});
+  ASSERT_TRUE(Host);
+  EXPECT_STREQ(Host->name(), "host");
+  EXPECT_FALSE(Host->asynchronous());
+  EXPECT_GE(Host->hostParallelism(), 1u);
+  EXPECT_EQ(Host->spec().Name, DeviceSpec::titanX().Name);
+
+  auto Async = makeAsync();
+  ASSERT_TRUE(Async);
+  EXPECT_STREQ(Async->name(), "host-async");
+  EXPECT_TRUE(Async->asynchronous());
+  EXPECT_GE(Async->hostParallelism(), 1u);
+  EXPECT_EQ(Async->spec().Name, DeviceSpec::titanX().Name);
 }
 
 TEST(RuntimeFactoryTest, CudaUnavailableFailsCleanly) {
@@ -82,8 +137,8 @@ TEST(RuntimeFactoryTest, CudaUnavailableFailsCleanly) {
 // Buffers: allocation, round trips, accounting.
 //===----------------------------------------------------------------------===//
 
-TEST(RuntimeBufferTest, AllocateIsZeroFilled) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, AllocateIsZeroFilled) {
+  auto RT = make();
   auto Buf = RT->allocate(64);
   ASSERT_TRUE(Buf);
   EXPECT_EQ(Buf->sizeBytes(), 64u);
@@ -96,8 +151,8 @@ TEST(RuntimeBufferTest, AllocateIsZeroFilled) {
     EXPECT_EQ(B, 0u);
 }
 
-TEST(RuntimeBufferTest, RoundTripIsBitExact) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, RoundTripIsBitExact) {
+  auto RT = make();
   auto S = RT->createStream("xfer");
   // Payload chosen to catch any numeric (non-bytewise) copy path: a NaN
   // with a nonstandard payload, both zero signs, denormals, infinities.
@@ -128,8 +183,8 @@ TEST(RuntimeBufferTest, RoundTripIsBitExact) {
   EXPECT_FALSE(std::signbit(Dst[0]));
 }
 
-TEST(RuntimeBufferTest, OffsetTransfersAddressTheRightBytes) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, OffsetTransfersAddressTheRightBytes) {
+  auto RT = make();
   auto S = RT->createStream("xfer");
   auto Buf = RT->allocateArray<double>(8);
   std::vector<double> Lo = {1, 2, 3, 4};
@@ -142,8 +197,8 @@ TEST(RuntimeBufferTest, OffsetTransfersAddressTheRightBytes) {
   EXPECT_EQ(Mid, (std::vector<double>{3, 4, 5, 6}));
 }
 
-TEST(RuntimeBufferTest, CountersTrackAllocationAndTransfers) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, CountersTrackAllocationAndTransfers) {
+  auto RT = make();
   {
     auto A = RT->allocate(128);
     auto B = RT->allocate(64);
@@ -173,8 +228,8 @@ TEST(RuntimeBufferTest, CountersTrackAllocationAndTransfers) {
 // Streams: FIFO order, host tasks, synchronize.
 //===----------------------------------------------------------------------===//
 
-TEST(RuntimeStreamTest, OpsOnOneStreamRunInFifoOrder) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, OpsOnOneStreamRunInFifoOrder) {
+  auto RT = make();
   auto S = RT->createStream("fifo");
   std::vector<int> Order;
   auto Buf = RT->allocateArray<int>(1);
@@ -189,8 +244,8 @@ TEST(RuntimeStreamTest, OpsOnOneStreamRunInFifoOrder) {
   EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 4}));
 }
 
-TEST(RuntimeStreamTest, DownloadAfterUploadSeesTheUpload) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, DownloadAfterUploadSeesTheUpload) {
+  auto RT = make();
   auto S = RT->createStream("rw");
   auto Buf = RT->allocateArray<uint64_t>(256);
   std::vector<uint64_t> Src(256);
@@ -203,8 +258,8 @@ TEST(RuntimeStreamTest, DownloadAfterUploadSeesTheUpload) {
   EXPECT_EQ(Src, Dst);
 }
 
-TEST(RuntimeStreamTest, KernelSeesUploadedBytesAndDownloadSeesKernelWrites) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, KernelSeesUploadedBytesAndDownloadSeesKernelWrites) {
+  auto RT = make();
   auto S = RT->createStream("pipeline");
   const size_t N = 1024;
   auto Buf = RT->allocateArray<double>(N);
@@ -212,8 +267,9 @@ TEST(RuntimeStreamTest, KernelSeesUploadedBytesAndDownloadSeesKernelWrites) {
   for (size_t I = 0; I < N; ++I)
     Src[I] = 0.25 * static_cast<double>(I);
   uploadArray(*S, *Buf, Src.data(), N);
-  S->launch({"scale2", N, 32}, [&](KernelContext &Ctx) {
-    double *Data = static_cast<double *>(Buf->deviceData());
+  auto *BufP = Buf.get();
+  S->launch({"scale2", N, 32}, [BufP](KernelContext &Ctx) {
+    double *Data = static_cast<double *>(BufP->deviceData());
     Data[Ctx.threadIndex()] *= 2.0;
   });
   std::vector<double> Dst(N, 0);
@@ -223,14 +279,15 @@ TEST(RuntimeStreamTest, KernelSeesUploadedBytesAndDownloadSeesKernelWrites) {
     ASSERT_EQ(Dst[I], 0.5 * static_cast<double>(I)) << I;
 }
 
-TEST(RuntimeStreamTest, StreamsAreNamedAndCounted) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, StreamsAreNamedAndCounted) {
+  auto RT = make();
   auto A = RT->createStream("dev0");
   auto B = RT->createStream("dev1");
   EXPECT_EQ(A->name(), "dev0");
   EXPECT_EQ(B->name(), "dev1");
   EXPECT_EQ(RT->counters().StreamsCreated, 2u);
   A->hostTask("noop", [] {});
+  A->synchronize();
   EXPECT_EQ(RT->counters().HostTasks, 1u);
 }
 
@@ -238,33 +295,34 @@ TEST(RuntimeStreamTest, StreamsAreNamedAndCounted) {
 // Events: record/wait semantics.
 //===----------------------------------------------------------------------===//
 
-TEST(RuntimeEventTest, RecordMarksTheEvent) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, RecordMarksTheEvent) {
+  auto RT = make();
   auto S = RT->createStream("ev");
   auto E = RT->createEvent();
   EXPECT_FALSE(E->recorded());
   S->record(*E);
   EXPECT_TRUE(E->recorded());
+  S->synchronize();
   EXPECT_EQ(RT->counters().EventsRecorded, 1u);
 }
 
-TEST(RuntimeEventTest, WaitBeforeRecordIsANoOp) {
+TEST_P(RuntimeConformance, WaitBeforeRecordIsANoOp) {
   // CUDA semantics: waiting on an event that was never recorded does not
   // block; later work on the waiting stream proceeds.
-  auto RT = makeRuntime();
+  auto RT = make();
   auto S = RT->createStream("ev");
   auto E = RT->createEvent();
   S->wait(*E);
-  bool Ran = false;
+  std::atomic<bool> Ran{false};
   S->hostTask("after-wait", [&] { Ran = true; });
   S->synchronize();
-  EXPECT_TRUE(Ran);
+  EXPECT_TRUE(Ran.load());
   EXPECT_FALSE(E->recorded());
   EXPECT_EQ(RT->counters().EventWaits, 1u);
 }
 
-TEST(RuntimeEventTest, CrossStreamWaitOrdersAfterRecordedPoint) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, CrossStreamWaitOrdersAfterRecordedPoint) {
+  auto RT = make();
   auto Producer = RT->createStream("producer");
   auto Consumer = RT->createStream("consumer");
   auto Ready = RT->createEvent();
@@ -279,12 +337,48 @@ TEST(RuntimeEventTest, CrossStreamWaitOrdersAfterRecordedPoint) {
   EXPECT_EQ(Seen, 42);
 }
 
+TEST_P(RuntimeConformance, UploadComputeDownloadDataflowAcrossThreeStreams) {
+  // The executor's double-buffer shape: h2d stream uploads, compute
+  // stream transforms after the Uploaded event, d2h stream downloads
+  // after the Computed event. Every runtime must produce the same bytes.
+  auto RT = make();
+  auto H2d = RT->createStream("h2d");
+  auto Compute = RT->createStream("compute");
+  auto D2h = RT->createStream("d2h");
+  auto Uploaded = RT->createEvent();
+  auto Computed = RT->createEvent();
+
+  const size_t N = 256;
+  auto Buf = RT->allocateArray<double>(N);
+  std::vector<double> Src(N);
+  for (size_t I = 0; I < N; ++I)
+    Src[I] = static_cast<double>(I) - 128.0;
+
+  uploadArray(*H2d, *Buf, Src.data(), N);
+  H2d->record(*Uploaded);
+
+  Compute->wait(*Uploaded);
+  auto *BufP = Buf.get();
+  Compute->launch({"negate", N, 32}, [BufP](KernelContext &Ctx) {
+    double *Data = static_cast<double *>(BufP->deviceData());
+    Data[Ctx.threadIndex()] = -Data[Ctx.threadIndex()];
+  });
+  Compute->record(*Computed);
+
+  D2h->wait(*Computed);
+  std::vector<double> Dst(N, 0);
+  downloadArray(*D2h, *Buf, Dst.data(), N);
+  D2h->synchronize();
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Dst[I], -(static_cast<double>(I) - 128.0)) << I;
+}
+
 //===----------------------------------------------------------------------===//
 // Kernel launch: VirtualDevice-equivalent context semantics.
 //===----------------------------------------------------------------------===//
 
-TEST(RuntimeLaunchTest, LaunchRecordMatchesGeometry) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, LaunchRecordMatchesGeometry) {
+  auto RT = make();
   LaunchRecord R = RT->launchKernel({"geometry", 100, 32},
                                     [](KernelContext &) {});
   EXPECT_EQ(R.KernelName, "geometry");
@@ -295,8 +389,8 @@ TEST(RuntimeLaunchTest, LaunchRecordMatchesGeometry) {
   EXPECT_EQ(RT->deviceCounters().LogicalThreadsRun, 100u);
 }
 
-TEST(RuntimeLaunchTest, EveryLogicalThreadRunsOnce) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, EveryLogicalThreadRunsOnce) {
+  auto RT = make();
   const uint64_t N = 777;
   std::vector<std::atomic<int>> Hits(N);
   RT->launchKernel({"coverage", N, 32}, [&](KernelContext &Ctx) {
@@ -308,8 +402,8 @@ TEST(RuntimeLaunchTest, EveryLogicalThreadRunsOnce) {
     EXPECT_EQ(Hits[I].load(), 1) << I;
 }
 
-TEST(RuntimeLaunchTest, ChildGridsFeedDeviceCounters) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, ChildGridsFeedDeviceCounters) {
+  auto RT = make();
   const uint64_t Parents = 8;
   std::atomic<uint64_t> ChildThreads{0};
   LaunchRecord R =
@@ -322,8 +416,8 @@ TEST(RuntimeLaunchTest, ChildGridsFeedDeviceCounters) {
   EXPECT_EQ(RT->deviceCounters().ChildGridLaunches, Parents);
 }
 
-TEST(RuntimeLaunchTest, StreamLaunchAndDefaultLaunchShareAccounting) {
-  auto RT = makeRuntime();
+TEST_P(RuntimeConformance, StreamLaunchAndDefaultLaunchShareAccounting) {
+  auto RT = make();
   auto S = RT->createStream("launches");
   RT->launchKernel({"a", 10, 32}, [](KernelContext &) {});
   S->launch({"b", 20, 32}, [](KernelContext &) {});
@@ -339,19 +433,20 @@ TEST(RuntimeLaunchTest, StreamLaunchAndDefaultLaunchShareAccounting) {
 // instance (or worker count) executes it.
 //===----------------------------------------------------------------------===//
 
-TEST(RuntimeConformanceTest, ResultsIndependentOfWorkerCount) {
+TEST_P(RuntimeConformance, ResultsIndependentOfWorkerCount) {
   const size_t N = 512;
   std::vector<double> Input(N);
   for (size_t I = 0; I < N; ++I)
     Input[I] = std::sin(static_cast<double>(I) * 0.01) + 1e-3;
 
   auto RunWith = [&](unsigned Workers) {
-    auto RT = makeRuntime(Workers);
+    auto RT = make(Workers);
     auto S = RT->createStream("bench");
     auto Buf = RT->allocateArray<double>(N);
     uploadArray(*S, *Buf, Input.data(), N);
-    S->launch({"stiff-ish", N, 32}, [&](KernelContext &Ctx) {
-      double *Data = static_cast<double *>(Buf->deviceData());
+    auto *BufP = Buf.get();
+    S->launch({"stiff-ish", N, 32}, [BufP](KernelContext &Ctx) {
+      double *Data = static_cast<double *>(BufP->deviceData());
       double X = Data[Ctx.threadIndex()];
       for (int Step = 0; Step < 50; ++Step)
         X = X + 0.01 * (1.0 - X * X); // logistic-style update
@@ -366,4 +461,204 @@ TEST(RuntimeConformanceTest, ResultsIndependentOfWorkerCount) {
   std::vector<double> One = RunWith(1);
   std::vector<double> Four = RunWith(4);
   EXPECT_EQ(std::memcmp(One.data(), Four.data(), N * sizeof(double)), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Async-only semantics: enqueue really is asynchronous, and a wait on a
+// recorded-but-unfinished event really blocks the waiting stream.
+//===----------------------------------------------------------------------===//
+
+TEST(AsyncRuntimeTest, CrossStreamWaitReallyBlocksUntilRecordCompletes) {
+  auto RT = makeAsync();
+  auto Producer = RT->createStream("producer");
+  auto Consumer = RT->createStream("consumer");
+  auto Ready = RT->createEvent();
+
+  std::atomic<bool> Go{false};
+  std::atomic<int> Value{0};
+  std::atomic<int> Seen{-1};
+  // The producer parks until the main thread releases it — valid only
+  // because enqueue returns before the op runs on this runtime.
+  Producer->hostTask("slow-produce", [&] {
+    while (!Go.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    Value.store(42, std::memory_order_release);
+  });
+  Producer->record(*Ready);
+  Consumer->wait(*Ready);
+  Consumer->hostTask("consume",
+                     [&] { Seen = Value.load(std::memory_order_acquire); });
+
+  // recorded() flips at enqueue (cudaEventRecord semantics), but the
+  // consumer must still be parked behind the wait.
+  EXPECT_TRUE(Ready->recorded());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Seen.load(), -1)
+      << "consumer ran past a wait on an unfinished event";
+
+  Go.store(true, std::memory_order_release);
+  RT->synchronize();
+  EXPECT_EQ(Seen.load(), 42);
+}
+
+TEST(AsyncRuntimeTest, EnqueueReturnsBeforeOpsExecute) {
+  auto RT = makeAsync();
+  auto S = RT->createStream("lagging");
+  std::atomic<bool> Go{false};
+  std::atomic<int> Ran{0};
+  S->hostTask("gate", [&] {
+    while (!Go.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  for (int I = 0; I < 8; ++I)
+    S->hostTask("follow", [&] { ++Ran; });
+  // All nine enqueues returned while the first op is still parked.
+  EXPECT_EQ(Ran.load(), 0);
+  Go.store(true, std::memory_order_release);
+  S->synchronize();
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(AsyncRuntimeTest, RuntimeSynchronizeDrainsAllStreams) {
+  auto RT = makeAsync();
+  auto A = RT->createStream("a");
+  auto B = RT->createStream("b");
+  std::atomic<int> Done{0};
+  for (int I = 0; I < 16; ++I) {
+    A->hostTask("a-op", [&] { ++Done; });
+    B->hostTask("b-op", [&] { ++Done; });
+  }
+  RT->synchronize();
+  EXPECT_EQ(Done.load(), 32);
+}
+
+//===----------------------------------------------------------------------===//
+// Buffer pool: size-classed reuse, hit/miss counters, ceiling, drain.
+//===----------------------------------------------------------------------===//
+
+TEST(BufferPoolTest, ReusedBinCountsAsHitAndIsZeroFilled) {
+  auto RT = makeAsync(/*PoolBytes=*/1u << 20);
+  {
+    auto A = RT->allocate(1000); // covering bin: 1024
+    auto S = RT->createStream("dirty");
+    std::vector<unsigned char> Junk(1000, 0xEE);
+    S->upload(*A, Junk.data(), Junk.size());
+    S->synchronize();
+  }
+  RuntimeCounters C = RT->counters();
+  EXPECT_EQ(C.PoolMisses, 1u);
+  EXPECT_EQ(C.PoolHits, 0u);
+  EXPECT_EQ(C.PoolBytesCached, 1024u);
+
+  // Same bin (900 also covers to 1024): served from the pool, and the
+  // zero-fill contract must hold even though the storage was dirtied.
+  auto B = RT->allocate(900);
+  C = RT->counters();
+  EXPECT_EQ(C.PoolHits, 1u);
+  EXPECT_EQ(C.PoolMisses, 1u);
+  EXPECT_EQ(C.PoolBytesCached, 0u);
+  std::vector<unsigned char> Host(900, 0xAB);
+  auto S = RT->createStream("probe");
+  S->download(*B, Host.data(), Host.size());
+  S->synchronize();
+  for (unsigned char Byte : Host)
+    ASSERT_EQ(Byte, 0u);
+}
+
+TEST(BufferPoolTest, DifferentBinMissesButSmallerRequestsShareBins) {
+  auto RT = makeAsync(/*PoolBytes=*/1u << 20);
+  { auto A = RT->allocate(4096); }
+  auto B = RT->allocate(8192); // bigger bin: miss
+  RuntimeCounters C = RT->counters();
+  EXPECT_EQ(C.PoolMisses, 2u);
+  EXPECT_EQ(C.PoolHits, 0u);
+  auto CBuf = RT->allocate(3000); // covered by the cached 4096 bin: hit
+  EXPECT_EQ(RT->counters().PoolHits, 1u);
+  EXPECT_EQ(CBuf->sizeBytes(), 3000u); // requested size, not the bin
+}
+
+TEST(BufferPoolTest, ZeroCeilingDisablesCaching) {
+  auto RT = makeAsync(/*PoolBytes=*/0);
+  { auto A = RT->allocate(1024); }
+  { auto B = RT->allocate(1024); }
+  RuntimeCounters C = RT->counters();
+  EXPECT_EQ(C.PoolHits, 0u);
+  EXPECT_EQ(C.PoolMisses, 2u);
+  EXPECT_EQ(C.PoolBytesCached, 0u);
+}
+
+TEST(BufferPoolTest, CeilingBoundsCachedBytes) {
+  auto RT = makeAsync(/*PoolBytes=*/4096);
+  // Three 2048-byte bins released; only two fit under the ceiling.
+  {
+    auto A = RT->allocate(2048);
+    auto B = RT->allocate(2048);
+    auto C = RT->allocate(2048);
+  }
+  EXPECT_LE(RT->counters().PoolBytesCached, 4096u);
+}
+
+TEST(BufferPoolTest, DrainedOnRuntimeDestruction) {
+  {
+    auto RT = makeAsync(/*PoolBytes=*/1u << 20);
+    { auto A = RT->allocate(4096); }
+    EXPECT_EQ(RT->counters().PoolBytesCached, 4096u);
+  }
+  // The destructor drained the pool and zeroed the gauge.
+  EXPECT_EQ(metrics().snapshot().gaugeValue("psg.device.pool_bytes_cached"),
+            0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded multi-stream stress: concurrent shards hammer streams, events,
+// the pool, and the counters from many host threads at once. Run under
+// the TSan CI leg, this is the race detector for the async machinery.
+//===----------------------------------------------------------------------===//
+
+TEST(AsyncRuntimeStressTest, ConcurrentShardsStayCoherent) {
+  auto RT = makeAsync(/*PoolBytes=*/1u << 20, /*HostWorkers=*/2);
+  constexpr unsigned Shards = 6;
+  constexpr unsigned Iterations = 25;
+  std::atomic<uint64_t> Mismatches{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Shards; ++T) {
+    Threads.emplace_back([&, T] {
+      std::mt19937 Rng(1234 + T); // Deterministic per-shard schedule.
+      std::uniform_int_distribution<size_t> Size(1, 2048);
+      auto Up = RT->createStream("up" + std::to_string(T));
+      auto Down = RT->createStream("down" + std::to_string(T));
+      for (unsigned I = 0; I < Iterations; ++I) {
+        const size_t N = Size(Rng);
+        auto Buf = RT->allocate(N);
+        auto Ready = RT->createEvent();
+        std::vector<unsigned char> Src(N);
+        for (size_t J = 0; J < N; ++J)
+          Src[J] = static_cast<unsigned char>(Rng() & 0xFF);
+        std::vector<unsigned char> Dst(N, 0);
+        Up->upload(*Buf, Src.data(), N);
+        Up->record(*Ready);
+        Down->wait(*Ready);
+        Down->download(*Buf, Dst.data(), N);
+        Down->synchronize();
+        if (std::memcmp(Src.data(), Dst.data(), N) != 0)
+          ++Mismatches;
+        // Buffer and event die here — allocator and pool churn under
+        // concurrency is the point.
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  RuntimeCounters C = RT->counters();
+  EXPECT_EQ(C.BuffersAllocated, uint64_t(Shards) * Iterations);
+  EXPECT_EQ(C.BytesResident, 0u);
+  EXPECT_EQ(C.Uploads, uint64_t(Shards) * Iterations);
+  EXPECT_EQ(C.Downloads, uint64_t(Shards) * Iterations);
+  EXPECT_EQ(C.UploadBytes, C.DownloadBytes);
+  EXPECT_EQ(C.EventsRecorded, uint64_t(Shards) * Iterations);
+  EXPECT_EQ(C.EventWaits, uint64_t(Shards) * Iterations);
+  EXPECT_GT(C.PoolHits + C.PoolMisses, 0u);
 }

@@ -320,9 +320,15 @@ TEST(ShardedExecutorTest, IdleDeviceStealsFromStraggler) {
   // is re-queued onto device 1, piling up a modeled backlog there while
   // device 0's own virtual finish time stays low. Once the source is
   // dry, device 0 must steal that backlog back (the re-queued attempts
-  // run fine anywhere — only attempt 0 on device 0 is killed).
+  // run fine anywhere — only attempt 0 on device 0 is killed). Device 1
+  // straggles on every attempt so its backlog stays queued — and
+  // stealable — past the dry point regardless of host thread timing.
   Opts.Sched.FaultInjector = [](size_t, unsigned Device, unsigned Attempt) {
-    return Device == 0 && Attempt == 0;
+    if (Device == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return false;
+    }
+    return Attempt == 0;
   };
   ShardedExecutor Executor(CostModel::paperSetup(), Opts, Opts.Sched);
   size_t Next = 0;

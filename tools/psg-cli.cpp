@@ -187,7 +187,9 @@ Status applySchedOptions(const Options &O, EngineOptions &Opts) {
 Status applyRuntimeOption(const Options &O, EngineOptions &Opts) {
   if (O.occurrences("runtime") > 1)
     return Status::failure("--runtime given more than once (pass a single "
-                           "runtime: host, cuda)");
+                           "runtime: host, host-async, cuda)");
+  if (O.has("pool-bytes"))
+    Opts.PoolMaxCachedBytes = O.getUnsigned("pool-bytes", 0);
   if (!O.has("runtime"))
     return Status::success();
   const std::string Name = O.get("runtime", "host");
@@ -314,7 +316,7 @@ int usage() {
       "      and the initial-Jacobian stiffness estimate\n"
       "  simulate <model> [--tend T] [--samples K] [--batch B]\n"
       "           [--perturb] [--seed S] [--simulator NAME] [--out F.csv]\n"
-      "           [--runtime host|cuda] [--devices N|LIST] "
+      "           [--runtime host|host-async|cuda] [--devices N|LIST] "
       "[--shard-chunk C]\n"
       "      run a (optionally perturbed) batch; writes the first\n"
       "      trajectory as CSV and prints the engine report\n"
@@ -322,7 +324,8 @@ int usage() {
       "        --lo X --hi Y [--log] [--points P]\n"
       "        [--reporter NAME] [--tend T] [--out F.csv]\n"
       "        [--stream] [--inflight N] [--sub-batch B]\n"
-      "        [--runtime host|cuda] [--devices N|LIST] [--shard-chunk C]\n"
+      "        [--runtime host|host-async|cuda] [--devices N|LIST] "
+      "[--shard-chunk C]\n"
       "      sweep one parameter; reports the reporter's final value.\n"
       "      --stream drives the bounded-memory pipeline explicitly:\n"
       "      points are generated lazily, each sub-batch is reduced\n"
@@ -330,7 +333,8 @@ int usage() {
       "      and at most --inflight sub-batches of outcomes are ever\n"
       "      resident; prints overlap ratio and peak residency\n"
       "  worker <model> --connect HOST:PORT [--simulator NAME]\n"
-      "         [--devices N|LIST] [--shard-chunk C] [--heartbeat S]\n"
+      "         [--runtime host|host-async|cuda] [--devices N|LIST]\n"
+      "         [--shard-chunk C] [--heartbeat S]\n"
       "      serve shard grants from a remote coordinator: runs each\n"
       "      grant through a local multi-device executor and streams\n"
       "      the outcomes back until the coordinator says goodbye\n"
@@ -341,11 +345,16 @@ int usage() {
       "  convert <in> <out>\n"
       "      convert between the text format and the SBML subset\n"
       "\n"
-      "device runtime (simulate, psa1d):\n"
-      "  --runtime host|cuda     execution backend for the simulator's\n"
-      "                          kernels: host (the modeled device,\n"
-      "                          default) or cuda (needs a PSG_WITH_CUDA\n"
-      "                          build and a working GPU)\n"
+      "device runtime (simulate, psa1d, worker):\n"
+      "  --runtime NAME          execution backend for the simulator's\n"
+      "                          kernels: host (the eager modeled\n"
+      "                          device, default), host-async (worker-\n"
+      "                          thread streams, real overlap, pooled\n"
+      "                          buffers), or cuda (needs a\n"
+      "                          PSG_WITH_CUDA build and a working GPU)\n"
+      "  --pool-bytes B          cap on bytes the async runtime's buffer\n"
+      "                          pool keeps cached (0 disables pooling;\n"
+      "                          default 64 MiB)\n"
       "\n"
       "multi-device sharding (simulate, psa1d):\n"
       "  --devices N             shard the sweep across N logical devices\n"
@@ -630,6 +639,8 @@ int cmdWorker(const Options &O) {
   Probe.SimulatorName = O.get("simulator", "psg-engine");
   if (Status S = applySchedOptions(O, Probe); !S)
     return cliError(S.message());
+  if (Status S = applyRuntimeOption(O, Probe); !S)
+    return cliError(S.message());
   SchedOptions Local = Probe.Sched;
   if (Local.Devices.empty())
     Local.Devices = {Probe.SimulatorName};
@@ -643,7 +654,7 @@ int cmdWorker(const Options &O) {
                Connect.c_str());
 
   NodeWorker Worker(CostModel::paperSetup(), **Endpoint, Local,
-                    O.getDouble("heartbeat", 0.05));
+                    O.getDouble("heartbeat", 0.05), Probe.Runtime);
   WorkerReport R = Worker.serve(Net);
   std::printf("worker done:        %llu grants, %llu simulations, %llu "
               "heartbeats, modeled %.4g s busy (%s)\n",
